@@ -1,0 +1,37 @@
+"""Fig. 8 — VSB(adaptive) per inter-die corner vs the fixed VSB(opt).
+
+Paper: the BIST-selected source bias tracks the corner (backing off
+where retention is fragile), while the fixed design-time VSB(opt) lets
+the hold-failure probability grow unchecked away from nominal; the
+self-adaptive scheme widens the low-hold-failure window.
+"""
+
+import numpy as np
+
+from repro.experiments import asb
+
+
+def test_fig8(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: asb.fig8(ctx), rounds=1, iterations=1
+    )
+    save_result("fig8", result.rows())
+
+    # The statistical adaptive bias is within the DAC span and equals
+    # VSB(opt) at the nominal corner by construction.
+    mid = len(result.shifts) // 2
+    assert result.vsb_adaptive[mid] == result.vsb_opt
+    # Adaptive never exceeds the fixed optimum by more than a step or
+    # two, and backs off where hold is fragile.
+    assert np.all(result.vsb_adaptive <= result.vsb_opt + 0.02)
+    # Under the fixed bias the hold failure grows toward the high-Vt
+    # corner; adaptive keeps it bounded by ~the nominal level.
+    assert result.p_hold_opt[-1] > 1.2 * result.p_hold_opt[mid]
+    assert result.p_hold_adaptive[-1] <= result.p_hold_opt[-1]
+    # The BIST hardware agrees with the statistical model wherever the
+    # die is statically repairable (VSB > 0).
+    alive = result.vsb_bist > 0.0
+    assert np.count_nonzero(alive) >= len(result.shifts) - 2
+    assert np.all(
+        np.abs(result.vsb_bist[alive] - result.vsb_adaptive[alive]) < 0.05
+    )

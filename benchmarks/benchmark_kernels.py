@@ -1,0 +1,86 @@
+"""Performance benchmarks of the hot computational kernels.
+
+Unlike the figure benches (one-shot regenerations), these are true
+timing benchmarks (multiple rounds) guarding the throughput the
+statistical machinery depends on: a full sweep evaluates millions of
+cell solves, so regressions here multiply directly into experiment
+wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sram.cell import CellGeometry, SixTCell, sample_cell_dvt
+from repro.sram.leakage import cell_leakage
+from repro.sram.metrics import OperatingConditions, compute_cell_metrics
+from repro.sram.solver import solve_hold_state, solve_read_node
+from repro.stats.sampling import importance_sample_dvt
+from repro.technology import predictive_70nm
+from repro.technology.corners import ProcessCorner
+
+N_CELLS = 20_000
+
+
+@pytest.fixture(scope="module")
+def population():
+    tech = predictive_70nm()
+    geometry = CellGeometry()
+    rng = np.random.default_rng(1)
+    dvt = sample_cell_dvt(tech, geometry, rng, N_CELLS)
+    return SixTCell(tech, geometry, ProcessCorner(0.0), dvt)
+
+
+def test_kernel_read_solve(benchmark, population):
+    """Single-node read solve over 20k cells."""
+    result = benchmark(solve_read_node, population, 1.0)
+    assert result.shape == (N_CELLS,)
+    assert float(np.mean(result)) < 0.5
+
+
+def test_kernel_hold_solve(benchmark, population):
+    """Two-node standby fixed point over 20k cells (the hot path of
+    every retention estimate)."""
+    vl, vr = benchmark(solve_hold_state, population, 0.3)
+    assert np.all(vl >= vr)
+
+
+def test_kernel_full_metrics(benchmark, population):
+    """All static metrics over 20k cells (one sweep point's work)."""
+    conditions = OperatingConditions.nominal(population.tech)
+    metrics = benchmark(compute_cell_metrics, population, conditions)
+    assert metrics.v_read.shape == (N_CELLS,)
+
+
+def test_kernel_cell_leakage(benchmark, population):
+    """Closed-form leakage decomposition over 20k cells."""
+    breakdown = benchmark(cell_leakage, population)
+    assert breakdown.total.shape == (N_CELLS,)
+
+
+def test_kernel_importance_sampling(benchmark):
+    """Weighted sample generation for 100k cells."""
+    tech = predictive_70nm()
+    geometry = CellGeometry()
+
+    def run():
+        return importance_sample_dvt(
+            tech, geometry, np.random.default_rng(2), 100_000, 2.0
+        )
+
+    sample = benchmark(run)
+    assert sample.n_samples == 100_000
+
+
+def test_kernel_throughput_floor(population):
+    """Hard floor: the metric engine must stay above ~20k cells/s.
+
+    (Not a pytest-benchmark fixture — a plain guard so a catastrophic
+    slowdown fails loudly even in --benchmark-disable runs.)
+    """
+    import time
+
+    conditions = OperatingConditions.nominal(population.tech)
+    start = time.perf_counter()
+    compute_cell_metrics(population, conditions)
+    elapsed = time.perf_counter() - start
+    assert N_CELLS / elapsed > 2_000, f"metrics at {N_CELLS/elapsed:.0f}/s"

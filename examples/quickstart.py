@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: from a technology card to a self-repaired die.
+
+Walks the library bottom-up on a deliberately small setup (a few
+seconds):
+
+1. build the predictive 70 nm technology and look at a 6T cell;
+2. calibrate the failure criteria ("equal probabilities at ZBB");
+3. estimate the cell failure bathtub across inter-die corners;
+4. run the self-repairing pipeline (leakage monitor -> comparators ->
+   body bias) on a leaky and a slow die.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CellFailureAnalyzer,
+    CellGeometry,
+    ProcessCorner,
+    SelfRepairingSRAM,
+    SixTCell,
+    calibrate_criteria,
+    predictive_70nm,
+)
+from repro.sram.array import ArrayOrganization
+from repro.sram.leakage import cell_leakage
+from repro.sram.metrics import OperatingConditions, compute_cell_metrics
+
+
+def main() -> None:
+    tech = predictive_70nm()
+    geometry = CellGeometry()
+    conditions = OperatingConditions.nominal(tech)
+    print(f"technology: {tech.name}, VDD = {tech.vdd} V")
+
+    # --- 1. one nominal cell -----------------------------------------
+    cell = SixTCell(tech, geometry, ProcessCorner(0.0))
+    metrics = compute_cell_metrics(cell, conditions)
+    leakage = cell_leakage(cell)
+    print("\nnominal 6T cell:")
+    print(f"  read margin   {float(metrics.read_margin[0]) * 1e3:6.1f} mV")
+    print(f"  write time    {float(metrics.t_write[0]) * 1e12:6.1f} ps")
+    print(f"  access curr.  {float(metrics.i_access[0]) * 1e6:6.1f} uA")
+    print(f"  hold margin   {float(metrics.hold_margin[0]) * 1e3:6.1f} mV")
+    print(f"  leakage       {float(leakage.total[0]) * 1e9:6.2f} nA "
+          f"(sub {float(leakage.subthreshold[0]) * 1e9:.2f}, "
+          f"gate {float(leakage.gate[0]) * 1e9:.2f}, "
+          f"jn {float(leakage.junction[0]) * 1e9:.2f})")
+
+    # --- 2. calibrated failure criteria ------------------------------
+    print("\ncalibrating failure criteria (equal P_fail at ZBB)...")
+    criteria = calibrate_criteria(
+        tech, geometry, conditions, target=1e-4, n_samples=20_000, seed=1
+    )
+    print(f"  delta_read    {criteria.delta_read * 1e3:6.1f} mV")
+    print(f"  t_write_max   {criteria.t_write_max * 1e12:6.1f} ps")
+    print(f"  i_access_min  {criteria.i_access_min * 1e6:6.1f} uA")
+    print(f"  hold fraction {criteria.hold_fraction_min:6.3f} of the rail")
+
+    # --- 3. the failure bathtub ---------------------------------------
+    analyzer = CellFailureAnalyzer(
+        tech, criteria, geometry, conditions, n_samples=10_000, seed=2
+    )
+    print("\ncell failure probability vs inter-die Vt shift:")
+    for shift in (-0.08, -0.04, 0.0, 0.04, 0.08):
+        probs = analyzer.failure_probabilities(ProcessCorner(shift))
+        print(f"  {shift * 1e3:+5.0f} mV: overall {probs['any'].estimate:9.2e}"
+              f"  (read {probs['read'].estimate:8.2e},"
+              f" access {probs['access'].estimate:8.2e})")
+
+    # --- 4. self-repair two bad dies ----------------------------------
+    organization = ArrayOrganization.from_capacity(
+        8 * 1024, rows=64, redundancy_fraction=0.05
+    )
+    pipeline = SelfRepairingSRAM(
+        analyzer, organization, leakage_samples=5_000, table_grid=7
+    )
+    print(f"\nself-repairing a {organization} array:")
+    for shift in (-0.09, 0.09):
+        outcome = pipeline.repair(ProcessCorner(shift))
+        print(f"  die at {shift * 1e3:+.0f} mV -> bin {outcome.bin.value:8s}"
+              f" body bias {outcome.vbody:+.1f} V | "
+              f"P_cell {outcome.p_cell_before:.2e} -> "
+              f"{outcome.p_cell_after:.2e} | leakage "
+              f"{outcome.leakage_before * 1e6:.1f} -> "
+              f"{outcome.leakage_after * 1e6:.1f} uA")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments that lack the ``wheel`` package (pip then falls back
+to the legacy ``setup.py develop`` editable install).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — reproduction of *Low-Power and Process Variation Tolerant
+Memories in sub-90nm Technologies* (Mukhopadhyay, Ghosh, Kim, Roy;
+IEEE SOCC 2006).
+
+The library stacks up as:
+
+* :mod:`repro.technology` / :mod:`repro.devices` — a predictive 70 nm
+  technology card and an EKV-style compact MOSFET model with
+  subthreshold / gate / junction leakage (the BPTM+HSPICE substitute);
+* :mod:`repro.circuit` — a small MNA circuit simulator for
+  cross-validation and ad-hoc circuits;
+* :mod:`repro.sram` — the 6T cell, vectorised cell DC solvers, static
+  failure metrics, leakage decomposition, and a behavioural memory
+  array with physics-derived faults;
+* :mod:`repro.failures` / :mod:`repro.stats` — RDF Monte Carlo with
+  importance sampling, cell -> column -> memory yield with redundancy,
+  CLT leakage statistics, inter-die quadrature;
+* :mod:`repro.core` — **the paper's contribution**: the self-repairing
+  SRAM (leakage monitor + adaptive body bias) and the self-adaptive
+  source-bias calibration (BIST + March tests + counter/DAC);
+* :mod:`repro.experiments` — one entry point per paper figure,
+  regenerating every result of the evaluation.
+"""
+
+from repro.core.body_bias import BodyBiasGenerator, SelfRepairingSRAM
+from repro.core.lot import LotReport, LotSimulator
+from repro.core.tuning import PostSiliconTuner
+from repro.core.monitor import LeakageMonitor
+from repro.core.source_bias import (
+    BISTController,
+    SelfAdaptiveSourceBias,
+    SourceBiasDAC,
+)
+from repro.failures import (
+    CellFailureAnalyzer,
+    FailureCriteria,
+    MpfpEstimator,
+    calibrate_criteria,
+)
+from repro.sram import (
+    ArrayOrganization,
+    CellGeometry,
+    FunctionalMemoryArray,
+    OperatingConditions,
+    SixTCell,
+)
+from repro.technology import (
+    InterDieDistribution,
+    ProcessCorner,
+    TechnologyParameters,
+    predictive_70nm,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "predictive_70nm",
+    "TechnologyParameters",
+    "ProcessCorner",
+    "InterDieDistribution",
+    "CellGeometry",
+    "SixTCell",
+    "OperatingConditions",
+    "ArrayOrganization",
+    "FunctionalMemoryArray",
+    "FailureCriteria",
+    "calibrate_criteria",
+    "CellFailureAnalyzer",
+    "LeakageMonitor",
+    "BodyBiasGenerator",
+    "SelfRepairingSRAM",
+    "SourceBiasDAC",
+    "BISTController",
+    "SelfAdaptiveSourceBias",
+    "PostSiliconTuner",
+    "LotSimulator",
+    "LotReport",
+    "MpfpEstimator",
+    "__version__",
+]

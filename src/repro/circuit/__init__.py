@@ -1,0 +1,51 @@
+"""A small modified-nodal-analysis circuit simulator.
+
+This package is the reproduction's stand-in for the SPICE engine the
+paper used.  It supports:
+
+* arbitrary netlists of resistors, capacitors, current sources, voltage
+  sources, diodes and compact-model MOSFETs (:mod:`repro.circuit.elements`);
+* Newton-Raphson DC operating-point solving with gmin and source-stepping
+  continuation (:mod:`repro.circuit.dc`);
+* backward-Euler transient analysis (:mod:`repro.circuit.transient`);
+* DC sweeps, e.g. inverter voltage-transfer curves
+  (:mod:`repro.circuit.sweep`).
+
+The statistical SRAM analysis does *not* route every Monte-Carlo sample
+through this engine — that would be far too slow for millions of cell
+evaluations.  Instead :mod:`repro.sram.solver` implements a vectorised
+solver for the specific two-node 6T-cell problem, and the two are
+cross-validated against each other in the integration tests.
+"""
+
+from repro.circuit.dc import DCSolution, solve_dc
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    MOSFETElement,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.exceptions import ConvergenceError
+from repro.circuit.netlist import Circuit
+from repro.circuit.sweep import dc_sweep, inverter_vtc, switching_threshold
+from repro.circuit.transient import TransientResult, solve_transient
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "CurrentSource",
+    "VoltageSource",
+    "Diode",
+    "MOSFETElement",
+    "solve_dc",
+    "DCSolution",
+    "solve_transient",
+    "TransientResult",
+    "dc_sweep",
+    "inverter_vtc",
+    "switching_threshold",
+    "ConvergenceError",
+]

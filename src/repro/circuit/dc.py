@@ -1,0 +1,224 @@
+"""Newton-Raphson DC operating-point solver with continuation.
+
+The unknown vector is ``x = [node voltages | voltage-source branch
+currents]`` (modified nodal analysis).  The residual is
+
+* KCL at every non-ground node: the sum of element currents leaving the
+  node plus the branch currents of voltage sources attached at that node,
+  plus a small ``gmin`` conductance to ground for numerical conditioning;
+* the voltage-source constraint ``v(plus) - v(minus) - V = 0``.
+
+The Jacobian is formed by forward finite differences — crude but entirely
+adequate for the <= tens-of-nodes circuits this engine serves.  If plain
+Newton fails, the solver falls back to gmin stepping and then source
+stepping, the same continuation tricks SPICE uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.elements import VoltageSource
+from repro.circuit.exceptions import ConvergenceError
+from repro.circuit.netlist import GROUND, Circuit
+
+#: Default convergence tolerance on the KCL residual [A].
+DEFAULT_ABSTOL = 1e-12
+#: Default maximum Newton iterations per continuation stage.
+DEFAULT_MAX_ITER = 120
+
+
+@dataclass(frozen=True)
+class DCSolution:
+    """The result of a DC analysis.
+
+    Attributes:
+        voltages: node name -> voltage [V] (includes ground at 0).
+        branch_currents: voltage-source name -> current [A] flowing from
+            the ``plus`` terminal through the source to ``minus``.
+        iterations: total Newton iterations used.
+    """
+
+    voltages: dict[str, float]
+    branch_currents: dict[str, float]
+    iterations: int
+
+    def __getitem__(self, node: str) -> float:
+        return self.voltages[node]
+
+
+def _residual(
+    circuit: Circuit,
+    node_index: dict[str, int],
+    x: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    t: float,
+) -> np.ndarray:
+    n_nodes = len(node_index) - 1  # excluding ground
+    sources = circuit.voltage_sources
+    v = {name: (0.0 if idx == 0 else x[idx - 1]) for name, idx in node_index.items()}
+
+    out = {name: 0.0 for name in node_index}
+    for element in circuit.elements:
+        element.add_currents(v, out, t)
+
+    f = np.zeros_like(x)
+    for name, idx in node_index.items():
+        if idx == 0:
+            continue
+        f[idx - 1] = out[name] + gmin * v[name]
+
+    for k, src in enumerate(sources):
+        i_branch = x[n_nodes + k]
+        # Branch current leaves the plus node through the source.
+        if src.plus != GROUND:
+            f[node_index[src.plus] - 1] += i_branch
+        if src.minus != GROUND:
+            f[node_index[src.minus] - 1] -= i_branch
+        f[n_nodes + k] = v[src.plus] - v[src.minus] - source_scale * src.value(t)
+    return f
+
+
+def _newton(
+    circuit: Circuit,
+    node_index: dict[str, int],
+    x0: np.ndarray,
+    gmin: float,
+    source_scale: float,
+    t: float,
+    abstol: float,
+    max_iter: int,
+) -> tuple[np.ndarray, int, float]:
+    """Run damped Newton; return (x, iterations, final residual norm)."""
+    x = x0.copy()
+    n_nodes = len(node_index) - 1
+    f = _residual(circuit, node_index, x, gmin, source_scale, t)
+    norm = float(np.max(np.abs(f))) if f.size else 0.0
+    for iteration in range(1, max_iter + 1):
+        if norm < abstol:
+            return x, iteration - 1, norm
+        jac = np.zeros((x.size, x.size))
+        for j in range(x.size):
+            step = 1e-7 * (1.0 + abs(x[j]))
+            xp = x.copy()
+            xp[j] += step
+            fp = _residual(circuit, node_index, xp, gmin, source_scale, t)
+            jac[:, j] = (fp - f) / step
+        try:
+            dx = np.linalg.solve(jac, -f)
+        except np.linalg.LinAlgError:
+            dx = np.linalg.lstsq(jac, -f, rcond=None)[0]
+        # Voltage-limit the update for robustness.
+        limit = 0.3
+        scale = min(1.0, limit / max(float(np.max(np.abs(dx[:n_nodes]))), 1e-30))
+        # Backtracking line search on the residual norm.
+        best = None
+        for damping in (scale, scale * 0.5, scale * 0.25, scale * 0.05):
+            x_try = x + damping * dx
+            f_try = _residual(circuit, node_index, x_try, gmin, source_scale, t)
+            norm_try = float(np.max(np.abs(f_try)))
+            if best is None or norm_try < best[2]:
+                best = (x_try, f_try, norm_try)
+            if norm_try < norm:
+                break
+        x, f, norm = best
+    return x, max_iter, norm
+
+
+def solve_dc(
+    circuit: Circuit,
+    initial: dict[str, float] | None = None,
+    abstol: float = DEFAULT_ABSTOL,
+    max_iter: int = DEFAULT_MAX_ITER,
+    gmin: float = 1e-12,
+    t: float = 0.0,
+) -> DCSolution:
+    """Solve the DC operating point of ``circuit``.
+
+    Args:
+        circuit: the netlist to solve.
+        initial: optional node-name -> initial-guess voltages [V].
+        abstol: KCL residual tolerance [A].
+        max_iter: Newton iterations per continuation stage.
+        gmin: conditioning conductance to ground at every node [S].
+        t: time passed to time-dependent sources.
+
+    Raises:
+        ConvergenceError: if Newton, gmin stepping and source stepping all
+            fail to reach ``abstol``.
+    """
+    circuit.validate()
+    node_index = {name: i for i, name in enumerate(circuit.nodes)}
+    n_nodes = len(node_index) - 1
+    n_src = len(circuit.voltage_sources)
+    x = np.zeros(n_nodes + n_src)
+    if initial:
+        for name, value in initial.items():
+            if name in node_index and node_index[name] > 0:
+                x[node_index[name] - 1] = value
+
+    total_iters = 0
+
+    # Stage 1: plain Newton.
+    x_try, iters, norm = _newton(
+        circuit, node_index, x, gmin, 1.0, t, abstol, max_iter
+    )
+    total_iters += iters
+    if norm < abstol:
+        return _package(circuit, node_index, x_try, total_iters)
+
+    # Stage 2: gmin stepping (start heavily damped, relax to target gmin).
+    x_cont = x.copy()
+    for g in np.geomspace(1e-3, gmin, 8):
+        x_cont, iters, norm = _newton(
+            circuit, node_index, x_cont, g, 1.0, t, abstol * 1e3, max_iter
+        )
+        total_iters += iters
+    x_try, iters, norm = _newton(
+        circuit, node_index, x_cont, gmin, 1.0, t, abstol, max_iter
+    )
+    total_iters += iters
+    if norm < abstol:
+        return _package(circuit, node_index, x_try, total_iters)
+
+    # Stage 3: source stepping from 10% of the stimulus.
+    x_cont = np.zeros_like(x)
+    for scale in np.linspace(0.1, 1.0, 10):
+        x_cont, iters, norm = _newton(
+            circuit, node_index, x_cont, gmin, scale, t, abstol * 1e3, max_iter
+        )
+        total_iters += iters
+    x_try, iters, norm = _newton(
+        circuit, node_index, x_cont, gmin, 1.0, t, abstol, max_iter
+    )
+    total_iters += iters
+    if norm < abstol:
+        return _package(circuit, node_index, x_try, total_iters)
+
+    raise ConvergenceError(
+        f"DC analysis of {circuit.name!r} failed", residual=norm, iterations=total_iters
+    )
+
+
+def _package(
+    circuit: Circuit,
+    node_index: dict[str, int],
+    x: np.ndarray,
+    iterations: int,
+) -> DCSolution:
+    n_nodes = len(node_index) - 1
+    voltages = {
+        name: (0.0 if idx == 0 else float(x[idx - 1]))
+        for name, idx in node_index.items()
+    }
+    branch = {}
+    for k, src in enumerate(circuit.voltage_sources):
+        branch[_source_key(src, k)] = float(x[n_nodes + k])
+    return DCSolution(voltages=voltages, branch_currents=branch, iterations=iterations)
+
+
+def _source_key(src: VoltageSource, index: int) -> str:
+    return src.name if src.name != "V" else f"V{index}"

@@ -1,0 +1,211 @@
+"""Circuit elements for the MNA simulator.
+
+Every element implements :meth:`Element.add_currents`: given the candidate
+node-voltage map it accumulates the current *leaving* each of its nodes
+into the KCL residual.  Voltage sources additionally carry a branch
+current unknown (classic modified nodal analysis).
+
+The solver differentiates the residual numerically, so elements only have
+to provide currents, not stamps — this keeps adding new device types
+trivial and is plenty fast for the handful-of-nodes circuits this engine
+is used for (SRAM cells, inverters, leakage monitors).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.constants import thermal_voltage
+from repro.devices.mosfet import MOSFET
+
+Voltages = Mapping[str, float]
+
+
+class Element(ABC):
+    """Base class for all two-or-more terminal elements."""
+
+    @property
+    @abstractmethod
+    def nodes(self) -> tuple[str, ...]:
+        """The node names this element connects to."""
+
+    @abstractmethod
+    def add_currents(self, v: Voltages, out: dict[str, float], t: float) -> None:
+        """Accumulate current *leaving* each node into ``out`` [A]."""
+
+
+@dataclass
+class Resistor(Element):
+    """A linear resistor between ``a`` and ``b``."""
+
+    a: str
+    b: str
+    resistance: float
+    name: str = "R"
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError(f"resistance must be positive, got {self.resistance}")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.a, self.b)
+
+    def add_currents(self, v: Voltages, out: dict[str, float], t: float) -> None:
+        i = (v[self.a] - v[self.b]) / self.resistance
+        out[self.a] += i
+        out[self.b] -= i
+
+
+@dataclass
+class CurrentSource(Element):
+    """A constant current source pushing ``current`` amps from ``a`` to ``b``.
+
+    ``current`` may be a callable of time for transient stimuli.
+    """
+
+    a: str
+    b: str
+    current: float | Callable[[float], float]
+    name: str = "I"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.a, self.b)
+
+    def value(self, t: float) -> float:
+        """The source current [A] at time ``t``."""
+        if callable(self.current):
+            return self.current(t)
+        return self.current
+
+    def add_currents(self, v: Voltages, out: dict[str, float], t: float) -> None:
+        i = self.value(t)
+        out[self.a] += i
+        out[self.b] -= i
+
+
+@dataclass
+class VoltageSource(Element):
+    """An ideal voltage source: v(plus) - v(minus) = ``voltage``.
+
+    ``voltage`` may be a callable of time.  The branch current is an MNA
+    unknown managed by the solver.
+    """
+
+    plus: str
+    minus: str
+    voltage: float | Callable[[float], float]
+    name: str = "V"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.plus, self.minus)
+
+    def value(self, t: float) -> float:
+        """The source voltage [V] at time ``t``."""
+        if callable(self.voltage):
+            return self.voltage(t)
+        return self.voltage
+
+    def add_currents(self, v: Voltages, out: dict[str, float], t: float) -> None:
+        # The branch current is handled by the solver; nothing to add here.
+        pass
+
+
+@dataclass
+class Diode(Element):
+    """An ideal-exponential junction diode from ``anode`` to ``cathode``."""
+
+    anode: str
+    cathode: str
+    saturation_current: float = 1e-14
+    ideality: float = 1.0
+    temperature: float = 300.15
+    name: str = "D"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.anode, self.cathode)
+
+    def add_currents(self, v: Voltages, out: dict[str, float], t: float) -> None:
+        ut = thermal_voltage(self.temperature)
+        vd = v[self.anode] - v[self.cathode]
+        x = np.clip(vd / (self.ideality * ut), -60.0, 60.0)
+        i = self.saturation_current * (np.exp(x) - 1.0)
+        out[self.anode] += i
+        out[self.cathode] -= i
+
+
+@dataclass
+class Capacitor(Element):
+    """A linear capacitor; open in DC, backward-Euler companion in transient.
+
+    The transient solver rewrites the capacitor current as
+    ``C * (v - v_prev) / dt`` by setting :attr:`companion`.
+    """
+
+    a: str
+    b: str
+    capacitance: float
+    name: str = "C"
+    #: Set by the transient solver: (previous branch voltage [V], dt [s]).
+    companion: tuple[float, float] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError(f"capacitance must be positive, got {self.capacitance}")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.a, self.b)
+
+    def add_currents(self, v: Voltages, out: dict[str, float], t: float) -> None:
+        if self.companion is None:
+            return  # DC: no current through a capacitor.
+        v_prev, dt = self.companion
+        i = self.capacitance * ((v[self.a] - v[self.b]) - v_prev) / dt
+        out[self.a] += i
+        out[self.b] -= i
+
+
+@dataclass
+class MOSFETElement(Element):
+    """A compact-model MOSFET with gate/drain/source/body terminals.
+
+    Wraps :class:`repro.devices.mosfet.MOSFET`; only the channel current
+    is stamped (gate and junction leakages are handled analytically by
+    the leakage models, not inside the nodal simulator).
+    """
+
+    gate: str
+    drain: str
+    source: str
+    body: str
+    model: MOSFET
+    name: str = "M"
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.gate, self.drain, self.source, self.body)
+
+    def add_currents(self, v: Voltages, out: dict[str, float], t: float) -> None:
+        i = float(
+            np.squeeze(
+                self.model.current(
+                    vg=v[self.gate], vd=v[self.drain],
+                    vs=v[self.source], vb=v[self.body],
+                )
+            )
+        )
+        # `current` follows the NMOS convention (positive = drain->source
+        # inside the channel for NMOS).  Current leaving the drain node
+        # into the channel is therefore +i for NMOS; for PMOS the model
+        # already returns the correctly signed value in this convention.
+        sign = self.model.sign
+        out[self.drain] += sign * i
+        out[self.source] -= sign * i

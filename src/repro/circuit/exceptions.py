@@ -1,0 +1,21 @@
+"""Exceptions raised by the circuit simulator."""
+
+from __future__ import annotations
+
+
+class CircuitError(Exception):
+    """Base class for netlist construction and analysis errors."""
+
+
+class ConvergenceError(CircuitError):
+    """The nonlinear solver failed to converge.
+
+    Attributes:
+        residual: infinity norm of the final KCL residual [A].
+        iterations: Newton iterations attempted.
+    """
+
+    def __init__(self, message: str, residual: float, iterations: int) -> None:
+        super().__init__(f"{message} (|f|={residual:.3e} A after {iterations} iters)")
+        self.residual = residual
+        self.iterations = iterations

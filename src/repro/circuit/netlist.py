@@ -1,0 +1,69 @@
+"""Netlist container for the MNA simulator."""
+
+from __future__ import annotations
+
+from repro.circuit.elements import Capacitor, Element, VoltageSource
+from repro.circuit.exceptions import CircuitError
+
+#: The reference node; always 0 V.
+GROUND = "0"
+
+
+class Circuit:
+    """A flat netlist of elements connected at named nodes.
+
+    Node names are arbitrary strings; ``"0"`` (:data:`GROUND`) is the
+    reference node.  Elements are added with :meth:`add`, which returns
+    the element for fluent use::
+
+        ckt = Circuit("divider")
+        ckt.add(VoltageSource("vdd", "0", 1.0))
+        ckt.add(Resistor("vdd", "mid", 1e3))
+        ckt.add(Resistor("mid", "0", 1e3))
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.elements: list[Element] = []
+        self._nodes: dict[str, int] = {GROUND: 0}
+
+    def add(self, element: Element) -> Element:
+        """Add ``element`` to the netlist and register its nodes."""
+        for node in element.nodes:
+            if node not in self._nodes:
+                self._nodes[node] = len(self._nodes)
+        self.elements.append(element)
+        return element
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node names, ground first, in registration order."""
+        return sorted(self._nodes, key=self._nodes.get)
+
+    @property
+    def unknown_nodes(self) -> list[str]:
+        """Node names excluding ground — the KCL unknowns."""
+        return [n for n in self.nodes if n != GROUND]
+
+    @property
+    def voltage_sources(self) -> list[VoltageSource]:
+        """All voltage sources, in netlist order (MNA branch unknowns)."""
+        return [e for e in self.elements if isinstance(e, VoltageSource)]
+
+    @property
+    def capacitors(self) -> list[Capacitor]:
+        """All capacitors, in netlist order."""
+        return [e for e in self.elements if isinstance(e, Capacitor)]
+
+    def validate(self) -> None:
+        """Raise :class:`CircuitError` for a clearly ill-posed netlist."""
+        if not self.elements:
+            raise CircuitError(f"circuit {self.name!r} has no elements")
+        if len(self._nodes) < 2:
+            raise CircuitError(f"circuit {self.name!r} has no non-ground node")
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, {len(self.elements)} elements, "
+            f"{len(self._nodes) - 1} nodes)"
+        )

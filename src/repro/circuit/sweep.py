@@ -1,0 +1,117 @@
+"""DC sweeps and derived curve utilities (VTCs, switching thresholds)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.circuit.dc import solve_dc
+from repro.circuit.elements import MOSFETElement, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.devices.mosfet import MOSFET
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source: VoltageSource,
+    values: np.ndarray,
+    observe: str,
+    initial: dict[str, float] | None = None,
+) -> np.ndarray:
+    """Sweep ``source`` over ``values`` [V] and record node ``observe``.
+
+    Each point is seeded from the previous solution, so the sweep tracks
+    a continuous branch of the DC solution (important for bistable
+    circuits such as cross-coupled inverters).
+    """
+    original = source.voltage
+    out = np.empty(len(values))
+    guess = dict(initial) if initial else None
+    try:
+        for i, value in enumerate(values):
+            source.voltage = float(value)
+            solution = solve_dc(circuit, initial=guess)
+            out[i] = solution[observe]
+            guess = solution.voltages
+    finally:
+        source.voltage = original
+    return out
+
+
+def inverter_vtc(
+    nmos: MOSFET,
+    pmos: MOSFET,
+    vdd: float,
+    vin: np.ndarray,
+    vss: float = 0.0,
+    vbody_n: float = 0.0,
+) -> np.ndarray:
+    """Voltage transfer curve of a CMOS inverter built from two devices.
+
+    Args:
+        nmos: pull-down device (source at ``vss``, body at ``vbody_n``).
+        pmos: pull-up device (source and body at ``vdd``).
+        vdd: supply rail [V].
+        vin: input sweep values [V].
+        vss: NMOS source rail [V] (source bias raises this).
+        vbody_n: NMOS body terminal voltage [V].
+
+    Returns:
+        Output node voltages, same shape as ``vin``.
+    """
+    ckt = Circuit("inverter")
+    vdd_src = VoltageSource("vdd", "0", vdd, name="VDD")
+    vin_src = VoltageSource("in", "0", float(vin[0]), name="VIN")
+    ckt.add(vdd_src)
+    ckt.add(vin_src)
+    ckt.add(VoltageSource("vssn", "0", vss, name="VSS"))
+    ckt.add(VoltageSource("vbn", "0", vbody_n, name="VBN"))
+    ckt.add(MOSFETElement("in", "out", "vssn", "vbn", nmos, name="MN"))
+    ckt.add(MOSFETElement("in", "out", "vdd", "vdd", pmos, name="MP"))
+    return dc_sweep(ckt, vin_src, np.asarray(vin, dtype=float), observe="out",
+                    initial={"out": vdd, "vdd": vdd})
+
+
+def switching_threshold(
+    nmos: MOSFET,
+    pmos: MOSFET,
+    vdd: float,
+    vss: float = 0.0,
+    vbody_n: float = 0.0,
+    tolerance: float = 1e-6,
+) -> float:
+    """Inverter switching threshold VM [V]: the input where vout == vin.
+
+    Found by bisection on the (monotone decreasing) ``vout(vin) - vin``
+    curve evaluated with single-point DC solves.
+    """
+    def vout_minus_vin(v: float) -> float:
+        out = inverter_vtc(nmos, pmos, vdd, np.array([v]), vss=vss,
+                           vbody_n=vbody_n)
+        return float(out[0]) - v
+
+    lo, hi = vss, vdd
+    f_lo = vout_minus_vin(lo)
+    f_hi = vout_minus_vin(hi)
+    if f_lo < 0 or f_hi > 0:
+        raise ValueError("inverter VTC does not bracket a switching threshold")
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if vout_minus_vin(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def sweep_parameter(
+    build: Callable[[float], Circuit],
+    values: np.ndarray,
+    observe: str,
+) -> np.ndarray:
+    """Solve a freshly built circuit per parameter value; record a node."""
+    out = np.empty(len(values))
+    for i, value in enumerate(values):
+        out[i] = solve_dc(build(float(value)))[observe]
+    return out

@@ -1,0 +1,98 @@
+"""Backward-Euler transient analysis.
+
+Capacitors are replaced by their backward-Euler companion models and the
+DC Newton solver is reused at each timestep.  Backward Euler is only
+first-order accurate but unconditionally stable, which is the right
+trade-off for the stiff, strongly nonlinear cell circuits this engine
+simulates (bitline discharge, cell flip transients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.dc import DCSolution, solve_dc
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Time-domain waveforms from :func:`solve_transient`.
+
+    Attributes:
+        times: sample times [s], shape (n,).
+        voltages: node name -> waveform array [V], shape (n,).
+    """
+
+    times: np.ndarray
+    voltages: dict[str, np.ndarray]
+
+    def __getitem__(self, node: str) -> np.ndarray:
+        return self.voltages[node]
+
+    def crossing_time(self, node: str, level: float, rising: bool = True) -> float:
+        """First time the ``node`` waveform crosses ``level`` [V].
+
+        Linearly interpolates between samples.  Raises ``ValueError`` if
+        the waveform never crosses.
+        """
+        w = self.voltages[node]
+        if rising:
+            hits = np.nonzero((w[:-1] < level) & (w[1:] >= level))[0]
+        else:
+            hits = np.nonzero((w[:-1] > level) & (w[1:] <= level))[0]
+        if hits.size == 0:
+            direction = "rising" if rising else "falling"
+            raise ValueError(f"node {node!r} never crosses {level} V ({direction})")
+        i = int(hits[0])
+        t0, t1 = self.times[i], self.times[i + 1]
+        v0, v1 = w[i], w[i + 1]
+        return float(t0 + (level - v0) * (t1 - t0) / (v1 - v0))
+
+
+def solve_transient(
+    circuit: Circuit,
+    t_stop: float,
+    dt: float,
+    initial: dict[str, float] | None = None,
+) -> TransientResult:
+    """Integrate ``circuit`` from 0 to ``t_stop`` with fixed step ``dt``.
+
+    The initial state is the DC operating point at t = 0 seeded from
+    ``initial``; capacitor voltages start from that operating point.
+    """
+    if t_stop <= 0 or dt <= 0:
+        raise ValueError("t_stop and dt must be positive")
+    times = np.arange(0.0, t_stop + 0.5 * dt, dt)
+    capacitors = circuit.capacitors
+
+    # Operating point at t=0 with capacitors open.
+    for cap in capacitors:
+        cap.companion = None
+    op = solve_dc(circuit, initial=initial, t=0.0)
+    node_names = circuit.nodes
+    waves = {name: np.empty_like(times) for name in node_names}
+    for name in node_names:
+        waves[name][0] = op.voltages[name]
+
+    previous = op
+    try:
+        for step, t in enumerate(times[1:], start=1):
+            for cap in capacitors:
+                v_prev = previous.voltages[cap.a] - previous.voltages[cap.b]
+                cap.companion = (v_prev, dt)
+            previous = solve_dc(circuit, initial=previous.voltages, t=float(t))
+            for name in node_names:
+                waves[name][step] = previous.voltages[name]
+    finally:
+        for cap in capacitors:
+            cap.companion = None
+
+    return TransientResult(times=times, voltages=waves)
+
+
+def operating_point(circuit: Circuit, **kwargs) -> DCSolution:
+    """Alias of :func:`repro.circuit.dc.solve_dc` for readability."""
+    return solve_dc(circuit, **kwargs)

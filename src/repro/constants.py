@@ -1,0 +1,38 @@
+"""Physical constants and small helpers shared across the library.
+
+All quantities in this library are expressed in SI units (volts, amperes,
+meters, farads, kelvin) unless a name explicitly says otherwise.
+"""
+
+from __future__ import annotations
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Absolute zero offset for Celsius conversion [K].
+CELSIUS_OFFSET = 273.15
+
+#: Default junction temperature used by the paper's experiments (27 C) [K].
+ROOM_TEMPERATURE_K = 27.0 + CELSIUS_OFFSET
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Return the thermal voltage kT/q [V] at ``temperature_k`` kelvin.
+
+    >>> round(thermal_voltage(300.15), 5)
+    0.02587
+    """
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k} K")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+def celsius_to_kelvin(temperature_c: float) -> float:
+    """Convert a Celsius temperature to kelvin."""
+    kelvin = temperature_c + CELSIUS_OFFSET
+    if kelvin <= 0:
+        raise ValueError(f"temperature {temperature_c} C is below absolute zero")
+    return kelvin

@@ -1,0 +1,74 @@
+"""The paper's primary contribution: post-silicon self-repair and
+self-adaptive tuning for low-power, variation-tolerant SRAM.
+
+Two systems, matching the paper's Sections III and IV:
+
+* **Self-repairing SRAM using body bias**
+  (:mod:`repro.core.monitor`, :mod:`repro.core.body_bias`): an on-chip
+  leakage monitor senses total array leakage, two comparators bin the
+  die's inter-die corner, and a body-bias generator applies
+  RBB / ZBB / FBB to simultaneously improve parametric yield and tighten
+  the leakage spread.
+
+* **Self-adaptive source biasing**
+  (:mod:`repro.core.march`, :mod:`repro.core.source_bias`): a BIST engine
+  runs March tests with standby dwells over the functional array while a
+  counter/DAC ramps the source-line bias; the largest VSB whose faulty
+  columns still fit in the redundancy becomes VSB(adaptive), minimising
+  standby leakage without losing hold yield.
+
+:mod:`repro.core.tables` provides interpolated failure-probability
+tables so the yield-vs-sigma experiments run in seconds rather than
+hours.
+"""
+
+from repro.core.body_bias import (
+    BodyBiasGenerator,
+    RepairOutcome,
+    SelfRepairingSRAM,
+)
+from repro.core.delay_monitor import CombinedMonitor, DelayMonitor, RingOscillator
+from repro.core.lot import DieRecord, LotReport, LotSimulator
+from repro.core.march import (
+    MARCH_B,
+    MARCH_CM,
+    MARCH_X,
+    MATS_PLUS,
+    MarchElement,
+    MarchTest,
+)
+from repro.core.monitor import Comparator, LeakageMonitor, MonitorReadout
+from repro.core.source_bias import (
+    BISTController,
+    SelfAdaptiveSourceBias,
+    SourceBiasDAC,
+)
+from repro.core.tables import FailureProbabilityTable
+from repro.core.tuning import PostSiliconTuner, TuningOutcome
+
+__all__ = [
+    "LeakageMonitor",
+    "Comparator",
+    "MonitorReadout",
+    "BodyBiasGenerator",
+    "SelfRepairingSRAM",
+    "RepairOutcome",
+    "MarchElement",
+    "MarchTest",
+    "MATS_PLUS",
+    "MARCH_X",
+    "MARCH_CM",
+    "MARCH_B",
+    "RingOscillator",
+    "DelayMonitor",
+    "CombinedMonitor",
+    "SourceBiasDAC",
+    "BISTController",
+    "SelfAdaptiveSourceBias",
+    "FailureProbabilityTable",
+    "PostSiliconTuner",
+    "TuningOutcome",
+    "LotSimulator",
+    "LotReport",
+    "DieRecord",
+]

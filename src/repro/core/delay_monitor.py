@@ -1,0 +1,203 @@
+"""Delay-based corner sensing (the paper's reference [4] companion).
+
+The self-repairing SRAM of the paper senses the inter-die corner through
+*leakage*; its companion work (Mukhopadhyay et al., ITC 2005 — the
+paper's [4]) adds a *delay* monitor: a replica critical path / ring
+oscillator whose frequency tracks the die's drive strength.  The two
+sensors are complementary — leakage is exponentially sensitive to the
+corner but also to temperature, delay is only linearly sensitive to
+both — and a combined decision is more robust.
+
+This module provides:
+
+* :class:`RingOscillator` — an N-stage inverter ring with an analytic
+  stage-delay model (cross-validated against a transient MNA simulation
+  of the same ring in the test suite);
+* :class:`DelayMonitor` — bins a die from the measured ring period;
+* :class:`CombinedMonitor` — majority/priority fusion of the leakage
+  and delay decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.monitor import CornerBin, LeakageMonitor
+from repro.devices.factory import make_nmos, make_pmos
+from repro.technology.corners import ProcessCorner
+from repro.technology.parameters import TechnologyParameters
+
+
+@dataclass(frozen=True)
+class RingOscillator:
+    """An N-stage CMOS inverter ring oscillator.
+
+    Stage delay uses the standard effective-current model: the load
+    charges/discharges by VDD/2 before the next stage trips, so
+
+        t_stage ~ C_load * (VDD / 2) / I_eff
+
+    with ``I_eff`` the average of the saturation current at full drive
+    and at half output swing.  The period is ``2 * N * t_stage``
+    (each stage flips twice per cycle).  NMOS body bias modulates the
+    pull-down strength — FBB speeds the ring up, RBB slows it down —
+    which is exactly the observable the delay monitor bins on.
+
+    Attributes:
+        tech: technology card.
+        n_stages: odd number of inverter stages.
+        wn / wp: inverter device widths [m].
+        c_load: per-stage load capacitance [F].
+        slew_factor: multiplier accounting for the finite input slew and
+            short-circuit current a step-input model ignores; the
+            default is calibrated against a transient MNA simulation of
+            the same ring (see the test suite).
+    """
+
+    tech: TechnologyParameters
+    n_stages: int = 11
+    wn: float = 200e-9
+    wp: float = 400e-9
+    c_load: float = 2e-15
+    slew_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.n_stages < 3 or self.n_stages % 2 == 0:
+            raise ValueError("n_stages must be an odd integer >= 3")
+        if self.c_load <= 0:
+            raise ValueError("c_load must be positive")
+
+    def _effective_current(self, device, vdd: float, vbody: float) -> float:
+        """Average drive over the first half-swing [A]."""
+        if device.polarity == "nmos":
+            i_full = device.current(vg=vdd, vd=vdd, vs=0.0, vb=vbody)
+            i_half = device.current(vg=vdd, vd=vdd / 2, vs=0.0, vb=vbody)
+        else:
+            i_full = device.current(vg=0.0, vd=0.0, vs=vdd, vb=vdd)
+            i_half = device.current(vg=0.0, vd=vdd / 2, vs=vdd, vb=vdd)
+        return 0.5 * float(np.squeeze(i_full) + np.squeeze(i_half))
+
+    def stage_delay(
+        self, corner: ProcessCorner, vbody_n: float = 0.0,
+        vdd: float | None = None,
+    ) -> float:
+        """Average of the rise and fall stage delays [s]."""
+        vdd = vdd if vdd is not None else self.tech.vdd
+        nmos = make_nmos(self.tech, self.wn, dvt=corner.dvt_inter)
+        pmos = make_pmos(self.tech, self.wp, dvt=corner.dvt_inter)
+        i_n = self._effective_current(nmos, vdd, vbody_n)
+        i_p = self._effective_current(pmos, vdd, 0.0)
+        t_fall = self.c_load * (vdd / 2.0) / i_n
+        t_rise = self.c_load * (vdd / 2.0) / i_p
+        return self.slew_factor * 0.5 * (t_fall + t_rise)
+
+    def period(
+        self, corner: ProcessCorner, vbody_n: float = 0.0,
+        vdd: float | None = None,
+    ) -> float:
+        """Oscillation period [s] at the given corner and body bias."""
+        return 2.0 * self.n_stages * self.stage_delay(corner, vbody_n, vdd)
+
+    def frequency(
+        self, corner: ProcessCorner, vbody_n: float = 0.0,
+        vdd: float | None = None,
+    ) -> float:
+        """Oscillation frequency [Hz]."""
+        return 1.0 / self.period(corner, vbody_n, vdd)
+
+
+class DelayMonitor:
+    """Bins a die from its replica ring-oscillator period.
+
+    Slow ring (long period) -> HIGH_VT -> FBB; fast ring -> LOW_VT ->
+    RBB.  References are calibrated at the same corner boundaries as
+    the leakage monitor, so the two sensors implement the same policy
+    through different observables.
+    """
+
+    def __init__(
+        self,
+        oscillator: RingOscillator,
+        period_fast: float,
+        period_slow: float,
+    ) -> None:
+        if period_fast >= period_slow:
+            raise ValueError(
+                "period_fast must be below period_slow "
+                f"({period_fast} >= {period_slow})"
+            )
+        self.oscillator = oscillator
+        self.period_fast = period_fast
+        self.period_slow = period_slow
+
+    @classmethod
+    def calibrate(
+        cls,
+        tech: TechnologyParameters,
+        bin_boundary: float | tuple[float, float] = (0.035, 0.055),
+        oscillator: RingOscillator | None = None,
+    ) -> "DelayMonitor":
+        """Place the period references at the corner boundaries.
+
+        ``bin_boundary`` may be a half-width or a ``(low, high)`` pair;
+        the default matches the leakage monitor's asymmetric boundaries
+        (RBB from -35 mV, FBB only from +55 mV) so the two sensors
+        implement the same repair policy.
+        """
+        oscillator = (
+            oscillator if oscillator is not None else RingOscillator(tech)
+        )
+        if isinstance(bin_boundary, (int, float)):
+            low, high = float(bin_boundary), float(bin_boundary)
+        else:
+            low, high = bin_boundary
+        if low <= 0 or high <= 0:
+            raise ValueError("bin boundaries must be positive half-widths")
+        return cls(
+            oscillator,
+            period_fast=oscillator.period(ProcessCorner(-low)),
+            period_slow=oscillator.period(ProcessCorner(+high)),
+        )
+
+    def classify_period(self, period: float) -> CornerBin:
+        """Bin a die from a measured ring period [s]."""
+        if period < self.period_fast:
+            return CornerBin.LOW_VT
+        if period > self.period_slow:
+            return CornerBin.HIGH_VT
+        return CornerBin.NOMINAL
+
+    def classify(self, corner: ProcessCorner) -> CornerBin:
+        """Measure the replica at ``corner`` and bin the die."""
+        return self.classify_period(self.oscillator.period(corner))
+
+
+class CombinedMonitor:
+    """Leakage + delay fusion (the companion work's robust scheme).
+
+    Both sensors vote; agreement wins outright.  On disagreement the
+    die is left at ZBB (NOMINAL): applying a bias on conflicting
+    evidence risks making the die worse, and disagreement typically
+    means an environmental disturbance (e.g. temperature) rather than a
+    true corner shift — leakage is exponential in temperature while
+    delay barely moves, so a hot nominal die reads "leaky but not
+    fast", which this policy correctly refuses to RBB.
+    """
+
+    def __init__(
+        self, leakage_monitor: LeakageMonitor, delay_monitor: DelayMonitor
+    ) -> None:
+        self.leakage_monitor = leakage_monitor
+        self.delay_monitor = delay_monitor
+
+    def classify(
+        self, measured_leakage: float, measured_period: float
+    ) -> CornerBin:
+        """Fuse one leakage and one period measurement into a bin."""
+        by_leakage = self.leakage_monitor.classify(measured_leakage)
+        by_delay = self.delay_monitor.classify_period(measured_period)
+        if by_leakage is by_delay:
+            return by_leakage
+        return CornerBin.NOMINAL

@@ -1,0 +1,209 @@
+"""Production-lot simulation of the full post-silicon flow.
+
+The downstream view of everything in this library: draw a lot of dies
+from the inter-die distribution and push each through the paper's
+manufacturing flow —
+
+1. **monitor & repair**: measure the array leakage (a CLT draw for the
+   die), bin the corner, apply the body bias;
+2. **parametric test**: is the die's (post-bias) cell failure rate
+   repairable by the column redundancy?  Scrap otherwise;
+3. **ASB calibration**: find the die's standby source bias (statistical
+   BIST model at lot scale);
+4. **final binning**: good-as-is / repaired / scrap, with per-die
+   standby power.
+
+The result is what a product engineer reads off a lot report: yield by
+bin, the power distribution of shipped parts, and the average BIST
+effort.  Exercised in ``examples/full_post_silicon_tuning.py`` and the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.body_bias import SelfRepairingSRAM
+from repro.core.monitor import CornerBin
+from repro.core.source_bias import SourceBiasDAC
+from repro.power.standby import die_standby_power
+from repro.sram.metrics import OperatingConditions
+from repro.technology.corners import ProcessCorner
+from repro.technology.variation import InterDieDistribution
+
+
+@dataclass(frozen=True)
+class DieRecord:
+    """One die's journey through the flow.
+
+    Attributes:
+        corner: true inter-die shift [V] (unknown to the flow).
+        bin: the monitor's corner classification.
+        vbody: applied body bias [V].
+        vsb: calibrated standby source bias [V]; 0 if scrapped.
+        p_memory: post-repair memory failure probability.
+        shipped: passed the parametric test.
+        standby_power: sampled standby power [W] at the final point.
+    """
+
+    corner: float
+    bin: CornerBin
+    vbody: float
+    vsb: float
+    p_memory: float
+    shipped: bool
+    standby_power: float
+
+
+@dataclass
+class LotReport:
+    """Aggregate statistics of a simulated lot."""
+
+    dies: list[DieRecord] = field(default_factory=list)
+
+    @property
+    def n_dies(self) -> int:
+        return len(self.dies)
+
+    @property
+    def yield_fraction(self) -> float:
+        """Shipped dies / total."""
+        if not self.dies:
+            return 0.0
+        return sum(d.shipped for d in self.dies) / self.n_dies
+
+    @property
+    def repaired_fraction(self) -> float:
+        """Shipped dies that needed a non-zero body bias."""
+        shipped = [d for d in self.dies if d.shipped]
+        if not shipped:
+            return 0.0
+        return sum(d.vbody != 0.0 for d in shipped) / len(shipped)
+
+    def shipped_power(self) -> np.ndarray:
+        """Standby power [W] of every shipped die."""
+        return np.array(
+            [d.standby_power for d in self.dies if d.shipped]
+        )
+
+    def rows(self) -> list[str]:
+        """A lot-report summary table."""
+        power = self.shipped_power()
+        lines = [
+            f"lot size {self.n_dies}: yield {100 * self.yield_fraction:.1f}%"
+            f" ({100 * self.repaired_fraction:.0f}% of shipped parts"
+            " needed body-bias repair)",
+        ]
+        if power.size:
+            lines.append(
+                f"shipped standby power: mean {power.mean() * 1e6:.1f} uW, "
+                f"p95 {np.quantile(power, 0.95) * 1e6:.1f} uW"
+            )
+        by_bin: dict[str, int] = {}
+        for die in self.dies:
+            by_bin[die.bin.value] = by_bin.get(die.bin.value, 0) + 1
+        lines.append(
+            "corner bins: " + ", ".join(
+                f"{name}={count}" for name, count in sorted(by_bin.items())
+            )
+        )
+        return lines
+
+
+class LotSimulator:
+    """Simulates a lot of dies through monitor -> repair -> test -> ASB.
+
+    Args:
+        pipeline: the self-repairing pipeline (supplies the monitor, the
+            bias generator, the failure tables, and the organisation).
+        hold_table: the ASB hold-probability surface
+            (:class:`repro.experiments.asb.HoldProbabilityTable`).
+        dac: source-bias DAC.
+        asb_conditions: standby conditions for power accounting.
+        p_memory_limit: scrap threshold on the post-repair memory
+            failure probability (a die whose repaired failure odds
+            exceed this is not shipped).
+    """
+
+    def __init__(
+        self,
+        pipeline: SelfRepairingSRAM,
+        hold_table,
+        dac: SourceBiasDAC | None = None,
+        asb_conditions: OperatingConditions | None = None,
+        p_memory_limit: float = 0.05,
+    ) -> None:
+        self.pipeline = pipeline
+        self.hold_table = hold_table
+        self.dac = dac if dac is not None else SourceBiasDAC()
+        self.asb_conditions = (
+            asb_conditions
+            if asb_conditions is not None
+            else OperatingConditions.source_biased_standby(pipeline.tech)
+        )
+        if not 0.0 < p_memory_limit < 1.0:
+            raise ValueError("p_memory_limit must be in (0, 1)")
+        self.p_memory_limit = p_memory_limit
+        self._power_cache: dict[tuple[float, float], object] = {}
+
+    def _power(self, corner: float, vsb: float):
+        key = (round(corner, 3), round(vsb, 3))
+        if key not in self._power_cache:
+            self._power_cache[key] = die_standby_power(
+                self.pipeline.tech,
+                self.pipeline.geometry,
+                ProcessCorner(key[0]),
+                self.pipeline.organization.n_cells,
+                self.asb_conditions.with_source_bias(key[1]),
+                n_samples=4_000,
+                rng=np.random.default_rng((101, hash(key) & 0xFFFFFF)),
+            )
+        return self._power_cache[key]
+
+    def process_die(
+        self, corner: ProcessCorner, rng: np.random.Generator
+    ) -> DieRecord:
+        """Run one die through the complete flow."""
+        # Stage 1: monitor (noisy per-die measurement) and repair.
+        vbody, bin, _ = self.pipeline.decide_bias(corner, rng)
+        quantised = ProcessCorner(round(corner.dvt_inter, 3))
+        p_memory = self.pipeline.memory_failure_probability(quantised, vbody)
+        shipped = p_memory <= self.p_memory_limit
+        # Stage 2: ASB calibration only for shipped dies.
+        vsb = 0.0
+        if shipped:
+            vsb = self.hold_table.adaptive_vsb(
+                quantised.dvt_inter, self.pipeline.organization, self.dac
+            )
+        power = float(
+            self._power(quantised.dvt_inter, vsb).sample(rng, 1)[0]
+        )
+        return DieRecord(
+            corner=corner.dvt_inter,
+            bin=bin,
+            vbody=vbody,
+            vsb=vsb,
+            p_memory=p_memory,
+            shipped=shipped,
+            standby_power=power,
+        )
+
+    def run(
+        self,
+        n_dies: int,
+        sigma_inter: float,
+        seed: int = 0,
+    ) -> LotReport:
+        """Simulate a lot of ``n_dies`` from a ``sigma_inter`` process."""
+        if n_dies <= 0:
+            raise ValueError(f"n_dies must be positive, got {n_dies}")
+        rng = np.random.default_rng(seed)
+        shifts = InterDieDistribution(sigma_inter).sample(rng, n_dies)
+        report = LotReport()
+        for shift in shifts:
+            report.dies.append(
+                self.process_die(ProcessCorner(float(shift)), rng)
+            )
+        return report

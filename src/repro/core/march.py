@@ -1,0 +1,176 @@
+"""March memory-test algorithms for the BIST engine (paper Fig. 7).
+
+A March test is a sequence of *March elements*; each element visits
+every address in a fixed order (ascending, descending, or either) and
+performs its read/write operations at each address before moving on.
+The classic notation ``{UP(r0,w1)}`` reads "ascending through all
+addresses: read expecting 0, then write 1".
+
+:class:`MarchTest.run` drives a
+:class:`~repro.sram.array.FunctionalMemoryArray` row by row in the
+element's address order, tracking the value a fault-free cell would
+hold and recording every observed mismatch.  An optional standby dwell
+between elements (:meth:`MarchTest.run_with_retention`) turns any March
+test into a data-retention test — the mode the self-adaptive source-bias
+calibration uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.sram.array import FunctionalMemoryArray
+
+#: Address orders a March element may specify.
+UP, DOWN, EITHER = "up", "down", "either"
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One March element: an address order plus a list of operations.
+
+    Attributes:
+        direction: ``"up"``, ``"down"`` or ``"either"``.
+        operations: tuple of (op, bit) pairs, op in {"r", "w"} — e.g.
+            ``(("r", 0), ("w", 1))`` is the classic ``(r0, w1)``.
+    """
+
+    direction: str
+    operations: tuple[tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if self.direction not in (UP, DOWN, EITHER):
+            raise ValueError(f"bad direction {self.direction!r}")
+        if not self.operations:
+            raise ValueError("a March element needs at least one operation")
+        for op, bit in self.operations:
+            if op not in ("r", "w") or bit not in (0, 1):
+                raise ValueError(f"bad operation {(op, bit)!r}")
+
+    def row_order(self, rows: int) -> Iterable[int]:
+        """Row visit order for this element."""
+        if self.direction == DOWN:
+            return range(rows - 1, -1, -1)
+        return range(rows)
+
+    def __str__(self) -> str:
+        arrow = {UP: "UP", DOWN: "DOWN", EITHER: "ANY"}[self.direction]
+        ops = ",".join(f"{op}{bit}" for op, bit in self.operations)
+        return f"{arrow}({ops})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named sequence of March elements."""
+
+    name: str
+    elements: tuple[MarchElement, ...]
+
+    @property
+    def operation_count(self) -> int:
+        """Operations per cell (the usual March complexity metric)."""
+        return sum(len(e.operations) for e in self.elements)
+
+    def run(self, array: FunctionalMemoryArray) -> np.ndarray:
+        """Execute the test; return the boolean mismatch map (rows x cols).
+
+        The expected-value tracker follows the *specified* writes (what a
+        good cell would hold); every read compares the observed word
+        against it.
+        """
+        rows, cols = array.shape
+        expected = np.zeros((rows, cols), dtype=bool)
+        fails = np.zeros((rows, cols), dtype=bool)
+        for element in self.elements:
+            for row in element.row_order(rows):
+                for op, bit in element.operations:
+                    if op == "w":
+                        array.write_row(row, bool(bit))
+                        expected[row] = bool(bit)
+                    else:
+                        observed = array.read_row(row)
+                        fails[row] |= observed != expected[row]
+        return fails
+
+    def run_with_retention(
+        self, array: FunctionalMemoryArray, vsb: float
+    ) -> np.ndarray:
+        """Retention variant: a standby dwell precedes every read element.
+
+        Both data backgrounds are exercised (the March elements
+        themselves alternate 0/1 backgrounds), so cells that lose either
+        polarity at source bias ``vsb`` are caught.
+        """
+        rows, cols = array.shape
+        expected = np.zeros((rows, cols), dtype=bool)
+        fails = np.zeros((rows, cols), dtype=bool)
+        for element in self.elements:
+            if any(op == "r" for op, _ in element.operations):
+                array.standby_dwell(vsb)
+            for row in element.row_order(rows):
+                for op, bit in element.operations:
+                    if op == "w":
+                        array.write_row(row, bool(bit))
+                        expected[row] = bool(bit)
+                    else:
+                        observed = array.read_row(row)
+                        fails[row] |= observed != expected[row]
+        return fails
+
+
+def _element(direction: str, *ops: str) -> MarchElement:
+    parsed = tuple((op[0], int(op[1])) for op in ops)
+    return MarchElement(direction, parsed)
+
+
+#: MATS+: {ANY(w0); UP(r0,w1); DOWN(r1,w0)} — 5N, detects AFs and SAFs.
+MATS_PLUS = MarchTest(
+    "MATS+",
+    (
+        _element(EITHER, "w0"),
+        _element(UP, "r0", "w1"),
+        _element(DOWN, "r1", "w0"),
+    ),
+)
+
+#: March X: {ANY(w0); UP(r0,w1); DOWN(r1,w0); ANY(r0)} — 6N, adds TFs.
+MARCH_X = MarchTest(
+    "March X",
+    (
+        _element(EITHER, "w0"),
+        _element(UP, "r0", "w1"),
+        _element(DOWN, "r1", "w0"),
+        _element(EITHER, "r0"),
+    ),
+)
+
+#: March C-: {ANY(w0); UP(r0,w1); UP(r1,w0); DOWN(r0,w1); DOWN(r1,w0);
+#: ANY(r0)} — 10N, detects unlinked CFs as well.
+MARCH_CM = MarchTest(
+    "March C-",
+    (
+        _element(EITHER, "w0"),
+        _element(UP, "r0", "w1"),
+        _element(UP, "r1", "w0"),
+        _element(DOWN, "r0", "w1"),
+        _element(DOWN, "r1", "w0"),
+        _element(EITHER, "r0"),
+    ),
+)
+
+#: March B: {ANY(w0); UP(r0,w1,r1,w0,r0,w1); UP(r1,w0,w1);
+#: DOWN(r1,w0,w1,w0); DOWN(r0,w1,w0)} — 17N, adds linked-fault coverage
+#: and write-recovery stress (multiple writes per visit).
+MARCH_B = MarchTest(
+    "March B",
+    (
+        _element(EITHER, "w0"),
+        _element(UP, "r0", "w1", "r1", "w0", "r0", "w1"),
+        _element(UP, "r1", "w0", "w1"),
+        _element(DOWN, "r1", "w0", "w1", "w0"),
+        _element(DOWN, "r0", "w1", "w0"),
+    ),
+)

@@ -1,0 +1,176 @@
+"""On-chip leakage monitor and corner-binning comparators (paper Fig. 4a).
+
+The monitor sits in the supply path of the array during a calibration
+cycle (bypassed in normal operation to avoid the IR drop) and produces a
+voltage proportional to the array's total leakage.  Two comparators test
+the output against references VREF1 > VREF2:
+
+* ``Vout > VREF1``           -> the die leaks like a low-Vt corner -> RBB
+* ``VREF2 <= Vout <= VREF1`` -> nominal                            -> ZBB
+* ``Vout < VREF2``           -> high-Vt corner                     -> FBB
+
+Why this works even under heavy intra-die RDF is the paper's Fig. 3 /
+central-limit argument: the *array* leakage distribution at each
+inter-die corner has relative sigma ~ 1/sqrt(N_cells), so the corner
+populations separate cleanly for any realistic array size.
+:meth:`LeakageMonitor.calibrate_references` places the references at the
+array leakage of the configured corner boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.sram.cell import CellGeometry, SixTCell, sample_cell_dvt
+from repro.sram.leakage import cell_leakage
+from repro.technology.corners import ProcessCorner
+from repro.technology.parameters import TechnologyParameters
+
+
+class CornerBin(Enum):
+    """The three-way die classification of the self-repairing scheme."""
+
+    LOW_VT = "low_vt"
+    NOMINAL = "nominal"
+    HIGH_VT = "high_vt"
+
+
+@dataclass(frozen=True)
+class MonitorReadout:
+    """One monitor measurement.
+
+    Attributes:
+        leakage: the measured array leakage [A].
+        vout: monitor output voltage [V].
+        bin: the comparator decision.
+    """
+
+    leakage: float
+    vout: float
+    bin: CornerBin
+
+
+@dataclass(frozen=True)
+class Comparator:
+    """An ideal comparator with a configurable input-referred offset."""
+
+    vref: float
+    offset: float = 0.0
+
+    def compare(self, vin: float) -> bool:
+        """True when ``vin`` exceeds the (offset-corrected) reference."""
+        return vin > self.vref + self.offset
+
+
+class LeakageMonitor:
+    """Linear transimpedance leakage monitor with corner binning.
+
+    Args:
+        r_sense: transimpedance [V/A] of the monitor (Vout = R * I).
+        vref_low_vt: output level above which the die bins LOW_VT [V].
+        vref_high_vt: output level below which the die bins HIGH_VT [V].
+        comparator_offset: input-referred offset [V] applied to both
+            comparators (sensitivity-analysis knob).
+    """
+
+    def __init__(
+        self,
+        r_sense: float,
+        vref_low_vt: float,
+        vref_high_vt: float,
+        comparator_offset: float = 0.0,
+    ) -> None:
+        if r_sense <= 0:
+            raise ValueError(f"r_sense must be positive, got {r_sense}")
+        if vref_low_vt <= vref_high_vt:
+            raise ValueError(
+                "vref_low_vt must exceed vref_high_vt "
+                f"({vref_low_vt} <= {vref_high_vt})"
+            )
+        self.r_sense = r_sense
+        self.upper = Comparator(vref_low_vt, comparator_offset)
+        self.lower = Comparator(vref_high_vt, comparator_offset)
+
+    def output_voltage(self, leakage: float) -> float:
+        """Monitor output [V] for a measured ``leakage`` [A]."""
+        return self.r_sense * leakage
+
+    def classify(self, leakage: float) -> CornerBin:
+        """Bin a die from its measured array leakage."""
+        vout = self.output_voltage(leakage)
+        if self.upper.compare(vout):
+            return CornerBin.LOW_VT
+        if not self.lower.compare(vout):
+            return CornerBin.HIGH_VT
+        return CornerBin.NOMINAL
+
+    def read(self, leakage: float) -> MonitorReadout:
+        """Measure ``leakage`` and return the full readout."""
+        return MonitorReadout(
+            leakage=leakage,
+            vout=self.output_voltage(leakage),
+            bin=self.classify(leakage),
+        )
+
+    @classmethod
+    def calibrate_references(
+        cls,
+        tech: TechnologyParameters,
+        geometry: CellGeometry,
+        n_cells: int,
+        bin_boundary: float | tuple[float, float] = (0.035, 0.055),
+        r_sense: float = 1e4,
+        n_samples: int = 20_000,
+        seed: int = 11,
+        comparator_offset: float = 0.0,
+    ) -> "LeakageMonitor":
+        """Build a monitor whose references sit at the corner boundaries.
+
+        The reference for each comparator is the *mean* array leakage
+        of a die at the bin-boundary corner.  ``bin_boundary`` may be a
+        single half-width or a ``(low, high)`` pair; the default is
+        asymmetric — RBB from -35 mV (where redundancy stops absorbing
+        the read bathtub) but FBB only from +55 mV, because the
+        NMOS-only forward bias does not pay for itself on mildly slow
+        dies (it erodes the read margin before the access gain
+        matters).  References come from cell-level Monte Carlo and the
+        CLT scaling ``L_MEM = N * mean``.
+
+        Args:
+            tech: technology card.
+            geometry: cell geometry.
+            n_cells: cells in the monitored array.
+            bin_boundary: half-width of the nominal corner bin [V].
+            r_sense: monitor transimpedance [V/A].
+            n_samples: Monte-Carlo cells per boundary estimate.
+            seed: RNG seed.
+            comparator_offset: comparator offset [V].
+        """
+        if n_cells <= 0:
+            raise ValueError(f"n_cells must be positive, got {n_cells}")
+        if isinstance(bin_boundary, (int, float)):
+            low_boundary = high_boundary = float(bin_boundary)
+        else:
+            low_boundary, high_boundary = bin_boundary
+        if low_boundary <= 0 or high_boundary <= 0:
+            raise ValueError("bin boundaries must be positive half-widths")
+        refs = {}
+        for boundary, sign, name in (
+            (low_boundary, -1.0, "low"), (high_boundary, +1.0, "high")
+        ):
+            rng = np.random.default_rng((seed, int(sign > 0)))
+            dvt = sample_cell_dvt(tech, geometry, rng, n_samples)
+            cell = SixTCell(
+                tech, geometry, ProcessCorner(sign * boundary), dvt
+            )
+            mean_cell = float(np.mean(cell_leakage(cell).total))
+            refs[name] = r_sense * n_cells * mean_cell
+        return cls(
+            r_sense=r_sense,
+            vref_low_vt=refs["low"],
+            vref_high_vt=refs["high"],
+            comparator_offset=comparator_offset,
+        )

@@ -1,0 +1,255 @@
+"""Self-adaptive source biasing via BIST (paper Section IV, Figs. 7-10).
+
+The calibration hardware of the paper's Fig. 7, modelled component by
+component:
+
+* :class:`SourceBiasDAC` — a counter-driven D/A converter generating the
+  source-line voltage from a digital code;
+* :class:`RegisterBank` — one sticky bit per column recording whether
+  any row of that column ever failed, plus the faulty-column counter;
+* :class:`BISTController` — runs a March test (with standby dwells) over
+  the functional array at each counter value, updates the register bank,
+  and stops when the faulty columns exceed the redundant columns.
+
+:class:`SelfAdaptiveSourceBias` wraps the calibration loop: the counter
+ramps VSB upward; the last code whose cumulative faulty-column count is
+still repairable becomes VSB(adaptive).  Dies at leaky corners stop
+early (their retention gives out sooner) — exactly the per-die
+adaptation the paper exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.march import MARCH_X, MarchTest
+from repro.sram.array import FunctionalMemoryArray
+
+
+@dataclass(frozen=True)
+class SourceBiasDAC:
+    """Counter-driven source-bias generator.
+
+    Attributes:
+        bits: counter/DAC resolution.
+        full_scale: VSB at the all-ones code [V].
+    """
+
+    bits: int = 7
+    full_scale: float = 0.635
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if self.full_scale <= 0:
+            raise ValueError(f"full_scale must be positive, got {self.full_scale}")
+
+    @property
+    def n_codes(self) -> int:
+        """Number of distinct codes."""
+        return 1 << self.bits
+
+    @property
+    def step(self) -> float:
+        """VSB increment per code [V]."""
+        return self.full_scale / (self.n_codes - 1)
+
+    def voltage(self, code: int) -> float:
+        """VSB [V] for a counter value."""
+        if not 0 <= code < self.n_codes:
+            raise ValueError(f"code {code} out of range for {self.bits} bits")
+        return code * self.step
+
+    def code_for(self, voltage: float) -> int:
+        """Nearest code not exceeding ``voltage`` (clamped)."""
+        code = int(np.floor(voltage / self.step + 1e-12))
+        return int(np.clip(code, 0, self.n_codes - 1))
+
+
+class RegisterBank:
+    """The 1 x NC faulty-column register bank plus its counter.
+
+    A register bit sets (and stays set) when a fault is detected in any
+    row of its column; the counter reports how many registers are set.
+    """
+
+    def __init__(self, n_columns: int) -> None:
+        if n_columns <= 0:
+            raise ValueError(f"n_columns must be positive, got {n_columns}")
+        self.bits = np.zeros(n_columns, dtype=bool)
+
+    def record(self, fail_map: np.ndarray) -> None:
+        """Fold a (rows x cols) mismatch map into the column registers."""
+        if fail_map.shape[1] != self.bits.size:
+            raise ValueError(
+                f"fail map has {fail_map.shape[1]} columns, "
+                f"bank has {self.bits.size}"
+            )
+        self.bits |= fail_map.any(axis=0)
+
+    @property
+    def faulty_columns(self) -> int:
+        """The counter value: number of set registers."""
+        return int(np.count_nonzero(self.bits))
+
+    def reset(self) -> None:
+        """Clear all registers."""
+        self.bits[:] = False
+
+
+@dataclass
+class BISTController:
+    """Runs the March/retention test and maintains the register bank.
+
+    Args:
+        march: the March algorithm to use (March X by default — its
+            paired backgrounds exercise both data polarities around
+            every dwell).
+    """
+
+    march: MarchTest = field(default_factory=lambda: MARCH_X)
+
+    def test_at(
+        self, array: FunctionalMemoryArray, vsb: float, bank: RegisterBank
+    ) -> int:
+        """Run one calibration step at source bias ``vsb``.
+
+        Returns the updated faulty-column count after folding this
+        step's failures into the bank.
+        """
+        fail_map = self.march.run_with_retention(array, vsb)
+        bank.record(fail_map)
+        return bank.faulty_columns
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one die's self-adaptive calibration.
+
+    Attributes:
+        vsb_adaptive: the selected source bias [V].
+        code: the DAC code of the selected bias.
+        faulty_columns: cumulative faulty columns at the selected bias.
+        stopped_at_code: the code that first exceeded the redundancy
+            (== ``code + 1``), or ``None`` if the ramp reached full
+            scale without exhausting redundancy.
+        trace: (vsb, faulty_columns) per visited code, for diagnostics.
+    """
+
+    vsb_adaptive: float
+    code: int
+    faulty_columns: int
+    stopped_at_code: int | None
+    trace: tuple[tuple[float, int], ...]
+
+
+class SelfAdaptiveSourceBias:
+    """The full self-calibration loop of the paper's Fig. 7.
+
+    Args:
+        dac: the counter/DAC model.
+        controller: the BIST controller.
+        margin_codes: back off this many codes from the first failing
+            code (a guard band; the paper uses the last passing value,
+            i.e. 0).
+    """
+
+    def __init__(
+        self,
+        dac: SourceBiasDAC | None = None,
+        controller: BISTController | None = None,
+        margin_codes: int = 0,
+    ) -> None:
+        self.dac = dac if dac is not None else SourceBiasDAC()
+        self.controller = controller if controller is not None else BISTController()
+        if margin_codes < 0:
+            raise ValueError(f"margin_codes must be >= 0, got {margin_codes}")
+        self.margin_codes = margin_codes
+
+    def calibrate(self, array: FunctionalMemoryArray) -> CalibrationResult:
+        """Find VSB(adaptive) for one die.
+
+        The counter ramps from code 0; at each code the BIST runs the
+        retention March test and accumulates faulty columns.  The ramp
+        stops when the faulty columns exceed the available redundant
+        columns; the previous code (minus the guard band) is selected.
+        """
+        redundancy = array.organization.redundant_columns
+        bank = RegisterBank(array.total_columns)
+        trace: list[tuple[float, int]] = []
+        last_good = 0
+        stopped_at = None
+        for code in range(self.dac.n_codes):
+            vsb = self.dac.voltage(code)
+            faulty = self.controller.test_at(array, vsb, bank)
+            trace.append((vsb, faulty))
+            if faulty > redundancy:
+                stopped_at = code
+                break
+            last_good = code
+        selected = max(0, last_good - self.margin_codes)
+        return CalibrationResult(
+            vsb_adaptive=self.dac.voltage(selected),
+            code=selected,
+            faulty_columns=trace[selected][1] if selected < len(trace) else 0,
+            stopped_at_code=stopped_at,
+            trace=tuple(trace),
+        )
+
+    def calibrate_bisect(self, array: FunctionalMemoryArray) -> CalibrationResult:
+        """Binary-search variant of :meth:`calibrate`.
+
+        Retention-fault sets grow monotonically with VSB (a cell that
+        loses data at some bias also loses it at any larger bias), so
+        the cumulative faulty-column count of the linear ramp equals the
+        count at the highest visited code — and the largest repairable
+        code can be found with O(log n_codes) BIST runs instead of a
+        full ramp.  The equivalence with :meth:`calibrate` is asserted
+        in the test suite; use this path for large statistical
+        experiments.
+        """
+        redundancy = array.organization.redundant_columns
+
+        def faulty_at(code: int) -> int:
+            bank = RegisterBank(array.total_columns)
+            self.controller.test_at(array, self.dac.voltage(code), bank)
+            return bank.faulty_columns
+
+        lo = 0
+        lo_faulty = faulty_at(0)
+        if lo_faulty > redundancy:
+            # Unrepairable even with no source bias; report code 0.
+            return CalibrationResult(
+                vsb_adaptive=0.0,
+                code=0,
+                faulty_columns=lo_faulty,
+                stopped_at_code=0,
+                trace=((0.0, lo_faulty),),
+            )
+        hi = self.dac.n_codes - 1
+        hi_faulty = faulty_at(hi)
+        trace = [(0.0, lo_faulty)]
+        if hi_faulty <= redundancy:
+            lo, lo_faulty, stopped_at = hi, hi_faulty, None
+        else:
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                mid_faulty = faulty_at(mid)
+                trace.append((self.dac.voltage(mid), mid_faulty))
+                if mid_faulty > redundancy:
+                    hi = mid
+                else:
+                    lo, lo_faulty = mid, mid_faulty
+            stopped_at = hi
+        selected = max(0, lo - self.margin_codes)
+        faulty = lo_faulty if selected == lo else faulty_at(selected)
+        trace.append((self.dac.voltage(selected), faulty))
+        return CalibrationResult(
+            vsb_adaptive=self.dac.voltage(selected),
+            code=selected,
+            faulty_columns=faulty,
+            stopped_at_code=stopped_at,
+            trace=tuple(trace),
+        )

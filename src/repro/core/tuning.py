@@ -1,0 +1,137 @@
+"""Combined post-silicon tuning: self-repair then self-adaptive biasing.
+
+The paper's conclusion argues that *both* knobs belong in a sub-90 nm
+memory: adaptive body bias fixes the parametric-failure and leakage
+consequences of the die's inter-die corner, and adaptive source biasing
+then squeezes the standby power of whatever die the fab delivered.
+:class:`PostSiliconTuner` runs them in that order on one die:
+
+1. measure the array leakage, bin the corner, apply RBB/ZBB/FBB;
+2. with the body bias in place, run the BIST source-bias calibration
+   (the retention physics sees the applied body bias — RBB'd dies leak
+   less and can often afford *more* source bias).
+
+This module is an extension beyond the paper's figures; the combined
+flow is exercised in the test suite and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.body_bias import RepairOutcome, SelfRepairingSRAM
+from repro.core.source_bias import CalibrationResult, SelfAdaptiveSourceBias
+from repro.sram.array import FunctionalMemoryArray
+from repro.sram.metrics import OperatingConditions
+from repro.technology.corners import ProcessCorner
+
+
+@dataclass(frozen=True)
+class TuningOutcome:
+    """The result of fully tuning one die.
+
+    Attributes:
+        repair: the body-bias stage's outcome.
+        calibration: the source-bias stage's outcome.
+        standby_conditions: the final standby operating point (body bias
+            from stage 1, source bias from stage 2).
+    """
+
+    repair: RepairOutcome
+    calibration: CalibrationResult
+    standby_conditions: OperatingConditions
+
+    @property
+    def vbody(self) -> float:
+        """Applied NMOS body bias [V]."""
+        return self.repair.vbody
+
+    @property
+    def vsb(self) -> float:
+        """Applied standby source bias [V]."""
+        return self.calibration.vsb_adaptive
+
+
+class PostSiliconTuner:
+    """Runs self-repair and self-adaptive source biasing on one die.
+
+    Args:
+        repair_pipeline: the monitor/body-bias stage.
+        source_bias_loop: the BIST calibration stage.
+        asb_conditions: the source-biasing standby conditions (supply
+            rail) the calibration runs at.
+    """
+
+    def __init__(
+        self,
+        repair_pipeline: SelfRepairingSRAM,
+        source_bias_loop: SelfAdaptiveSourceBias | None = None,
+        asb_conditions: OperatingConditions | None = None,
+    ) -> None:
+        self.repair_pipeline = repair_pipeline
+        self.source_bias_loop = (
+            source_bias_loop if source_bias_loop is not None
+            else SelfAdaptiveSourceBias()
+        )
+        self.asb_conditions = (
+            asb_conditions
+            if asb_conditions is not None
+            else OperatingConditions.source_biased_standby(
+                repair_pipeline.tech
+            )
+        )
+
+    def tune(
+        self,
+        corner: ProcessCorner,
+        rng: np.random.Generator | None = None,
+        fast: bool = True,
+    ) -> TuningOutcome:
+        """Tune one die sampled at ``corner``.
+
+        The body bias chosen in stage 1 is applied to the functional
+        array used by stage 2, so the source-bias calibration sees the
+        *repaired* retention physics.
+
+        Args:
+            corner: the die's inter-die shift.
+            rng: randomness for the die's RDF sample (and the noisy
+                leakage measurement); seeded default if omitted.
+            fast: use the binary-search BIST ramp (identical result,
+                O(log) BIST runs).
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        repair = self.repair_pipeline.repair(corner, rng)
+
+        conditions = OperatingConditions(
+            vdd=self.asb_conditions.vdd,
+            vdd_standby=self.asb_conditions.vdd_standby,
+            vsb=0.0,
+            vbody_n=repair.vbody,
+        )
+        array = FunctionalMemoryArray(
+            self.repair_pipeline.tech,
+            self.repair_pipeline.organization,
+            self.repair_pipeline.analyzer.criteria,
+            geometry=self.repair_pipeline.geometry,
+            corner=corner,
+            conditions=conditions,
+            rng=rng,
+        )
+        calibrate = (
+            self.source_bias_loop.calibrate_bisect
+            if fast
+            else self.source_bias_loop.calibrate
+        )
+        calibration = calibrate(array)
+        final = OperatingConditions(
+            vdd=conditions.vdd,
+            vdd_standby=conditions.vdd_standby,
+            vsb=calibration.vsb_adaptive,
+            vbody_n=repair.vbody,
+        )
+        return TuningOutcome(
+            repair=repair, calibration=calibration, standby_conditions=final
+        )

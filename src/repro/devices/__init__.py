@@ -1,0 +1,21 @@
+"""Compact device models: EKV-style MOSFET and leakage components."""
+
+from repro.devices.factory import make_mosfet, make_nmos, make_pmos
+from repro.devices.leakage import (
+    gate_leakage,
+    junction_leakage,
+    junction_leakage_magnitude,
+    subthreshold_leakage,
+)
+from repro.devices.mosfet import MOSFET
+
+__all__ = [
+    "MOSFET",
+    "make_mosfet",
+    "make_nmos",
+    "make_pmos",
+    "subthreshold_leakage",
+    "gate_leakage",
+    "junction_leakage",
+    "junction_leakage_magnitude",
+]

@@ -1,0 +1,55 @@
+"""Convenience constructors binding device cards to a technology."""
+
+from __future__ import annotations
+
+from repro.devices.mosfet import ArrayLike, MOSFET
+from repro.technology.parameters import TechnologyParameters
+
+
+def make_mosfet(
+    tech: TechnologyParameters,
+    polarity: str,
+    width: float,
+    length: float | None = None,
+    dvt: ArrayLike = 0.0,
+) -> MOSFET:
+    """Instantiate a :class:`MOSFET` from a technology card.
+
+    Args:
+        tech: technology card supplying the model parameters.
+        polarity: ``"nmos"`` or ``"pmos"``.
+        width: channel width [m].
+        length: channel length [m]; defaults to the technology's drawn
+            length.
+        dvt: threshold shift [V] — inter-die corner plus intra-die sample;
+            scalar or array.
+    """
+    return MOSFET(
+        params=tech.device(polarity),
+        width=width,
+        length=length if length is not None else tech.length,
+        cox=tech.cox,
+        temperature=tech.temperature,
+        polarity=polarity,
+        dvt=dvt,
+    )
+
+
+def make_nmos(
+    tech: TechnologyParameters,
+    width: float,
+    length: float | None = None,
+    dvt: ArrayLike = 0.0,
+) -> MOSFET:
+    """Instantiate an NMOS device from a technology card."""
+    return make_mosfet(tech, "nmos", width, length, dvt)
+
+
+def make_pmos(
+    tech: TechnologyParameters,
+    width: float,
+    length: float | None = None,
+    dvt: ArrayLike = 0.0,
+) -> MOSFET:
+    """Instantiate a PMOS device from a technology card."""
+    return make_mosfet(tech, "pmos", width, length, dvt)

@@ -1,0 +1,86 @@
+"""Per-figure experiment harnesses.
+
+Every figure of the paper's evaluation has a function here that
+regenerates its data series:
+
+========  ==============================================  =================
+Figure    What it shows                                   Entry point
+========  ==============================================  =================
+Fig. 2a   failure probabilities vs inter-die Vt shift     :func:`fig2a`
+Fig. 2b   failure probabilities vs body bias              :func:`fig2b`
+Fig. 2c   parametric yield vs sigma(Vt_inter)             :func:`fig2c`
+Fig. 3    cell vs array leakage distributions             :func:`fig3`
+Fig. 4b   cell failures, no-bias vs self-repair           :func:`fig4b`
+Fig. 5a   leakage components vs body bias                 :func:`fig5a`
+Fig. 5b   memory leakage spread, ZBB vs self-repair       :func:`fig5b`
+Fig. 5c   leakage yield vs sigma, ZBB vs self-repair      :func:`fig5c`
+Fig. 6    max VSB for target hold failure vs corner       :func:`fig6`
+Fig. 8    VSB(adaptive) and hold failure vs corner        :func:`fig8`
+Fig. 9    VSB and standby-power distributions             :func:`fig9`
+Fig. 10   leakage / hold yield vs sigma, three policies   :func:`fig10`
+========  ==============================================  =================
+
+All functions accept an :class:`~repro.experiments.context.ExperimentContext`
+(or build the default) and return plain dataclasses with a ``rows()``
+method that prints the same series the paper plots.
+"""
+
+from repro.experiments.asb import (
+    Fig6Result,
+    Fig8Result,
+    Fig9Result,
+    Fig10Result,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+)
+from repro.experiments.context import ExperimentContext, default_context
+from repro.experiments.extensions import (
+    ext_8t,
+    ext_delay,
+    ext_drv,
+    ext_ecc,
+    ext_performance,
+    ext_snm,
+    ext_temperature,
+)
+from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_experiment
+from repro.experiments.repair import (
+    Fig2aResult,
+    Fig2bResult,
+    Fig2cResult,
+    Fig3Result,
+    Fig4bResult,
+    Fig5aResult,
+    Fig5bResult,
+    Fig5cResult,
+    fig2a,
+    fig2b,
+    fig2c,
+    fig3,
+    fig4b,
+    fig5a,
+    fig5b,
+    fig5c,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "EXPERIMENTS",
+    "EXTENSIONS",
+    "run_experiment",
+    "ext_8t",
+    "ext_delay",
+    "ext_drv",
+    "ext_ecc",
+    "ext_performance",
+    "ext_snm",
+    "ext_temperature",
+    "fig2a", "fig2b", "fig2c", "fig3", "fig4b",
+    "fig5a", "fig5b", "fig5c", "fig6", "fig8", "fig9", "fig10",
+    "Fig2aResult", "Fig2bResult", "Fig2cResult", "Fig3Result",
+    "Fig4bResult", "Fig5aResult", "Fig5bResult", "Fig5cResult",
+    "Fig6Result", "Fig8Result", "Fig9Result", "Fig10Result",
+]

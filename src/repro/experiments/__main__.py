@@ -1,0 +1,77 @@
+"""Command-line experiment runner.
+
+Regenerate any paper figure from the shell::
+
+    python -m repro.experiments fig2a
+    python -m repro.experiments fig10 --fast
+    python -m repro.experiments --list
+
+``--fast`` swaps in a reduced-accuracy context (seconds instead of
+minutes) for a quick qualitative look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.context import ExperimentContext, default_context
+from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_experiment
+
+
+def _fast_context() -> ExperimentContext:
+    return ExperimentContext(
+        target=1e-5,
+        calibration_samples=20_000,
+        analysis_samples=8_000,
+        table_grid=9,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a figure from the SOCC 2006 paper.",
+    )
+    parser.add_argument(
+        "figure",
+        nargs="?",
+        help="experiment id (e.g. fig2a); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-accuracy context (quick qualitative run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figure:
+        print("paper figures:")
+        for name, (_, description) in sorted(EXPERIMENTS.items()):
+            print(f"  {name:16s}  {description}")
+        print("extensions:")
+        for name, (_, description) in sorted(EXTENSIONS.items()):
+            print(f"  {name:16s}  {description}")
+        return 0
+
+    if args.figure not in EXPERIMENTS and args.figure not in EXTENSIONS:
+        parser.error(
+            f"unknown experiment {args.figure!r}; try --list"
+        )
+
+    ctx = _fast_context() if args.fast else default_context()
+    start = time.time()
+    result = run_experiment(args.figure, ctx)
+    elapsed = time.time() - start
+    print("\n".join(result.rows()))
+    print(f"\n[{args.figure} regenerated in {elapsed:.1f}s"
+          f"{' (fast context)' if args.fast else ''}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Shared, cached setup for all experiments.
+
+Criteria calibration and the failure-probability tables are the
+expensive pieces every figure needs; the context builds each exactly
+once and shares it.  ``default_context()`` memoises a full-accuracy
+instance; tests construct small ones explicitly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.tables import FailureProbabilityTable
+from repro.failures.analysis import CellFailureAnalyzer
+from repro.failures.criteria import FailureCriteria, calibrate_criteria
+from repro.sram.cell import CellGeometry
+from repro.sram.metrics import OperatingConditions
+from repro.technology.parameters import TechnologyParameters, predictive_70nm
+
+
+class ExperimentContext:
+    """Technology + calibrated criteria + shared analyzers/tables.
+
+    Args:
+        tech: technology card (default predictive 70 nm).
+        geometry: cell geometry.
+        target: per-mechanism failure probability at the nominal/ZBB
+            calibration point.
+        calibration_samples: Monte-Carlo size for criteria calibration.
+        analysis_samples: weighted samples per failure estimate.
+        table_grid: corner-grid points per interpolated table.
+        seed: base seed for all derived randomness.
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyParameters | None = None,
+        geometry: CellGeometry | None = None,
+        target: float = 1e-7,
+        calibration_samples: int = 150_000,
+        analysis_samples: int = 40_000,
+        table_grid: int = 17,
+        seed: int = 2006,
+    ) -> None:
+        self.tech = tech if tech is not None else predictive_70nm()
+        self.geometry = geometry if geometry is not None else CellGeometry()
+        self.conditions = OperatingConditions.nominal(self.tech)
+        self.target = target
+        self.analysis_samples = analysis_samples
+        self.table_grid = table_grid
+        self.seed = seed
+        self._criteria: FailureCriteria | None = None
+        self._calibration_samples = calibration_samples
+        self._tables: dict[float, FailureProbabilityTable] = {}
+        #: Scratch cache for expensive experiment-level artifacts (e.g.
+        #: the ASB hold-probability table); keyed by the artifact name.
+        self.cache: dict = {}
+
+    @property
+    def criteria(self) -> FailureCriteria:
+        """Calibrated failure criteria (computed once, lazily)."""
+        if self._criteria is None:
+            self._criteria = calibrate_criteria(
+                self.tech,
+                self.geometry,
+                self.conditions,
+                target=self.target,
+                n_samples=self._calibration_samples,
+                seed=self.seed,
+            )
+        return self._criteria
+
+    def analyzer(
+        self, conditions: OperatingConditions | None = None
+    ) -> CellFailureAnalyzer:
+        """A failure analyzer bound to this context's calibration."""
+        return CellFailureAnalyzer(
+            self.tech,
+            self.criteria,
+            geometry=self.geometry,
+            conditions=conditions if conditions is not None else self.conditions,
+            n_samples=self.analysis_samples,
+            seed=self.seed + 1,
+        )
+
+    def table(self, vbody: float = 0.0) -> FailureProbabilityTable:
+        """Shared interpolated failure table at one body-bias level."""
+        key = round(vbody, 6)
+        if key not in self._tables:
+            conditions = self.conditions.with_body_bias(vbody)
+            self._tables[key] = FailureProbabilityTable(
+                self.analyzer(), conditions, n_grid=self.table_grid
+            )
+        return self._tables[key]
+
+    def asb_conditions(self, vsb: float = 0.0) -> OperatingConditions:
+        """Source-biasing standby conditions (Section IV experiments)."""
+        return OperatingConditions.source_biased_standby(self.tech, vsb)
+
+
+@lru_cache(maxsize=1)
+def default_context() -> ExperimentContext:
+    """The full-accuracy shared context used by benchmarks/examples."""
+    return ExperimentContext()

@@ -1,0 +1,51 @@
+"""Registry mapping experiment ids to their entry points."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import asb, extensions, repair
+
+#: Experiment id -> (callable, one-line description).
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "fig2a": (repair.fig2a, "failure probabilities vs inter-die Vt shift"),
+    "fig2b": (repair.fig2b, "failure probabilities vs NMOS body bias"),
+    "fig2c": (repair.fig2c, "parametric yield vs sigma, ZBB vs self-repair"),
+    "fig3": (repair.fig3, "cell vs 1KB-array leakage distributions"),
+    "fig4b": (repair.fig4b, "failing cells per corner, both policies"),
+    "fig5a": (repair.fig5a, "leakage components vs body bias"),
+    "fig5b": (repair.fig5b, "memory leakage spread, ZBB vs self-repair"),
+    "fig5c": (repair.fig5c, "leakage yield vs sigma, ZBB vs self-repair"),
+    "fig6": (asb.fig6, "max VSB for target hold failure vs corner"),
+    "fig8": (asb.fig8, "adaptive VSB vs corner (model + BIST)"),
+    "fig9": (asb.fig9, "VSB and standby-power distributions"),
+    "fig10": (asb.fig10, "leakage/hold yield vs sigma, three policies"),
+}
+
+#: Extensions beyond the paper's figures (companion-work features).
+EXTENSIONS: dict[str, tuple[Callable, str]] = {
+    "ext_delay": (extensions.ext_delay,
+                  "leakage vs delay vs combined corner binning"),
+    "ext_drv": (extensions.ext_drv,
+                "data retention voltage distribution (ref [9])"),
+    "ext_performance": (extensions.ext_performance,
+                        "access time vs body-bias repair policy"),
+    "ext_temperature": (extensions.ext_temperature,
+                        "monitor binning vs temperature"),
+    "ext_ecc": (extensions.ext_ecc,
+                "ECC vs redundancy at equal overhead"),
+    "ext_snm": (extensions.ext_snm,
+                "butterfly static noise margins vs body bias"),
+    "ext_8t": (extensions.ext_8t,
+               "read-decoupled 8T cell vs the 6T across corners"),
+}
+
+
+def run_experiment(name: str, *args, **kwargs):
+    """Run an experiment (figure or extension) by id."""
+    registry = {**EXPERIMENTS, **EXTENSIONS}
+    if name not in registry:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    func, _ = registry[name]
+    return func(*args, **kwargs)

@@ -1,0 +1,34 @@
+"""Parametric failure analysis (the paper's Section II).
+
+* :mod:`repro.failures.criteria` — the pass/fail thresholds on the static
+  cell metrics, and their calibration so that the four mechanisms have
+  equal probability at the nominal/ZBB point (the paper's stated cell
+  sizing);
+* :mod:`repro.failures.analysis` — Monte-Carlo (with sigma-scaled
+  importance sampling) estimation of per-mechanism cell failure
+  probabilities at any corner and bias;
+* :mod:`repro.failures.memory` — cell -> column -> memory failure
+  probability with column redundancy, and parametric yield over the
+  inter-die distribution.
+"""
+
+from repro.failures.analysis import CellFailureAnalyzer, FailureProbabilities
+from repro.failures.criteria import FailureCriteria, calibrate_criteria
+from repro.failures.mpfp import MpfpEstimator, MpfpResult
+from repro.failures.memory import (
+    column_failure_probability,
+    memory_failure_probability,
+    parametric_yield,
+)
+
+__all__ = [
+    "FailureCriteria",
+    "calibrate_criteria",
+    "CellFailureAnalyzer",
+    "FailureProbabilities",
+    "column_failure_probability",
+    "memory_failure_probability",
+    "parametric_yield",
+    "MpfpEstimator",
+    "MpfpResult",
+]

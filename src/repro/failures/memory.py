@@ -1,0 +1,78 @@
+"""Cell -> column -> memory failure probability with redundancy.
+
+The paper's yield chain (Section II, reference [3]): a column is faulty
+if *any* of its cells fails; a memory chip is faulty if the number of
+faulty columns exceeds the available redundant columns; the parametric
+yield is the fraction of dies (over the inter-die distribution) whose
+memory is not faulty.
+
+Numerics: cell failure probabilities are tiny, so ``1 - (1-p)^n`` is
+evaluated via ``expm1``/``log1p`` and the binomial survival function via
+``scipy.stats.binom`` which is stable in the tails.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+from scipy import stats as sp_stats
+
+if TYPE_CHECKING:  # avoid a circular import with repro.sram.array
+    from repro.sram.array import ArrayOrganization
+
+
+def column_failure_probability(
+    p_cell: float | np.ndarray, rows: int
+) -> float | np.ndarray:
+    """P(column faulty) = 1 - (1 - p_cell)^rows, computed stably."""
+    if rows <= 0:
+        raise ValueError(f"rows must be positive, got {rows}")
+    p = np.clip(np.asarray(p_cell, dtype=float), 0.0, 1.0)
+    result = -np.expm1(rows * np.log1p(-np.minimum(p, 1.0 - 1e-16)))
+    result = np.where(p >= 1.0, 1.0, result)
+    if np.isscalar(p_cell):
+        return float(result)
+    return result
+
+
+def memory_failure_probability(
+    p_cell: float, organization: "ArrayOrganization"
+) -> float:
+    """P(memory chip faulty) given per-cell failure probability.
+
+    The chip fails when more than ``redundant_columns`` of its
+    ``columns`` data columns are faulty (faulty columns are replaced by
+    spares one-for-one).
+    """
+    p_col = float(column_failure_probability(p_cell, organization.rows))
+    return float(
+        sp_stats.binom.sf(
+            organization.redundant_columns, organization.columns, p_col
+        )
+    )
+
+
+def parametric_yield(
+    p_cell_at_corner,
+    organization: "ArrayOrganization",
+    distribution,
+    order: int = 15,
+) -> float:
+    """Yield over the inter-die distribution (paper Eq. 1).
+
+    Args:
+        p_cell_at_corner: callable ``ProcessCorner -> float`` giving the
+            per-cell (union) failure probability at a corner — after any
+            repair policy under evaluation has chosen its bias.
+        organization: the memory organisation.
+        distribution: :class:`InterDieDistribution`.
+        order: quadrature order.
+    """
+    from repro.stats.integration import expect_over_corners
+
+    def pass_probability(corner) -> float:
+        p_cell = float(p_cell_at_corner(corner))
+        return 1.0 - memory_failure_probability(p_cell, organization)
+
+    return expect_over_corners(distribution, pass_probability, order)

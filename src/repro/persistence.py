@@ -1,0 +1,136 @@
+"""Persistence of expensive calibration artifacts.
+
+Criteria calibration and the interpolated probability tables take
+minutes at full accuracy; a downstream user should pay that once.
+This module serialises them to plain JSON (no pickle — the files are
+human-inspectable and safe to commit):
+
+* :func:`save_criteria` / :func:`load_criteria` — the four calibrated
+  thresholds plus a fingerprint of the technology card they were
+  calibrated against (loading verifies the fingerprint so stale
+  criteria cannot silently corrupt an analysis);
+* :func:`save_table` / :func:`load_table` — a
+  :class:`~repro.core.tables.FailureProbabilityTable`'s grid and
+  log-probabilities, rebuilt into an interpolator on load without
+  re-running any Monte Carlo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.tables import FailureProbabilityTable
+from repro.failures.criteria import FailureCriteria
+from repro.technology.parameters import TechnologyParameters
+
+#: Format version written into every file.
+_FORMAT = 1
+
+
+def technology_fingerprint(tech: TechnologyParameters) -> str:
+    """A stable hash of every parameter in the technology card."""
+    payload = json.dumps(
+        dataclasses.asdict(tech), sort_keys=True, default=float
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def save_criteria(
+    criteria: FailureCriteria,
+    path: str | pathlib.Path,
+    tech: TechnologyParameters,
+) -> None:
+    """Write calibrated criteria (and the technology fingerprint)."""
+    payload = {
+        "format": _FORMAT,
+        "kind": "failure-criteria",
+        "technology": tech.name,
+        "fingerprint": technology_fingerprint(tech),
+        "criteria": dataclasses.asdict(criteria),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_criteria(
+    path: str | pathlib.Path,
+    tech: TechnologyParameters,
+    strict: bool = True,
+) -> FailureCriteria:
+    """Load criteria, verifying they match ``tech``.
+
+    Args:
+        path: the JSON file written by :func:`save_criteria`.
+        tech: the technology card the criteria will be used with.
+        strict: raise if the stored fingerprint does not match ``tech``
+            (set False to knowingly reuse criteria across card tweaks).
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("kind") != "failure-criteria":
+        raise ValueError(f"{path} is not a criteria file")
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"unsupported format {payload.get('format')}")
+    if strict and payload["fingerprint"] != technology_fingerprint(tech):
+        raise ValueError(
+            f"criteria in {path} were calibrated against a different "
+            f"technology card (stored fingerprint {payload['fingerprint']})"
+        )
+    return FailureCriteria(**payload["criteria"])
+
+
+def save_table(
+    table: FailureProbabilityTable,
+    path: str | pathlib.Path,
+    tech: TechnologyParameters,
+) -> None:
+    """Write a failure-probability table's grid data."""
+    grid = table.grid
+    curves = {
+        name: [float(spline(x)) for x in grid]
+        for name, spline in table._splines.items()
+    }
+    payload = {
+        "format": _FORMAT,
+        "kind": "failure-table",
+        "technology": tech.name,
+        "fingerprint": technology_fingerprint(tech),
+        "grid": [float(x) for x in grid],
+        "log10_probability": curves,
+        "conditions": dataclasses.asdict(table.conditions),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_table(
+    path: str | pathlib.Path,
+    tech: TechnologyParameters,
+    strict: bool = True,
+) -> FailureProbabilityTable:
+    """Rebuild a table from disk without re-running Monte Carlo."""
+    from scipy.interpolate import PchipInterpolator
+
+    from repro.sram.metrics import OperatingConditions
+
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("kind") != "failure-table":
+        raise ValueError(f"{path} is not a table file")
+    if payload.get("format") != _FORMAT:
+        raise ValueError(f"unsupported format {payload.get('format')}")
+    if strict and payload["fingerprint"] != technology_fingerprint(tech):
+        raise ValueError(
+            f"table in {path} was built against a different technology "
+            f"card (stored fingerprint {payload['fingerprint']})"
+        )
+    table = FailureProbabilityTable.__new__(FailureProbabilityTable)
+    table.analyzer = None  # detached from any analyzer
+    table.conditions = OperatingConditions(**payload["conditions"])
+    table.grid = np.array(payload["grid"], dtype=float)
+    table._splines = {
+        name: PchipInterpolator(table.grid, np.array(values, dtype=float))
+        for name, values in payload["log10_probability"].items()
+    }
+    return table

@@ -1,0 +1,8 @@
+"""Standby power models for the source-biasing experiments."""
+
+from repro.power.standby import (
+    die_standby_power,
+    standby_power_per_cell,
+)
+
+__all__ = ["standby_power_per_cell", "die_standby_power"]

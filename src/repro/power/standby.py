@@ -1,0 +1,60 @@
+"""Standby power under source bias (paper Figs. 9b, 10a).
+
+In source-biased standby the array sits at the standby supply with the
+cell source line raised to VSB; the standby power is the supply rail
+voltage times the total leakage drawn through the cells.  Raising VSB
+cuts the leakage through three compounding mechanisms (body effect,
+DIBL, and the negative V_GS of the access path), which is why the
+adaptive scheme's per-die maximum VSB directly minimises standby power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sram.cell import CellGeometry, SixTCell, sample_cell_dvt
+from repro.sram.leakage import cell_leakage
+from repro.sram.metrics import OperatingConditions
+from repro.stats.distributions import NormalDistribution, array_leakage_distribution
+from repro.technology.corners import ProcessCorner
+from repro.technology.parameters import TechnologyParameters
+
+
+def standby_power_per_cell(
+    cell: SixTCell, conditions: OperatingConditions
+) -> np.ndarray:
+    """Standby power [W] of each cell in the population.
+
+    The supply is ``conditions.vdd_standby`` and the source line sits at
+    ``conditions.vsb``.
+    """
+    leakage = cell_leakage(
+        cell,
+        vdd=conditions.vdd_standby,
+        vbody_n=conditions.vbody_n,
+        vsb=conditions.vsb,
+    ).total
+    return conditions.vdd_standby * leakage
+
+
+def die_standby_power(
+    tech: TechnologyParameters,
+    geometry: CellGeometry,
+    corner: ProcessCorner,
+    n_cells: int,
+    conditions: OperatingConditions,
+    n_samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> NormalDistribution:
+    """CLT Gaussian of a die's total standby power [W].
+
+    Estimated from ``n_samples`` Monte-Carlo cells at the die's corner
+    and scaled to ``n_cells`` (paper Eq. 2 applied to power).
+    """
+    if n_cells <= 0:
+        raise ValueError(f"n_cells must be positive, got {n_cells}")
+    rng = rng if rng is not None else np.random.default_rng(5)
+    dvt = sample_cell_dvt(tech, geometry, rng, n_samples)
+    population = SixTCell(tech, geometry, corner, dvt)
+    per_cell = standby_power_per_cell(population, conditions)
+    return array_leakage_distribution(per_cell, n_cells)

@@ -1,0 +1,63 @@
+"""6T SRAM cell and array models.
+
+* :mod:`repro.sram.cell` — cell geometry, per-transistor variation
+  samples, and device construction;
+* :mod:`repro.sram.solver` — numpy-vectorised DC solvers for the cell's
+  read / write / hold problems (the fast path that replaces per-sample
+  SPICE runs);
+* :mod:`repro.sram.metrics` — the paper's static failure metrics
+  (V_READ vs V_TRIPRD, write margin, access current, hold retention);
+* :mod:`repro.sram.leakage` — cell leakage decomposition
+  (subthreshold / gate / junction) under body and source bias;
+* :mod:`repro.sram.array` — array organisation, redundancy, and the
+  functional memory array the BIST drives.
+"""
+
+from repro.sram.array import ArrayOrganization, FunctionalMemoryArray
+from repro.sram.cell import TRANSISTORS, CellGeometry, SixTCell, sample_cell_dvt
+from repro.sram.leakage import LeakageBreakdown, cell_leakage
+from repro.sram.drv import array_drv, cell_drv, safe_standby_voltage
+from repro.sram.eight_t import (
+    EightTCell,
+    EightTGeometry,
+    eight_t_failure_probabilities,
+    sample_eight_t,
+)
+from repro.sram.metrics import CellMetrics, OperatingConditions, compute_cell_metrics
+from repro.sram.repair import (
+    RepairPlan,
+    allocate_columns,
+    allocate_rows_and_columns,
+)
+from repro.sram.snm import butterfly_snm, hold_snm, read_snm
+from repro.sram.timing import BitlineModel, access_time, read_cycle_time
+
+__all__ = [
+    "CellGeometry",
+    "SixTCell",
+    "TRANSISTORS",
+    "sample_cell_dvt",
+    "CellMetrics",
+    "OperatingConditions",
+    "compute_cell_metrics",
+    "LeakageBreakdown",
+    "cell_leakage",
+    "ArrayOrganization",
+    "FunctionalMemoryArray",
+    "cell_drv",
+    "array_drv",
+    "safe_standby_voltage",
+    "RepairPlan",
+    "allocate_columns",
+    "allocate_rows_and_columns",
+    "EightTCell",
+    "EightTGeometry",
+    "sample_eight_t",
+    "eight_t_failure_probabilities",
+    "butterfly_snm",
+    "hold_snm",
+    "read_snm",
+    "BitlineModel",
+    "access_time",
+    "read_cycle_time",
+]

@@ -1,0 +1,170 @@
+"""The 6T SRAM cell: geometry, variation sampling, device construction.
+
+Transistor naming follows the paper's Fig. 1: the cell stores '0' at node
+R and '1' at node L.
+
+* ``pl`` / ``pr`` — PMOS pull-ups (sources at VDD);
+* ``nl`` / ``nr`` — NMOS pull-downs (sources at the cell source line,
+  which sits at VSB under source biasing);
+* ``axl`` / ``axr`` — NMOS access transistors (gates on the wordline,
+  connecting nodes L/R to bitlines BL/BR).
+
+A :class:`SixTCell` binds a technology card, a geometry and a process
+corner; :func:`sample_cell_dvt` draws the per-transistor intra-die Vt
+deltas (RDF) for a whole Monte-Carlo population at once, so every method
+downstream operates on arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.factory import make_mosfet
+from repro.devices.mosfet import MOSFET
+from repro.technology.corners import ProcessCorner
+from repro.technology.parameters import TechnologyParameters
+from repro.technology.variation import RandomDopantFluctuation
+
+#: Transistor keys in a fixed order (paper Fig. 1 naming).
+TRANSISTORS = ("pl", "pr", "nl", "nr", "axl", "axr")
+
+#: Polarity of each transistor.
+POLARITY = {
+    "pl": "pmos",
+    "pr": "pmos",
+    "nl": "nmos",
+    "nr": "nmos",
+    "axl": "nmos",
+    "axr": "nmos",
+}
+
+
+@dataclass(frozen=True)
+class CellGeometry:
+    """Transistor sizing of the 6T cell.
+
+    Defaults give the classic read-stable ratioing (pull-down strongest,
+    pull-up weakest) at the predictive 70 nm node.
+    """
+
+    #: Pull-down (nl/nr) width [m].
+    w_pull_down: float = 200e-9
+    #: Access (axl/axr) width [m].
+    w_access: float = 140e-9
+    #: Pull-up (pl/pr) width [m].
+    w_pull_up: float = 100e-9
+    #: Channel length [m]; ``None`` means the technology's drawn length.
+    length: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("w_pull_down", "w_access", "w_pull_up"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def width(self, transistor: str) -> float:
+        """Channel width [m] of the named transistor."""
+        if transistor in ("nl", "nr"):
+            return self.w_pull_down
+        if transistor in ("axl", "axr"):
+            return self.w_access
+        if transistor in ("pl", "pr"):
+            return self.w_pull_up
+        raise KeyError(f"unknown transistor {transistor!r}")
+
+    @property
+    def cell_ratio(self) -> float:
+        """Pull-down to access strength ratio (read stability knob)."""
+        return self.w_pull_down / self.w_access
+
+
+def sample_cell_dvt(
+    tech: TechnologyParameters,
+    geometry: CellGeometry,
+    rng: np.random.Generator,
+    size: int,
+    sigma_scale: float = 1.0,
+) -> dict[str, np.ndarray]:
+    """Draw intra-die Vt deltas [V] for ``size`` independent cells.
+
+    Returns a dict mapping transistor name -> array of shape (size,).
+    ``sigma_scale`` inflates every sigma (used by importance sampling).
+    """
+    rdf = RandomDopantFluctuation.from_devices(tech.nmos, tech.pmos)
+    length = geometry.length if geometry.length is not None else tech.length
+    samples = {}
+    for name in TRANSISTORS:
+        sigma = rdf.sigma_vt(geometry.width(name), length, POLARITY[name])
+        samples[name] = rng.normal(0.0, sigma_scale * sigma, size=size)
+    return samples
+
+
+def cell_sigma_vt(
+    tech: TechnologyParameters, geometry: CellGeometry
+) -> dict[str, float]:
+    """Per-transistor RDF sigma(Vt) [V] for this geometry."""
+    rdf = RandomDopantFluctuation.from_devices(tech.nmos, tech.pmos)
+    length = geometry.length if geometry.length is not None else tech.length
+    return {
+        name: rdf.sigma_vt(geometry.width(name), length, POLARITY[name])
+        for name in TRANSISTORS
+    }
+
+
+@dataclass(frozen=True)
+class SixTCell:
+    """A (vectorised population of) 6T cell(s) at one inter-die corner.
+
+    Attributes:
+        tech: technology card.
+        geometry: transistor sizing.
+        corner: inter-die Vt shift applied to every transistor.
+        dvt: per-transistor intra-die Vt deltas; scalars for a nominal
+            cell or arrays of a common shape for a Monte-Carlo
+            population.
+    """
+
+    tech: TechnologyParameters
+    geometry: CellGeometry = field(default_factory=CellGeometry)
+    corner: ProcessCorner = field(default_factory=ProcessCorner)
+    dvt: dict[str, np.ndarray] | None = None
+
+    def device(self, name: str) -> MOSFET:
+        """Build the compact-model device for transistor ``name``.
+
+        The device's ``dvt`` combines the inter-die corner shift and this
+        cell's intra-die delta.  Positive shifts increase the threshold
+        magnitude for both polarities (the paper's high-Vt corner).
+        """
+        intra = 0.0 if self.dvt is None else self.dvt[name]
+        return make_mosfet(
+            self.tech,
+            POLARITY[name],
+            width=self.geometry.width(name),
+            length=self.geometry.length,
+            dvt=self.corner.dvt_inter + np.asarray(intra, dtype=float),
+        )
+
+    def devices(self) -> dict[str, MOSFET]:
+        """All six devices keyed by transistor name."""
+        return {name: self.device(name) for name in TRANSISTORS}
+
+    @property
+    def population(self) -> int:
+        """Number of cells in the vectorised population (1 if nominal)."""
+        if self.dvt is None:
+            return 1
+        first = next(iter(self.dvt.values()))
+        return int(np.size(first))
+
+    def at_corner(self, corner: ProcessCorner) -> "SixTCell":
+        """The same cell population shifted to a different corner."""
+        return SixTCell(self.tech, self.geometry, corner, self.dvt)
+
+    def with_dvt(self, dvt: dict[str, np.ndarray]) -> "SixTCell":
+        """The same cell with a new set of intra-die deltas."""
+        missing = set(TRANSISTORS) - set(dvt)
+        if missing:
+            raise ValueError(f"dvt missing transistors: {sorted(missing)}")
+        return SixTCell(self.tech, self.geometry, self.corner, dvt)

@@ -1,0 +1,112 @@
+"""Data retention voltage (DRV) analysis (the paper's reference [9]).
+
+The DRV is the lowest standby supply at which a cell still holds its
+data.  Qin et al. (ISQED 2004 — the paper's [9]) minimise standby power
+by dropping the supply to just above the *array's* DRV, which is the
+max over its cells' DRVs; the paper's hold-failure statistics are the
+probabilistic version of the same physics, and its source-biasing
+technique is the complementary knob (raise the source instead of
+dropping the supply).
+
+:func:`cell_drv` computes each cell's DRV on a supply grid with the
+calibrated retention criterion; :func:`array_drv` bootstraps the
+max-over-cells statistics that set a safe standby voltage per die.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.failures.criteria import FailureCriteria
+from repro.sram.cell import SixTCell
+from repro.sram.metrics import OperatingConditions, compute_hold_margin
+
+
+def retention_ok(
+    cell: SixTCell,
+    vdd_standby: float,
+    criteria: FailureCriteria,
+    vbody_n: float = 0.0,
+) -> np.ndarray:
+    """Boolean array: each cell retains data at ``vdd_standby`` [V]."""
+    conditions = OperatingConditions(
+        vdd=cell.tech.vdd, vdd_standby=vdd_standby, vsb=0.0, vbody_n=vbody_n
+    )
+    margin = compute_hold_margin(cell, conditions)
+    return margin >= criteria.hold_fraction_min * vdd_standby
+
+
+def cell_drv(
+    cell: SixTCell,
+    criteria: FailureCriteria,
+    vbody_n: float = 0.0,
+    v_min: float = 0.05,
+    v_max: float | None = None,
+    n_levels: int = 25,
+) -> np.ndarray:
+    """Per-cell data retention voltage [V] on a supply grid.
+
+    Retention is monotone in the standby supply (a cell that holds at V
+    also holds at any higher V), so each cell's DRV is the lowest grid
+    level at which it retains, resolved to ``(v_max - v_min) /
+    (n_levels - 1)``.  Cells that retain even at ``v_min`` report
+    ``v_min``; cells failing at every level report ``v_max`` (and
+    should worry the designer).  Each level is one vectorised hold
+    solve over the whole population.
+    """
+    v_max = v_max if v_max is not None else cell.tech.vdd
+    if v_min >= v_max:
+        raise ValueError("v_min must be below v_max")
+    if n_levels < 2:
+        raise ValueError("n_levels must be at least 2")
+    levels = np.linspace(v_min, v_max, n_levels)
+    drv = np.full(cell.population, float(v_max))
+    # Scan from the top down: the DRV is the last level that retained.
+    for level in levels[::-1]:
+        ok = np.asarray(
+            retention_ok(cell, float(level), criteria, vbody_n)
+        ).reshape(-1)
+        drv = np.where(ok, level, drv)
+        if not ok.any():
+            break
+    return drv
+
+
+def array_drv(
+    cell_drvs: np.ndarray,
+    n_cells: int,
+    rng: np.random.Generator,
+    n_arrays: int = 1000,
+) -> np.ndarray:
+    """Sampled array DRVs: max over ``n_cells`` resampled cell DRVs.
+
+    Bootstraps array-level maxima from a cell-level DRV sample — the
+    per-die safe standby voltage is set by the worst cell on the die.
+    Resampling width is capped at 200k draws per array; beyond that the
+    max changes only logarithmically (the DRV tail is exponential).
+    """
+    if n_cells <= 0 or n_arrays <= 0:
+        raise ValueError("n_cells and n_arrays must be positive")
+    cell_drvs = np.asarray(cell_drvs, dtype=float)
+    if cell_drvs.size == 0:
+        raise ValueError("need at least one cell DRV")
+    width = int(min(n_cells, 200_000))
+    draws = rng.choice(cell_drvs, size=(n_arrays, width))
+    return draws.max(axis=1)
+
+
+def safe_standby_voltage(
+    cell_drvs: np.ndarray,
+    n_cells: int,
+    rng: np.random.Generator,
+    guard_band: float = 0.05,
+    quantile: float = 0.99,
+) -> float:
+    """A die-population-safe standby supply [V] (ref [9]'s objective).
+
+    The ``quantile`` of the bootstrapped array-DRV distribution plus a
+    ``guard_band`` — the voltage at which at most ``1 - quantile`` of
+    dies would lose data in deep standby.
+    """
+    maxima = array_drv(cell_drvs, n_cells, rng)
+    return float(np.quantile(maxima, quantile) + guard_band)

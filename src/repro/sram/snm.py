@@ -1,0 +1,172 @@
+"""Static noise margin (SNM) of the 6T cell.
+
+The canonical SRAM stability metric (Seevinck et al., JSSC 1987): the
+SNM is the largest DC noise voltage that, applied in series with both
+inverter inputs in the worst-case polarity, still leaves the cell
+bistable.  Graphically it is the side of the largest square inscribed
+in the smaller lobe of the butterfly curves; numerically this module
+uses the *definitional* form directly — bisection on the noise
+amplitude with a bistability check — which is robust where the
+rotated-coordinate construction struggles (the rotated curves are
+multivalued).
+
+Two conditions:
+
+* hold SNM — wordline low (the cell only fights leakage);
+* read SNM — wordline high, bitlines precharged: the access transistors
+  drag the internal nodes and shrink the lobes.  Read is the critical
+  condition — exactly why the paper's read failures dominate low-Vt
+  dies and why reverse body bias (which weakens the access path
+  relative to the pull-down) recovers them.
+
+The transfer curves are solved once per population on a uniform input
+grid; the bistability iteration then runs on cheap vectorised
+interpolations, so the whole computation is a few inverter-solve
+passes regardless of the noise bisection depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sram.cell import SixTCell
+from repro.sram.solver import bisect_monotone
+
+#: Input-grid resolution for the transfer curves.
+_N_GRID = 129
+#: Noise-amplitude bisection steps (resolution vdd/2 / 2^steps).
+_BISECTION_STEPS = 14
+#: Fixed-point sweeps per bistability check.
+_FP_SWEEPS = 60
+#: Minimum separation of the two fixed points to call the cell bistable.
+_BISTABLE_TOL = 2e-3
+
+
+def inverter_vtc(
+    cell: SixTCell,
+    side: str,
+    vdd: float,
+    vin: np.ndarray,
+    read_mode: bool = False,
+    vbody_n: float = 0.0,
+) -> np.ndarray:
+    """Transfer curve of one cell inverter, optionally read-loaded.
+
+    Args:
+        cell: cell population.
+        side: ``"left"`` (PL/NL driving node L, input = node R) or
+            ``"right"`` (PR/NR driving node R, input = node L).
+        vdd: supply [V].
+        vin: input voltages, shape (m,).
+        read_mode: include the access transistor pulling the output
+            toward the precharged bitline (wordline high).
+        vbody_n: NMOS body bias [V].
+
+    Returns:
+        Output voltages of shape (m, n) for a population of n cells.
+    """
+    if side == "left":
+        pu, pd, ax = cell.device("pl"), cell.device("nl"), cell.device("axl")
+    elif side == "right":
+        pu, pd, ax = cell.device("pr"), cell.device("nr"), cell.device("axr")
+    else:
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    n = cell.population
+    out = np.empty((len(vin), n))
+    for i, v_in in enumerate(np.asarray(vin, dtype=float)):
+
+        def net(v_out: np.ndarray) -> np.ndarray:
+            i_up = pu.current(vg=v_in, vd=v_out, vs=vdd, vb=vdd)
+            i_down = pd.current(vg=v_in, vd=v_out, vs=0.0, vb=vbody_n)
+            total = i_up - i_down
+            if read_mode:
+                total = total + ax.current(
+                    vg=vdd, vd=vdd, vs=v_out, vb=vbody_n
+                )
+            return total
+
+        out[i] = bisect_monotone(net, 0.0, vdd, (n,))
+    return out
+
+
+def _interp_columns(
+    grid_values: np.ndarray, x: np.ndarray, x0: float, dx: float
+) -> np.ndarray:
+    """Per-column linear interpolation on a uniform grid.
+
+    ``grid_values`` has shape (m, n); ``x`` holds one query point per
+    column (shape (n,)); queries clamp to the grid span.
+    """
+    m = grid_values.shape[0]
+    t = np.clip((x - x0) / dx, 0.0, m - 1 - 1e-9)
+    index = t.astype(np.intp)
+    frac = t - index
+    cols = np.arange(grid_values.shape[1])
+    return (
+        grid_values[index, cols] * (1.0 - frac)
+        + grid_values[index + 1, cols] * frac
+    )
+
+
+def butterfly_snm(
+    cell: SixTCell,
+    vdd: float,
+    read_mode: bool = False,
+    vbody_n: float = 0.0,
+    n_grid: int = _N_GRID,
+) -> np.ndarray:
+    """Per-cell SNM [V] by bisection on the series noise amplitude.
+
+    For the state (L=1, R=0) the worst-case noise pair raises the input
+    of the left inverter and lowers the input of the right one:
+
+        VL = f_left(VR + Vn)        VR = f_right(VL - Vn)
+
+    The cell tolerates ``Vn`` iff this map still has two distinct
+    stable fixed points (checked by iterating from both rails).  The
+    SNM of the lobe is the critical ``Vn``; the cell SNM is the minimum
+    over the two noise polarities (the two lobes).  A cell that is not
+    bistable even at Vn = 0 reports 0.
+    """
+    vin = np.linspace(0.0, vdd, n_grid)
+    dx = float(vin[1] - vin[0])
+    vtc_left = inverter_vtc(cell, "left", vdd, vin, read_mode, vbody_n)
+    vtc_right = inverter_vtc(cell, "right", vdd, vin, read_mode, vbody_n)
+    n = cell.population
+
+    def fixed_point(start: float, vn: np.ndarray, sign: float) -> np.ndarray:
+        """Iterate the noisy feedback map from VR = ``start``."""
+        vr = np.full(n, float(start))
+        for _ in range(_FP_SWEEPS):
+            vl = _interp_columns(vtc_left, vr + sign * vn, 0.0, dx)
+            vr = _interp_columns(vtc_right, vl - sign * vn, 0.0, dx)
+        return vr
+
+    def bistable(vn: np.ndarray, sign: float) -> np.ndarray:
+        low = fixed_point(0.0, vn, sign)
+        high = fixed_point(vdd, vn, sign)
+        return (high - low) > _BISTABLE_TOL
+
+    snm = np.full(n, np.inf)
+    for sign in (+1.0, -1.0):
+        lo = np.zeros(n)            # known bistable (or not even at 0)
+        hi = np.full(n, vdd / 2.0)  # assumed flipped
+        ok_at_zero = bistable(lo, sign)
+        for _ in range(_BISECTION_STEPS):
+            mid = 0.5 * (lo + hi)
+            good = bistable(mid, sign)
+            lo = np.where(good, mid, lo)
+            hi = np.where(good, hi, mid)
+        lobe = np.where(ok_at_zero, 0.5 * (lo + hi), 0.0)
+        snm = np.minimum(snm, lobe)
+    return snm
+
+
+def hold_snm(cell: SixTCell, vdd: float, vbody_n: float = 0.0) -> np.ndarray:
+    """Hold (standby) SNM [V] at supply ``vdd``."""
+    return butterfly_snm(cell, vdd, read_mode=False, vbody_n=vbody_n)
+
+
+def read_snm(cell: SixTCell, vdd: float, vbody_n: float = 0.0) -> np.ndarray:
+    """Read SNM [V]: the butterfly with the access transistors engaged."""
+    return butterfly_snm(cell, vdd, read_mode=True, vbody_n=vbody_n)

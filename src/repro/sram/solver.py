@@ -1,0 +1,322 @@
+"""Vectorised DC solvers for the 6T cell.
+
+Per-sample SPICE is far too slow for the paper's statistics (failure
+probabilities down to 1e-5 need >= 1e5 weighted samples per corner).
+Fortunately every static cell problem the paper's failure metrics need is
+either a *single-node* KCL equation whose net-current function is strictly
+decreasing in the node voltage — solved here by vectorised bisection — or
+the two-node standby retention problem, solved by a Gauss-Seidel fixed
+point over two such monotone single-node solves.
+
+All functions broadcast over the cell population: with `dvt` arrays of
+shape (n,) every solve handles the entire Monte-Carlo population in one
+pass of numpy operations.  The solutions are cross-validated against the
+general-purpose MNA engine (:mod:`repro.circuit`) in the integration
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sram.cell import SixTCell
+
+#: Bisection iterations; resolves voltages to vdd / 2^30 ~ 1e-9 V.
+_BISECT_ITERS = 30
+#: Gauss-Seidel sweeps for the two-node hold problem.
+_HOLD_SWEEPS = 40
+#: Hold fixed-point convergence tolerance [V].
+_HOLD_TOL = 1e-7
+
+
+def bisect_monotone(
+    net_current: Callable[[np.ndarray], np.ndarray],
+    lo: float,
+    hi: float,
+    shape: tuple[int, ...],
+    iters: int = _BISECT_ITERS,
+) -> np.ndarray:
+    """Solve ``net_current(v) = 0`` for a strictly decreasing function.
+
+    ``net_current`` must be vectorised and (elementwise) decreasing in
+    ``v``; the root is bracketed by ``[lo, hi]``.  If the function has no
+    sign change in the bracket the result clamps to the corresponding
+    endpoint, which is the physically right answer for rail-clamped
+    nodes.
+    """
+    lo_v = np.full(shape, float(lo))
+    hi_v = np.full(shape, float(hi))
+    for _ in range(iters):
+        mid = 0.5 * (lo_v + hi_v)
+        positive = net_current(mid) > 0.0
+        lo_v = np.where(positive, mid, lo_v)
+        hi_v = np.where(positive, hi_v, mid)
+    return 0.5 * (lo_v + hi_v)
+
+
+def solve_read_node(
+    cell: SixTCell, vdd: float, vbody_n: float = 0.0
+) -> np.ndarray:
+    """V_READ [V]: the '0'-node voltage during a read access.
+
+    Wordline and both bitlines at VDD; the node storing '0' (R) rises to
+    the divider voltage of the access transistor (pulling up from the
+    precharged bitline) against the pull-down NR (gate at the '1' node,
+    assumed to stay at VDD).  This is the paper's V_READ.
+    """
+    axr = cell.device("axr")
+    nr = cell.device("nr")
+    shape = np.broadcast_shapes(
+        np.shape(axr.dvt) or (1,), np.shape(nr.dvt) or (1,)
+    )
+
+    def net(v: np.ndarray) -> np.ndarray:
+        i_up = axr.current(vg=vdd, vd=vdd, vs=v, vb=vbody_n)
+        i_down = nr.current(vg=vdd, vd=v, vs=0.0, vb=vbody_n)
+        return i_up - i_down
+
+    return bisect_monotone(net, 0.0, vdd, shape)
+
+
+def solve_inverter_trip(
+    pull_up,
+    pull_down,
+    vdd: float,
+    vss: float = 0.0,
+    vbody_n: float = 0.0,
+) -> np.ndarray:
+    """Switching threshold VM [V] of a CMOS inverter (vout == vin point).
+
+    ``pull_up`` is a PMOS with source/body at ``vdd``; ``pull_down`` an
+    NMOS with source at ``vss`` and body at ``vbody_n``.  VM is where the
+    pull-up and pull-down currents balance with input tied to output —
+    the standard static trip-point used by the paper's read/write/hold
+    failure criteria.
+    """
+    shape = np.broadcast_shapes(
+        np.shape(pull_up.dvt) or (1,), np.shape(pull_down.dvt) or (1,)
+    )
+
+    def net(v: np.ndarray) -> np.ndarray:
+        i_up = pull_up.current(vg=v, vd=v, vs=vdd, vb=vdd)
+        i_down = pull_down.current(vg=v, vd=v, vs=vss, vb=vbody_n)
+        return i_up - i_down
+
+    return bisect_monotone(net, vss, vdd, shape)
+
+
+def solve_read_trip(
+    cell: SixTCell, vdd: float, vbody_n: float = 0.0
+) -> np.ndarray:
+    """V_TRIPRD [V]: trip point of the PL-NL inverter during read.
+
+    The read disturbs node R upward; the cell flips if V_READ exceeds the
+    switching threshold of the inverter whose input is node R (PL/NL).
+    """
+    return solve_inverter_trip(
+        cell.device("pl"), cell.device("nl"), vdd, vss=0.0, vbody_n=vbody_n
+    )
+
+
+def solve_write_node(
+    cell: SixTCell, vdd: float, vbody_n: float = 0.0
+) -> np.ndarray:
+    """V_WR [V]: the '1'-node voltage while writing a '0' into it.
+
+    BL is driven to 0 with the wordline high; the access transistor AXL
+    fights the pull-up PL (whose gate, node R, is near 0).  A write
+    succeeds only if this divider voltage falls below the trip point of
+    the other inverter (PR/NR).
+    """
+    pl = cell.device("pl")
+    axl = cell.device("axl")
+    shape = np.broadcast_shapes(
+        np.shape(pl.dvt) or (1,), np.shape(axl.dvt) or (1,)
+    )
+
+    def net(v: np.ndarray) -> np.ndarray:
+        i_up = pl.current(vg=0.0, vd=v, vs=vdd, vb=vdd)
+        i_down = axl.current(vg=vdd, vd=v, vs=0.0, vb=vbody_n)
+        return i_up - i_down
+
+    return bisect_monotone(net, 0.0, vdd, shape)
+
+
+def solve_write_time(
+    cell: SixTCell,
+    vdd: float,
+    vbody_n: float = 0.0,
+    node_capacitance: float = 2e-15,
+    n_points: int = 9,
+) -> np.ndarray:
+    """Write time [s]: discharging the '1' node below the flip threshold.
+
+    During a write-0, the access transistor AXL (bitline at 0) must pull
+    node L from VDD down past the PR-NR trip point against the pull-up
+    PL before the wordline pulse ends.  The time is the charge integral
+
+        T = C_node * integral_{VM}^{VDD} dV / (I_AXL(V) - I_PL(V))
+
+    evaluated with composite Simpson quadrature, vectorised over the
+    population.  This is the mechanism through which reverse body bias
+    (which weakens AXL) and the high-Vt corner *increase* write
+    failures, matching the paper's Fig. 2.  Where the pull-up ever beats
+    the access transistor (a static write failure) the time is infinite.
+    """
+    if n_points < 3 or n_points % 2 == 0:
+        raise ValueError("n_points must be an odd integer >= 3")
+    pl = cell.device("pl")
+    axl = cell.device("axl")
+    v_stop = solve_write_trip(cell, vdd, vbody_n)
+    span = vdd - v_stop
+
+    # Composite Simpson weights on [0, 1].
+    s = np.linspace(0.0, 1.0, n_points)
+    w = np.ones(n_points)
+    w[1:-1:2] = 4.0
+    w[2:-1:2] = 2.0
+    w *= 1.0 / (3.0 * (n_points - 1))
+
+    inv_sum = np.zeros(np.shape(v_stop))
+    static_fail = np.zeros(np.shape(v_stop), dtype=bool)
+    for sk, wk in zip(s, w):
+        v = v_stop + sk * span
+        i_down = axl.current(vg=vdd, vd=v, vs=0.0, vb=vbody_n)
+        i_up = np.abs(pl.current(vg=0.0, vd=v, vs=vdd, vb=vdd))
+        net = i_down - i_up
+        static_fail |= net <= 0.0
+        inv_sum = inv_sum + wk / np.maximum(net, 1e-30)
+    t_write = node_capacitance * span * inv_sum
+    return np.where(static_fail, np.inf, t_write)
+
+
+def solve_write_trip(
+    cell: SixTCell, vdd: float, vbody_n: float = 0.0
+) -> np.ndarray:
+    """V_TRIPWR [V]: trip point of the PR-NR inverter (write criterion)."""
+    return solve_inverter_trip(
+        cell.device("pr"), cell.device("nr"), vdd, vss=0.0, vbody_n=vbody_n
+    )
+
+
+def solve_access_current(
+    cell: SixTCell, vdd: float, vbody_n: float = 0.0
+) -> np.ndarray:
+    """Bitline discharge current [A] while reading the '0' node.
+
+    Evaluated at the self-consistent read voltage: the current through
+    the access transistor equals the pull-down current at V_READ.  The
+    access time is ``C_BL * dV_BL / I_access``, so an access failure is a
+    *minimum-current* criterion.
+    """
+    v_read = solve_read_node(cell, vdd, vbody_n)
+    axr = cell.device("axr")
+    return np.asarray(
+        axr.current(vg=vdd, vd=vdd, vs=v_read, vb=vbody_n), dtype=float
+    )
+
+
+def solve_hold_state(
+    cell: SixTCell,
+    vdd_standby: float,
+    vsb: float = 0.0,
+    vbody_n: float = 0.0,
+    bitline: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Standby node voltages (VL, VR) of a cell storing '1' at L.
+
+    Wordline low, bitlines precharged (``bitline`` defaults to the
+    standby supply), cell source line raised to ``vsb``.  The solution is
+    a Gauss-Seidel fixed point: each node's KCL is strictly decreasing in
+    its own voltage, so each half-step is a vectorised bisection.
+    Initialising at the held state (VL = vdd, VR = vsb) makes the
+    iteration converge to the *retained* solution when it exists; when
+    retention is lost the fixed point collapses toward the flipped /
+    degenerate solution, which the hold-margin criterion then flags.
+    """
+    bl = vdd_standby if bitline is None else bitline
+    devices = {
+        name: cell.device(name)
+        for name in ("pl", "pr", "nl", "nr", "axl", "axr")
+    }
+    shape = np.broadcast_shapes(
+        *(np.shape(d.dvt) or (1,) for d in devices.values())
+    )
+    n = int(np.prod(shape)) if shape else 1
+    # Flatten per-device threshold shifts so the active-set logic below
+    # can index them; scalar dvt broadcasts to the population.
+    dvt_flat = {
+        name: np.broadcast_to(np.asarray(d.dvt, dtype=float), shape).reshape(n)
+        for name, d in devices.items()
+    }
+
+    def subset_devices(index: np.ndarray) -> dict:
+        return {
+            name: devices[name].with_dvt(dvt_flat[name][index])
+            for name in devices
+        }
+
+    def net_l(dev: dict, v: np.ndarray, vr_now: np.ndarray) -> np.ndarray:
+        i_pu = dev["pl"].current(vg=vr_now, vd=v, vs=vdd_standby, vb=vdd_standby)
+        i_ax = dev["axl"].current(vg=0.0, vd=bl, vs=v, vb=vbody_n)
+        i_pd = dev["nl"].current(vg=vr_now, vd=v, vs=vsb, vb=vbody_n)
+        return i_pu + i_ax - i_pd
+
+    def net_r(dev: dict, v: np.ndarray, vl_now: np.ndarray) -> np.ndarray:
+        i_pu = dev["pr"].current(vg=vl_now, vd=v, vs=vdd_standby, vb=vdd_standby)
+        i_ax = dev["axr"].current(vg=0.0, vd=bl, vs=v, vb=vbody_n)
+        i_pd = dev["nr"].current(vg=vl_now, vd=v, vs=vsb, vb=vbody_n)
+        return i_pu + i_ax - i_pd
+
+    lo = min(0.0, vsb)
+    hi = max(vdd_standby, bl)
+    vl = np.full(n, float(vdd_standby))
+    vr = np.full(n, float(vsb))
+
+    # Gauss-Seidel with an active set: cells whose voltages stop moving
+    # drop out of the sweep, so a handful of near-critical stragglers
+    # does not force full-population iterations.
+    active = np.arange(n)
+    dev_active = subset_devices(active)
+    for _ in range(_HOLD_SWEEPS):
+        vr_a = vr[active]
+        vl_new = bisect_monotone(
+            lambda v: net_l(dev_active, v, vr_a), lo, hi, active.shape
+        )
+        vr_new = bisect_monotone(
+            lambda v: net_r(dev_active, v, vl_new), lo, hi, active.shape
+        )
+        moved = np.maximum(
+            np.abs(vl_new - vl[active]), np.abs(vr_new - vr[active])
+        )
+        vl[active] = vl_new
+        vr[active] = vr_new
+        still = moved > _HOLD_TOL
+        if not np.any(still):
+            break
+        if np.count_nonzero(still) < active.size:
+            active = active[still]
+            dev_active = subset_devices(active)
+    return vl.reshape(shape), vr.reshape(shape)
+
+
+def solve_hold_trip(
+    cell: SixTCell,
+    vdd_standby: float,
+    vsb: float = 0.0,
+    vbody_n: float = 0.0,
+) -> np.ndarray:
+    """Trip point [V] of the PR-NR inverter under standby rails.
+
+    The cell loses its '1' at node L when VL droops below this threshold
+    (the PR/NR inverter then flips node R high and the feedback completes
+    the data loss).  Under source bias the pull-down source sits at VSB,
+    which raises the trip point — one of the two mechanisms by which
+    source biasing erodes hold margin.
+    """
+    return solve_inverter_trip(
+        cell.device("pr"), cell.device("nr"), vdd_standby, vss=vsb,
+        vbody_n=vbody_n,
+    )

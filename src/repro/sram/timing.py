@@ -1,0 +1,93 @@
+"""Array timing: bitline discharge, access and cycle time.
+
+Turns the cell-level access current into the array-level quantity a
+designer actually budgets: the time for the accessed cell to develop
+the sense-amplifier differential on a bitline loaded by every cell in
+the column.  This is what makes the access-failure criterion physical
+(``T_access <= T_max``  <=>  ``I_access >= C_BL * dV / T_max``) and
+what quantifies the *performance* benefit of forward body bias that the
+paper trades leakage for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sram.array import ArrayOrganization
+from repro.sram.cell import SixTCell
+from repro.sram.solver import solve_access_current, solve_write_time
+
+
+@dataclass(frozen=True)
+class BitlineModel:
+    """Capacitive load of one bitline.
+
+    Attributes:
+        c_cell: drain-junction + wire capacitance per attached cell [F].
+        c_fixed: column-end fixed capacitance (sense amp, mux) [F].
+        sense_differential: bitline swing the sense amplifier needs [V].
+    """
+
+    c_cell: float = 1.5e-15
+    c_fixed: float = 10e-15
+    sense_differential: float = 0.1
+
+    def capacitance(self, rows: int) -> float:
+        """Total bitline capacitance [F] for a column of ``rows`` cells."""
+        if rows <= 0:
+            raise ValueError(f"rows must be positive, got {rows}")
+        return self.c_fixed + rows * self.c_cell
+
+
+def access_time(
+    cell: SixTCell,
+    organization: ArrayOrganization,
+    vdd: float,
+    vbody_n: float = 0.0,
+    bitline: BitlineModel | None = None,
+) -> np.ndarray:
+    """Bitline development time [s] for the accessed cell(s).
+
+    ``T = C_BL * dV_sense / I_access`` with the access current evaluated
+    at the self-consistent read-disturb level.  Vectorised over the cell
+    population.
+    """
+    bitline = bitline if bitline is not None else BitlineModel()
+    c_bl = bitline.capacitance(organization.rows)
+    i_access = solve_access_current(cell, vdd, vbody_n)
+    return c_bl * bitline.sense_differential / np.maximum(i_access, 1e-30)
+
+
+def read_cycle_time(
+    cell: SixTCell,
+    organization: ArrayOrganization,
+    vdd: float,
+    vbody_n: float = 0.0,
+    bitline: BitlineModel | None = None,
+    overhead_fraction: float = 0.6,
+) -> np.ndarray:
+    """First-order read cycle [s]: bitline development plus periphery.
+
+    The decode/precharge/sense overhead is modelled as a fixed fraction
+    of the cycle (``overhead_fraction``), the standard coarse budget for
+    a compiled macro: ``T_cycle = T_access / (1 - overhead)``.
+    """
+    if not 0.0 <= overhead_fraction < 1.0:
+        raise ValueError("overhead_fraction must be in [0, 1)")
+    t_access = access_time(cell, organization, vdd, vbody_n, bitline)
+    return t_access / (1.0 - overhead_fraction)
+
+
+def write_cycle_time(
+    cell: SixTCell,
+    vdd: float,
+    vbody_n: float = 0.0,
+    overhead_fraction: float = 0.6,
+) -> np.ndarray:
+    """First-order write cycle [s] from the cell flip time."""
+    if not 0.0 <= overhead_fraction < 1.0:
+        raise ValueError("overhead_fraction must be in [0, 1)")
+    t_write = solve_write_time(cell, vdd, vbody_n)
+    return t_write / (1.0 - overhead_fraction)

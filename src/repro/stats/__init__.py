@@ -1,0 +1,45 @@
+"""Statistical machinery: Monte Carlo, importance sampling, CLT, yield.
+
+Everything here is deliberately generic — the failure analyzer and the
+leakage-spread experiments are thin users of these primitives:
+
+* :mod:`repro.stats.montecarlo` — seeded, batched Monte-Carlo driving;
+* :mod:`repro.stats.sampling` — sigma-scaled Gaussian importance
+  sampling for rare failure events;
+* :mod:`repro.stats.distributions` — lognormal cell-leakage fits and the
+  central-limit aggregation to array leakage (paper Eq. 2);
+* :mod:`repro.stats.integration` — Gauss-Hermite expectation over the
+  inter-die distribution;
+* :mod:`repro.stats.yield_model` — leakage yield (paper Eqs. 3-4) and
+  parametric yield (paper Eq. 1).
+"""
+
+from repro.stats.distributions import (
+    array_leakage_distribution,
+    lognormal_fit,
+    normal_cdf,
+)
+from repro.stats.integration import expect_over_corners
+from repro.stats.montecarlo import (
+    MonteCarloResult,
+    probability_of,
+    weighted_quantile,
+)
+from repro.stats.qmc import sobol_cell_dvt
+from repro.stats.sampling import ImportanceSample, importance_sample_dvt
+from repro.stats.yield_model import leakage_yield, parametric_yield_from_pfail
+
+__all__ = [
+    "probability_of",
+    "MonteCarloResult",
+    "weighted_quantile",
+    "sobol_cell_dvt",
+    "ImportanceSample",
+    "importance_sample_dvt",
+    "lognormal_fit",
+    "normal_cdf",
+    "array_leakage_distribution",
+    "expect_over_corners",
+    "leakage_yield",
+    "parametric_yield_from_pfail",
+]

@@ -1,0 +1,74 @@
+"""Sigma-scaled Gaussian importance sampling for rare failure events.
+
+Cell failure probabilities in region B of the paper's Fig. 2 reach 1e-5
+and below; plain Monte Carlo would need >= 1e7 samples per sweep point.
+We instead draw the intra-die Vt deltas from an *inflated* Gaussian
+(every sigma multiplied by ``scale``) and weight each sample by the
+likelihood ratio
+
+    w = prod_i  N(x_i; 0, sigma_i) / N(x_i; 0, scale * sigma_i)
+      = scale^d * exp(-0.5 * sum_i (x_i/sigma_i)^2 (1 - 1/scale^2))
+
+so the weighted indicator mean is an unbiased estimate of the true
+failure probability while the tails are sampled orders of magnitude more
+often.  ``scale = 1`` degenerates to plain MC; the estimator is
+validated against plain MC in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sram.cell import TRANSISTORS, CellGeometry, cell_sigma_vt
+from repro.technology.parameters import TechnologyParameters
+
+
+@dataclass(frozen=True)
+class ImportanceSample:
+    """A weighted intra-die Vt sample set for one cell population.
+
+    Attributes:
+        dvt: transistor name -> deltas [V], each of shape (n,).
+        weights: likelihood ratios, shape (n,); ``mean(weights) ~ 1``.
+    """
+
+    dvt: dict[str, np.ndarray]
+    weights: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return self.weights.size
+
+
+def importance_sample_dvt(
+    tech: TechnologyParameters,
+    geometry: CellGeometry,
+    rng: np.random.Generator,
+    size: int,
+    scale: float = 2.0,
+) -> ImportanceSample:
+    """Draw ``size`` cells from the sigma-inflated proposal.
+
+    Args:
+        tech: technology card (supplies the Pelgrom sigmas).
+        geometry: cell geometry.
+        rng: random generator.
+        size: number of cells.
+        scale: sigma inflation factor (>= 1).  2.0 resolves
+            probabilities down to ~1e-7 with ~1e5 samples.
+    """
+    if scale < 1.0:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    sigmas = cell_sigma_vt(tech, geometry)
+    dvt: dict[str, np.ndarray] = {}
+    z2_sum = np.zeros(size)
+    for name in TRANSISTORS:
+        sigma = sigmas[name]
+        x = rng.normal(0.0, scale * sigma, size=size)
+        dvt[name] = x
+        z2_sum += np.square(x / sigma)
+    d = len(TRANSISTORS)
+    log_w = d * np.log(scale) - 0.5 * z2_sum * (1.0 - 1.0 / (scale * scale))
+    return ImportanceSample(dvt=dvt, weights=np.exp(log_w))

@@ -1,0 +1,58 @@
+"""Yield metrics: leakage yield (Eqs. 3-4) and parametric yield (Eq. 1).
+
+*Leakage yield* is the fraction of dies whose total memory leakage stays
+below a maximum bound L_MAX; per corner it is the Gaussian tail
+probability ``Phi((L_MAX - mu_MEM) / sigma_MEM)`` (Eq. 3), and the yield
+is its expectation over the inter-die distribution (Eq. 4).
+
+*Parametric yield* is the fraction of dies whose memory is repairable by
+the available redundancy — the expectation of ``1 - P_mem_fail`` over
+the inter-die distribution (Eq. 1, generalised from the paper's
+three-region decomposition to the full integral).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.stats.distributions import NormalDistribution
+from repro.stats.integration import expect_over_corners
+from repro.technology.corners import ProcessCorner
+from repro.technology.variation import InterDieDistribution
+
+
+def leakage_yield(
+    distribution: InterDieDistribution,
+    array_leakage_at: Callable[[ProcessCorner], NormalDistribution],
+    l_max: float,
+    order: int = 15,
+) -> float:
+    """Fraction of dies with total leakage below ``l_max`` [A].
+
+    Args:
+        distribution: inter-die Vt distribution.
+        array_leakage_at: per-corner CLT Gaussian of the array leakage
+            (after whatever repair scheme is being evaluated).
+        l_max: the maximum allowed memory leakage [A].
+        order: quadrature order.
+    """
+    if l_max <= 0:
+        raise ValueError(f"l_max must be positive, got {l_max}")
+
+    def pass_probability(corner: ProcessCorner) -> float:
+        return float(array_leakage_at(corner).cdf(l_max))
+
+    return expect_over_corners(distribution, pass_probability, order)
+
+
+def parametric_yield_from_pfail(
+    distribution: InterDieDistribution,
+    memory_fail_at: Callable[[ProcessCorner], float],
+    order: int = 15,
+) -> float:
+    """Fraction of dies whose memory survives repair (paper Eq. 1)."""
+
+    def pass_probability(corner: ProcessCorner) -> float:
+        return 1.0 - float(memory_fail_at(corner))
+
+    return expect_over_corners(distribution, pass_probability, order)

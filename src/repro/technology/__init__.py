@@ -1,0 +1,37 @@
+"""Predictive technology description: parameters, corners, and variation.
+
+This package plays the role of the BPTM 70 nm predictive device cards used
+by the paper.  It defines:
+
+* :class:`~repro.technology.parameters.DeviceParameters` and
+  :class:`~repro.technology.parameters.TechnologyParameters` — the compact
+  model cards for NMOS/PMOS plus global technology constants;
+* :func:`~repro.technology.parameters.predictive_70nm` — the default
+  "predictive 70 nm" technology used throughout the reproduction;
+* :class:`~repro.technology.corners.ProcessCorner` — an inter-die threshold
+  voltage shift (the paper's ``Vt_inter``);
+* :class:`~repro.technology.variation.RandomDopantFluctuation` — the
+  Pelgrom-scaled intra-die Vt variation model;
+* :class:`~repro.technology.variation.InterDieDistribution` — the Gaussian
+  die-to-die Vt distribution.
+"""
+
+from repro.technology.corners import ProcessCorner
+from repro.technology.parameters import (
+    DeviceParameters,
+    TechnologyParameters,
+    predictive_70nm,
+)
+from repro.technology.variation import (
+    InterDieDistribution,
+    RandomDopantFluctuation,
+)
+
+__all__ = [
+    "DeviceParameters",
+    "TechnologyParameters",
+    "predictive_70nm",
+    "ProcessCorner",
+    "RandomDopantFluctuation",
+    "InterDieDistribution",
+]

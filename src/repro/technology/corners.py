@@ -1,0 +1,46 @@
+"""Inter-die process corners.
+
+The paper characterises a die by a single scalar, the inter-die threshold
+voltage shift ``Vt_inter``.  A *negative* shift is the "low-Vt" corner
+(leaky, read/hold-failure prone); a *positive* shift is the "high-Vt"
+corner (slow, access/write-failure prone).  Following the paper's
+convention the shift moves the NMOS and PMOS threshold magnitudes
+together: at the high-Vt corner both |Vtn| and |Vtp| increase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """A single die's inter-die parameter shift.
+
+    Attributes:
+        dvt_inter: inter-die Vt shift [V], applied as ``+dvt`` to the NMOS
+            threshold and ``+dvt`` to the PMOS threshold magnitude.
+    """
+
+    dvt_inter: float = 0.0
+
+    @property
+    def is_low_vt(self) -> bool:
+        """True when the die sits at a leaky (negative-shift) corner."""
+        return self.dvt_inter < 0.0
+
+    @property
+    def is_high_vt(self) -> bool:
+        """True when the die sits at a slow (positive-shift) corner."""
+        return self.dvt_inter > 0.0
+
+    def shifted(self, extra_dvt: float) -> "ProcessCorner":
+        """Return a corner with an additional Vt shift applied."""
+        return ProcessCorner(self.dvt_inter + extra_dvt)
+
+    def __str__(self) -> str:
+        return f"corner({self.dvt_inter * 1e3:+.1f} mV)"
+
+
+#: The nominal corner (no inter-die shift).
+NOMINAL = ProcessCorner(0.0)

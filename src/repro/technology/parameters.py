@@ -1,0 +1,189 @@
+"""Compact-model parameter cards for the predictive 70 nm technology.
+
+The paper evaluates everything on the Berkeley Predictive Technology Model
+(BPTM) 70 nm node with HSPICE.  We substitute a self-contained EKV-style
+compact model (see :mod:`repro.devices.mosfet`); this module holds the
+parameter cards that drive it.  The numbers below are representative of a
+sub-90 nm bulk CMOS process (VDD = 1.0 V, ~85 mV/dec subthreshold swing,
+|Vt| around 0.25 V) and were chosen so that the behaviours the paper
+relies on are present with realistic magnitudes:
+
+* nominal 6T-cell leakage of a few to a few tens of nA at 27 C
+  (Fig. 3a's axis),
+* roughly 50 mV of threshold modulation per 0.4 V of body bias,
+* junction band-to-band tunnelling that grows exponentially under reverse
+  body bias and a body diode that turns on under strong forward body bias
+  (the two bounds of Fig. 5a),
+* Pelgrom-scaled RDF sigma of ~30 mV for a minimum-size transistor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.constants import ROOM_TEMPERATURE_K
+
+#: Vacuum permittivity [F/m].
+_EPS0 = 8.8541878128e-12
+#: Relative permittivity of SiO2.
+_EPS_SIO2 = 3.9
+
+
+@dataclass(frozen=True)
+class DeviceParameters:
+    """Compact-model card for one MOSFET polarity.
+
+    All voltages are magnitudes referenced the natural way for the carrier
+    type; the device model (:mod:`repro.devices.mosfet`) flips signs for
+    PMOS.  The card is geometry-independent: width and length live on the
+    device instances.
+    """
+
+    #: Zero-bias threshold voltage magnitude [V].
+    vth0: float
+    #: Subthreshold slope factor ``n`` (swing = n * Ut * ln 10).
+    n_sub: float
+    #: Low-field mobility [m^2 / (V s)].
+    mobility: float
+    #: Body-effect coefficient gamma [sqrt(V)].
+    gamma: float
+    #: Surface potential 2*phi_F [V].
+    phi_s: float
+    #: DIBL coefficient [V/V]: vth reduction per volt of Vds.
+    dibl: float
+    #: Mobility-degradation coefficient theta [1/V] (vertical field).
+    theta: float
+    #: Gate-tunnelling areal current density at Vox = 1 V [A/m^2].
+    j_gate: float
+    #: Gate-tunnelling exponential slope [V]: j = j_gate * exp((v - 1)/v0).
+    v0_gate: float
+    #: Reverse junction saturation current density [A/m^2].
+    j_jn: float
+    #: Band-to-band tunnelling density at 1 V reverse bias [A/m^2].
+    j_btbt: float
+    #: BTBT exponential slope [V].
+    v0_btbt: float
+    #: Body-diode forward saturation density [A/m^2] (FBB leakage bound).
+    j_diode: float
+    #: Body-diode ideality factor.
+    m_diode: float
+    #: Pelgrom mismatch coefficient A_VT [V * m] (sigma_vt = avt/sqrt(W L)).
+    avt: float
+    #: Threshold temperature coefficient [V/K]; vth drops with temperature.
+    vth_tempco: float = 1.0e-3
+    #: Mobility temperature exponent: mu ~ (T/300K)^-exponent.
+    mobility_temp_exponent: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("vth0", "n_sub", "mobility", "gamma", "phi_s"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.n_sub < 1.0:
+            raise ValueError(f"n_sub must be >= 1, got {self.n_sub}")
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """A full technology card: global constants plus both device polarities."""
+
+    #: Human-readable technology name.
+    name: str
+    #: Nominal supply voltage [V].
+    vdd: float
+    #: Drawn channel length [m].
+    length: float
+    #: Gate-oxide thickness [m].
+    tox: float
+    #: Junction temperature [K].
+    temperature: float
+    #: NMOS model card.
+    nmos: DeviceParameters
+    #: PMOS model card.
+    pmos: DeviceParameters
+    #: Effective drain-junction extent; drain area = width * 3 * this [m].
+    junction_depth: float
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        if self.length <= 0:
+            raise ValueError(f"length must be positive, got {self.length}")
+        if self.tox <= 0:
+            raise ValueError(f"tox must be positive, got {self.tox}")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive kelvin")
+
+    @property
+    def cox(self) -> float:
+        """Gate-oxide capacitance per unit area [F/m^2]."""
+        return _EPS0 * _EPS_SIO2 / self.tox
+
+    def device(self, polarity: str) -> DeviceParameters:
+        """Return the card for ``"nmos"`` or ``"pmos"``."""
+        if polarity == "nmos":
+            return self.nmos
+        if polarity == "pmos":
+            return self.pmos
+        raise ValueError(f"polarity must be 'nmos' or 'pmos', got {polarity!r}")
+
+    def junction_area(self, width: float) -> float:
+        """Drain/source junction area [m^2] for a device of ``width`` [m]."""
+        return width * 3.0 * self.junction_depth
+
+    def with_temperature(self, temperature_k: float) -> "TechnologyParameters":
+        """Return a copy of this card at a different junction temperature."""
+        return dataclasses.replace(self, temperature=temperature_k)
+
+
+def predictive_70nm() -> TechnologyParameters:
+    """Return the default predictive 70 nm technology card.
+
+    This is the reproduction's stand-in for the BPTM 70 nm HSPICE cards
+    cited by the paper ([5] in its reference list).
+    """
+    nmos = DeviceParameters(
+        vth0=0.25,
+        n_sub=1.40,
+        mobility=0.0350,
+        gamma=0.25,
+        phi_s=0.80,
+        dibl=0.06,
+        theta=1.3,
+        j_gate=1.4e5,
+        v0_gate=0.12,
+        j_jn=1.0e-4,
+        j_btbt=1.5e4,
+        v0_btbt=0.25,
+        j_diode=10.0,
+        m_diode=2.0,
+        avt=2.5e-9,  # 2.5 mV*um -> ~30 mV sigma for a minimum device
+    )
+    pmos = DeviceParameters(
+        vth0=0.27,
+        n_sub=1.20,
+        mobility=0.0090,
+        gamma=0.25,
+        phi_s=0.80,
+        dibl=0.055,
+        theta=1.1,
+        j_gate=1.5e4,
+        v0_gate=0.13,
+        j_jn=1.0e-4,
+        j_btbt=8.0e3,
+        v0_btbt=0.27,
+        j_diode=10.0,
+        m_diode=2.0,
+        avt=2.5e-9,
+    )
+    return TechnologyParameters(
+        name="predictive-70nm",
+        vdd=1.0,
+        length=70e-9,
+        tox=1.6e-9,
+        temperature=ROOM_TEMPERATURE_K,
+        nmos=nmos,
+        pmos=pmos,
+        junction_depth=100e-9,
+    )

@@ -1,0 +1,108 @@
+"""Statistical variation models: intra-die RDF and inter-die distribution.
+
+Intra-die variation follows the paper's assumption that random dopant
+fluctuation (RDF) makes each transistor's threshold voltage an independent
+Gaussian around the die's corner, with a standard deviation that scales as
+the Pelgrom law ``sigma_vt = A_VT / sqrt(W * L)``.
+
+Inter-die variation is a Gaussian over the scalar ``Vt_inter`` shift with
+a configurable standard deviation (the x-axis of the paper's Figs. 2c, 4b,
+5c and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.technology.corners import ProcessCorner
+from repro.technology.parameters import DeviceParameters
+
+
+@dataclass(frozen=True)
+class RandomDopantFluctuation:
+    """Pelgrom-scaled intra-die threshold-voltage variation.
+
+    Attributes:
+        avt_n: NMOS Pelgrom coefficient [V*m].
+        avt_p: PMOS Pelgrom coefficient [V*m].
+    """
+
+    avt_n: float
+    avt_p: float
+
+    @classmethod
+    def from_devices(
+        cls, nmos: DeviceParameters, pmos: DeviceParameters
+    ) -> "RandomDopantFluctuation":
+        """Build the RDF model from the technology's device cards."""
+        return cls(avt_n=nmos.avt, avt_p=pmos.avt)
+
+    def sigma_vt(self, width: float, length: float, polarity: str = "nmos") -> float:
+        """Return sigma(Vt) [V] for a ``width`` x ``length`` [m] device."""
+        if width <= 0 or length <= 0:
+            raise ValueError("width and length must be positive")
+        avt = self.avt_n if polarity == "nmos" else self.avt_p
+        return avt / np.sqrt(width * length)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        width: float,
+        length: float,
+        size: int | tuple[int, ...],
+        polarity: str = "nmos",
+    ) -> np.ndarray:
+        """Draw intra-die Vt deltas [V] for ``size`` independent devices."""
+        sigma = self.sigma_vt(width, length, polarity)
+        return rng.normal(0.0, sigma, size=size)
+
+
+@dataclass(frozen=True)
+class InterDieDistribution:
+    """Gaussian distribution of the inter-die Vt shift across dies.
+
+    Attributes:
+        sigma: standard deviation of ``Vt_inter`` [V].
+        mean: mean shift [V]; zero for a centred process.
+    """
+
+    sigma: float
+    mean: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    def sample(
+        self, rng: np.random.Generator, size: int | tuple[int, ...]
+    ) -> np.ndarray:
+        """Draw ``size`` inter-die Vt shifts [V]."""
+        return rng.normal(self.mean, self.sigma, size=size)
+
+    def sample_corners(
+        self, rng: np.random.Generator, size: int
+    ) -> list[ProcessCorner]:
+        """Draw ``size`` dies as :class:`ProcessCorner` objects."""
+        return [ProcessCorner(float(dvt)) for dvt in self.sample(rng, size)]
+
+    def quadrature(self, order: int = 15) -> tuple[np.ndarray, np.ndarray]:
+        """Return Gauss-Hermite nodes [V] and probability weights.
+
+        The nodes are inter-die shifts; the weights sum to 1, so
+        ``sum(w_i * f(x_i))`` approximates ``E[f(Vt_inter)]``.
+        """
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        nodes, weights = np.polynomial.hermite_e.hermegauss(order)
+        shifts = self.mean + self.sigma * nodes
+        probabilities = weights / weights.sum()
+        return shifts, probabilities
+
+    def pdf(self, dvt: np.ndarray | float) -> np.ndarray | float:
+        """Gaussian probability density of the shift ``dvt`` [1/V]."""
+        if self.sigma == 0:
+            raise ValueError("pdf undefined for a zero-sigma distribution")
+        z = (np.asarray(dvt, dtype=float) - self.mean) / self.sigma
+        return np.exp(-0.5 * z * z) / (self.sigma * np.sqrt(2.0 * np.pi))

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Heavy artifacts (calibrated criteria, analyzers) are built once per
+session at reduced accuracy: the calibration target is loosened to 1e-2
+so small Monte-Carlo populations resolve it, keeping the suite fast
+while exercising the full code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.failures.criteria import calibrate_criteria
+from repro.sram.cell import CellGeometry
+from repro.sram.metrics import OperatingConditions
+from repro.technology.parameters import predictive_70nm
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The predictive 70 nm technology card."""
+    return predictive_70nm()
+
+
+@pytest.fixture(scope="session")
+def geometry():
+    """The default 6T cell geometry."""
+    return CellGeometry()
+
+
+@pytest.fixture(scope="session")
+def conditions(tech):
+    """Nominal operating conditions."""
+    return OperatingConditions.nominal(tech)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh, seeded random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def fast_criteria(tech, geometry, conditions):
+    """Criteria calibrated to a loose 1e-2 target (fast, well resolved)."""
+    return calibrate_criteria(
+        tech,
+        geometry,
+        conditions,
+        target=1e-2,
+        n_samples=8_000,
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_ctx():
+    """A reduced-accuracy experiment context for integration tests.
+
+    The calibration target stays at 1e-4 (not the loose 1e-2 of
+    ``fast_criteria``) because memory-level yield only makes sense when
+    the redundancy can absorb the nominal cell failure rate; importance
+    sampling resolves the 1e-4 quantiles even from 8k samples.
+    """
+    return ExperimentContext(
+        target=1e-4,
+        calibration_samples=8_000,
+        analysis_samples=4_000,
+        table_grid=7,
+        seed=99,
+    )

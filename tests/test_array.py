@@ -1,0 +1,150 @@
+"""Tests for the functional memory array and its fault semantics."""
+
+import numpy as np
+import pytest
+
+from repro.failures.criteria import FailureCriteria
+from repro.sram.array import ArrayOrganization, FunctionalMemoryArray
+from repro.sram.metrics import OperatingConditions
+
+
+@pytest.fixture(scope="module")
+def small_org():
+    return ArrayOrganization(rows=8, columns=16, redundant_columns=2)
+
+
+@pytest.fixture(scope="module")
+def perfect_criteria():
+    """Criteria no realistic cell can violate: a fault-free array."""
+    return FailureCriteria(
+        delta_read=-1.0,       # margins are always > -1 V
+        t_write_max=1.0,       # writes always finish within a second
+        i_access_min=0.0,      # any positive current passes
+        hold_fraction_min=-2.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def harsh_hold_criteria():
+    """Criteria that make marginal cells fail retention under bias."""
+    return FailureCriteria(
+        delta_read=-1.0,
+        t_write_max=1.0,
+        i_access_min=0.0,
+        hold_fraction_min=0.97,
+    )
+
+
+def _array(tech, org, criteria, seed=0, conditions=None):
+    return FunctionalMemoryArray(
+        tech,
+        org,
+        criteria,
+        conditions=conditions,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestFaultFreeBehaviour:
+    def test_write_read_roundtrip(self, tech, small_org, perfect_criteria):
+        array = _array(tech, small_org, perfect_criteria)
+        array.write_all(True)
+        assert np.all(array.read_all())
+        array.write_all(False)
+        assert not np.any(array.read_all())
+
+    def test_pattern_write(self, tech, small_org, perfect_criteria):
+        array = _array(tech, small_org, perfect_criteria)
+        pattern = np.zeros(array.shape, dtype=bool)
+        pattern[::2] = True
+        array.write_all(pattern)
+        np.testing.assert_array_equal(array.read_all(), pattern)
+
+    def test_row_operations(self, tech, small_org, perfect_criteria):
+        array = _array(tech, small_org, perfect_criteria)
+        array.write_all(False)
+        array.write_row(3, True)
+        observed = array.read_row(3)
+        assert np.all(observed)
+        assert not np.any(array.read_row(2))
+
+    def test_standby_dwell_preserves_data_at_zero_bias(
+        self, tech, small_org, perfect_criteria
+    ):
+        array = _array(tech, small_org, perfect_criteria)
+        array.write_all(True)
+        array.standby_dwell(vsb=0.0)
+        assert np.all(array.read_all())
+
+
+class TestRetentionFaults:
+    def test_high_bias_corrupts_marginal_cells(
+        self, tech, small_org, harsh_hold_criteria
+    ):
+        conditions = OperatingConditions.source_biased_standby(tech)
+        array = _array(tech, small_org, harsh_hold_criteria, seed=3,
+                       conditions=conditions)
+        array.write_all(True)
+        array.standby_dwell(vsb=0.6)
+        # At a punishing source bias with a strict retention criterion,
+        # at least one cell of a 128-cell array should corrupt.
+        assert not np.all(array.data)
+
+    def test_retention_fail_map_monotone_in_vsb(
+        self, tech, small_org, harsh_hold_criteria
+    ):
+        conditions = OperatingConditions.source_biased_standby(tech)
+        array = _array(tech, small_org, harsh_hold_criteria, seed=3,
+                       conditions=conditions)
+        array.write_all(True)
+        low = array.retention_fails(0.3).sum()
+        high = array.retention_fails(0.6).sum()
+        assert high >= low
+
+    def test_retention_cache_reused(self, tech, small_org, harsh_hold_criteria):
+        conditions = OperatingConditions.source_biased_standby(tech)
+        array = _array(tech, small_org, harsh_hold_criteria,
+                       conditions=conditions)
+        array.write_all(True)
+        array.retention_fails(0.5)
+        assert len(array._retention_cache) == 1
+        array.retention_fails(0.5)
+        assert len(array._retention_cache) == 1
+
+
+class TestInjectedStaticFaults:
+    def test_write_fault_blocks_update(self, tech, small_org, perfect_criteria):
+        array = _array(tech, small_org, perfect_criteria)
+        array.write_all(False)
+        # Inject a write fault for the data-1 orientation at (0, 0).
+        fail_d1, fail_d0 = array._static_faults["write"]
+        fail_d1[0, 0] = True
+        array.write_all(True)
+        assert not array.data[0, 0]
+        assert array.data[0, 1]
+
+    def test_read_disturb_flips_cell(self, tech, small_org, perfect_criteria):
+        array = _array(tech, small_org, perfect_criteria)
+        array.write_all(True)
+        fail_d1, fail_d0 = array._static_faults["read"]
+        fail_d1[2, 5] = True
+        observed = array.read_all()
+        assert not observed[2, 5]  # destructive read returned flipped value
+        assert not array.data[2, 5]
+
+    def test_access_fault_returns_precharge(self, tech, small_org,
+                                            perfect_criteria):
+        array = _array(tech, small_org, perfect_criteria)
+        array.write_all(False)
+        fail_d1, fail_d0 = array._static_faults["access"]
+        fail_d0[1, 1] = True
+        observed = array.read_all()
+        assert observed[1, 1]  # sense failure reads the precharge '1'
+        assert not array.data[1, 1]  # content untouched
+
+
+def test_total_columns(tech, small_org, perfect_criteria):
+    array = _array(tech, small_org, perfect_criteria)
+    assert array.total_columns == 18
+    assert array.shape == (8, 18)
+    assert array.column_of(19) == 1

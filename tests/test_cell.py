@@ -1,0 +1,97 @@
+"""Tests for the 6T cell description and variation sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sram.cell import (
+    POLARITY,
+    TRANSISTORS,
+    CellGeometry,
+    SixTCell,
+    cell_sigma_vt,
+    sample_cell_dvt,
+)
+from repro.technology.corners import ProcessCorner
+
+
+class TestCellGeometry:
+    def test_default_ratioing(self, geometry):
+        # Classic read-stable sizing: PD > AX > PU.
+        assert geometry.w_pull_down > geometry.w_access > geometry.w_pull_up
+
+    def test_width_lookup(self, geometry):
+        assert geometry.width("nl") == geometry.w_pull_down
+        assert geometry.width("axr") == geometry.w_access
+        assert geometry.width("pr") == geometry.w_pull_up
+        with pytest.raises(KeyError):
+            geometry.width("nx")
+
+    def test_cell_ratio(self, geometry):
+        assert geometry.cell_ratio == pytest.approx(
+            geometry.w_pull_down / geometry.w_access
+        )
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            CellGeometry(w_pull_down=-1e-9)
+
+
+class TestSampling:
+    def test_sample_keys_and_shapes(self, tech, geometry, rng):
+        dvt = sample_cell_dvt(tech, geometry, rng, 1000)
+        assert set(dvt) == set(TRANSISTORS)
+        assert all(v.shape == (1000,) for v in dvt.values())
+
+    def test_sample_sigma_matches_pelgrom(self, tech, geometry, rng):
+        dvt = sample_cell_dvt(tech, geometry, rng, 100_000)
+        sigmas = cell_sigma_vt(tech, geometry)
+        for name in TRANSISTORS:
+            assert np.std(dvt[name]) == pytest.approx(sigmas[name], rel=0.03)
+
+    def test_narrower_transistor_has_larger_sigma(self, tech, geometry):
+        sigmas = cell_sigma_vt(tech, geometry)
+        assert sigmas["pl"] > sigmas["nl"]  # pull-up is the narrowest
+
+    def test_sigma_scale(self, tech, geometry, rng):
+        dvt = sample_cell_dvt(tech, geometry, rng, 50_000, sigma_scale=2.0)
+        sigmas = cell_sigma_vt(tech, geometry)
+        assert np.std(dvt["nl"]) == pytest.approx(2 * sigmas["nl"], rel=0.05)
+
+
+class TestSixTCell:
+    def test_device_polarity(self, tech, geometry):
+        cell = SixTCell(tech, geometry)
+        for name in TRANSISTORS:
+            assert cell.device(name).polarity == POLARITY[name]
+
+    def test_corner_shift_applied_to_devices(self, tech, geometry):
+        cell = SixTCell(tech, geometry, ProcessCorner(0.05))
+        assert float(cell.device("nl").dvt) == pytest.approx(0.05)
+        assert float(cell.device("pl").dvt) == pytest.approx(0.05)
+
+    def test_corner_plus_intra_die(self, tech, geometry, rng):
+        dvt = sample_cell_dvt(tech, geometry, rng, 10)
+        cell = SixTCell(tech, geometry, ProcessCorner(0.03), dvt)
+        np.testing.assert_allclose(
+            cell.device("nr").dvt, 0.03 + dvt["nr"]
+        )
+
+    def test_population_size(self, tech, geometry, rng):
+        assert SixTCell(tech, geometry).population == 1
+        dvt = sample_cell_dvt(tech, geometry, rng, 42)
+        assert SixTCell(tech, geometry, dvt=dvt).population == 42
+
+    def test_at_corner_preserves_samples(self, tech, geometry, rng):
+        dvt = sample_cell_dvt(tech, geometry, rng, 5)
+        cell = SixTCell(tech, geometry, ProcessCorner(0.0), dvt)
+        moved = cell.at_corner(ProcessCorner(-0.07))
+        assert moved.corner.dvt_inter == pytest.approx(-0.07)
+        assert moved.dvt is dvt
+
+    def test_with_dvt_requires_all_transistors(self, tech, geometry):
+        cell = SixTCell(tech, geometry)
+        with pytest.raises(ValueError):
+            cell.with_dvt({"nl": np.zeros(3)})
+
+    def test_devices_returns_all_six(self, tech, geometry):
+        assert set(SixTCell(tech, geometry).devices()) == set(TRANSISTORS)

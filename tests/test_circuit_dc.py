@@ -1,0 +1,106 @@
+"""Tests for the MNA DC solver."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CurrentSource,
+    Diode,
+    MOSFETElement,
+    Resistor,
+    VoltageSource,
+    solve_dc,
+)
+from repro.circuit.netlist import GROUND
+from repro.devices import make_nmos, make_pmos
+
+
+def test_resistor_divider():
+    ckt = Circuit("divider")
+    ckt.add(VoltageSource("vdd", GROUND, 1.2, name="VDD"))
+    ckt.add(Resistor("vdd", "mid", 2e3))
+    ckt.add(Resistor("mid", GROUND, 1e3))
+    sol = solve_dc(ckt)
+    assert sol["mid"] == pytest.approx(0.4, rel=1e-6)
+    # Branch current flows out of the + terminal through the circuit.
+    assert sol.branch_currents["VDD"] == pytest.approx(-1.2 / 3e3, rel=1e-6)
+
+
+def test_current_source_into_resistor():
+    ckt = Circuit("norton")
+    ckt.add(CurrentSource(GROUND, "out", 1e-3))
+    ckt.add(Resistor("out", GROUND, 1e3))
+    sol = solve_dc(ckt)
+    assert sol["out"] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_diode_clamp():
+    ckt = Circuit("diode")
+    ckt.add(VoltageSource("vin", GROUND, 5.0, name="VIN"))
+    ckt.add(Resistor("vin", "out", 10e3))
+    ckt.add(Diode("out", GROUND, saturation_current=1e-14))
+    sol = solve_dc(ckt)
+    # The diode clamps around 0.6-0.8 V.
+    assert 0.5 < sol["out"] < 0.9
+
+
+def test_nmos_inverter_logic_levels(tech):
+    nmos = make_nmos(tech, width=200e-9)
+    pmos = make_pmos(tech, width=200e-9)
+    for vin, expect_high in ((0.0, True), (1.0, False)):
+        ckt = Circuit("inv")
+        ckt.add(VoltageSource("vdd", GROUND, 1.0, name="VDD"))
+        ckt.add(VoltageSource("in", GROUND, vin, name="VIN"))
+        ckt.add(MOSFETElement("in", "out", GROUND, GROUND, nmos, name="MN"))
+        ckt.add(MOSFETElement("in", "out", "vdd", "vdd", pmos, name="MP"))
+        sol = solve_dc(ckt, initial={"vdd": 1.0, "out": 0.5})
+        if expect_high:
+            assert sol["out"] > 0.95
+        else:
+            assert sol["out"] < 0.05
+
+
+def test_kcl_residual_is_satisfied(tech):
+    """Currents into every node of a solved nonlinear circuit sum to ~0."""
+    nmos = make_nmos(tech, width=140e-9)
+    ckt = Circuit("follower")
+    ckt.add(VoltageSource("vdd", GROUND, 1.0, name="VDD"))
+    ckt.add(MOSFETElement("vdd", "vdd", "out", GROUND, nmos, name="MN"))
+    ckt.add(Resistor("out", GROUND, 1e6))
+    sol = solve_dc(ckt)
+    i_res = sol["out"] / 1e6
+    i_mos = float(
+        nmos.current(vg=1.0, vd=1.0, vs=sol["out"], vb=0.0)
+    )
+    assert i_mos == pytest.approx(i_res, rel=1e-3)
+
+
+def test_empty_circuit_rejected():
+    from repro.circuit.exceptions import CircuitError
+
+    with pytest.raises(CircuitError):
+        solve_dc(Circuit("empty"))
+
+
+def test_bistable_latch_follows_initial_guess(tech):
+    """A cross-coupled inverter pair settles to the seeded state."""
+    nmos = make_nmos(tech, width=200e-9)
+    pmos = make_pmos(tech, width=100e-9)
+    ckt = Circuit("latch")
+    ckt.add(VoltageSource("vdd", GROUND, 1.0, name="VDD"))
+    ckt.add(MOSFETElement("r", "l", GROUND, GROUND, nmos, name="MNL"))
+    ckt.add(MOSFETElement("r", "l", "vdd", "vdd", pmos, name="MPL"))
+    ckt.add(MOSFETElement("l", "r", GROUND, GROUND, nmos, name="MNR"))
+    ckt.add(MOSFETElement("l", "r", "vdd", "vdd", pmos, name="MPR"))
+    sol = solve_dc(ckt, initial={"vdd": 1.0, "l": 1.0, "r": 0.0})
+    assert sol["l"] > 0.9 and sol["r"] < 0.1
+    sol = solve_dc(ckt, initial={"vdd": 1.0, "l": 0.0, "r": 1.0})
+    assert sol["l"] < 0.1 and sol["r"] > 0.9
+
+
+def test_time_dependent_source_evaluated_at_t():
+    ckt = Circuit("ramp")
+    ckt.add(VoltageSource("in", GROUND, lambda t: 2.0 * t, name="VIN"))
+    ckt.add(Resistor("in", GROUND, 1e3))
+    sol = solve_dc(ckt, t=0.25)
+    assert sol["in"] == pytest.approx(0.5, rel=1e-9)

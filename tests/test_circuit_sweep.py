@@ -1,0 +1,88 @@
+"""Tests for DC sweeps and inverter characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    Resistor,
+    VoltageSource,
+    dc_sweep,
+    inverter_vtc,
+    switching_threshold,
+)
+from repro.circuit.sweep import sweep_parameter
+from repro.circuit.netlist import GROUND
+from repro.devices import make_nmos, make_pmos
+
+
+def test_dc_sweep_linear_circuit():
+    ckt = Circuit("divider")
+    src = VoltageSource("in", GROUND, 0.0, name="VIN")
+    ckt.add(src)
+    ckt.add(Resistor("in", "mid", 1e3))
+    ckt.add(Resistor("mid", GROUND, 1e3))
+    values = np.linspace(0.0, 2.0, 5)
+    out = dc_sweep(ckt, src, values, observe="mid")
+    np.testing.assert_allclose(out, values / 2, rtol=1e-6)
+
+
+def test_dc_sweep_restores_source_value():
+    ckt = Circuit("divider")
+    src = VoltageSource("in", GROUND, 0.7, name="VIN")
+    ckt.add(src)
+    ckt.add(Resistor("in", GROUND, 1e3))
+    dc_sweep(ckt, src, np.array([0.0, 1.0]), observe="in")
+    assert src.voltage == 0.7
+
+
+def test_vtc_is_monotone_decreasing(tech):
+    nmos = make_nmos(tech, width=200e-9)
+    pmos = make_pmos(tech, width=100e-9)
+    vin = np.linspace(0.0, 1.0, 21)
+    vout = inverter_vtc(nmos, pmos, 1.0, vin)
+    assert np.all(np.diff(vout) <= 1e-6)
+    assert vout[0] > 0.95
+    assert vout[-1] < 0.05
+
+
+def test_switching_threshold_on_vtc(tech):
+    nmos = make_nmos(tech, width=200e-9)
+    pmos = make_pmos(tech, width=100e-9)
+    vm = switching_threshold(nmos, pmos, 1.0)
+    # At VM the inverter output equals the input.
+    vout = inverter_vtc(nmos, pmos, 1.0, np.array([vm]))
+    assert float(vout[0]) == pytest.approx(vm, abs=1e-3)
+
+
+def test_stronger_pmos_raises_vm(tech):
+    nmos = make_nmos(tech, width=200e-9)
+    weak_p = make_pmos(tech, width=80e-9)
+    strong_p = make_pmos(tech, width=400e-9)
+    assert switching_threshold(nmos, strong_p, 1.0) > switching_threshold(
+        nmos, weak_p, 1.0
+    )
+
+
+def test_source_bias_raises_vm(tech):
+    """Raising the NMOS source rail shifts the trip point up."""
+    nmos = make_nmos(tech, width=200e-9)
+    pmos = make_pmos(tech, width=100e-9)
+    vm0 = switching_threshold(nmos, pmos, 1.0, vss=0.0)
+    vm_biased = switching_threshold(nmos, pmos, 1.0, vss=0.2)
+    assert vm_biased > vm0 + 0.1
+
+
+def test_sweep_parameter_builds_fresh_circuits():
+    """Each sweep point solves a circuit parameterised by the value."""
+
+    def build(r_bottom: float) -> Circuit:
+        ckt = Circuit("divider")
+        ckt.add(VoltageSource("in", GROUND, 1.0, name="VIN"))
+        ckt.add(Resistor("in", "mid", 1e3))
+        ckt.add(Resistor("mid", GROUND, r_bottom))
+        return ckt
+
+    values = np.array([1e3, 3e3])
+    out = sweep_parameter(build, values, observe="mid")
+    np.testing.assert_allclose(out, [0.5, 0.75], rtol=1e-6)

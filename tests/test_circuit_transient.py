@@ -1,0 +1,99 @@
+"""Tests for the backward-Euler transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+    solve_transient,
+)
+from repro.circuit.netlist import GROUND
+
+
+def test_rc_charging_matches_analytic():
+    """Charging an RC through a step source: v = V(1 - exp(-t/RC))."""
+    r, c = 1e3, 1e-9  # tau = 1 us
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("in", GROUND, lambda t: 1.0 if t > 0 else 0.0,
+                          name="VIN"))
+    ckt.add(Resistor("in", "out", r))
+    ckt.add(Capacitor("out", GROUND, c))
+    result = solve_transient(ckt, t_stop=5e-6, dt=2e-8)
+    tau = r * c
+    analytic = 1.0 - np.exp(-result.times[1:] / tau)
+    observed = result["out"][1:]
+    assert np.max(np.abs(observed - analytic)) < 0.02  # BE is 1st order
+
+
+def test_capacitor_open_in_dc():
+    ckt = Circuit("dc-block")
+    ckt.add(VoltageSource("in", GROUND, 1.0, name="VIN"))
+    ckt.add(Resistor("in", "out", 1e3))
+    ckt.add(Capacitor("out", "blocked", 1e-12))
+    ckt.add(Resistor("blocked", GROUND, 1e3))
+    result = solve_transient(ckt, t_stop=1e-6, dt=1e-7)
+    # Long after the (absent) transient, no current flows: out at 1 V.
+    assert result["out"][-1] == pytest.approx(1.0, abs=1e-3)
+    assert result["blocked"][-1] == pytest.approx(0.0, abs=1e-3)
+
+
+def test_crossing_time_interpolates():
+    r, c = 1e3, 1e-9
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("in", GROUND, lambda t: 1.0 if t > 0 else 0.0,
+                          name="VIN"))
+    ckt.add(Resistor("in", "out", r))
+    ckt.add(Capacitor("out", GROUND, c))
+    result = solve_transient(ckt, t_stop=5e-6, dt=2e-8)
+    t_half = result.crossing_time("out", 0.5, rising=True)
+    assert t_half == pytest.approx(np.log(2) * r * c, rel=0.05)
+
+
+def test_crossing_time_raises_when_never_crossed():
+    ckt = Circuit("flat")
+    ckt.add(VoltageSource("in", GROUND, 0.2, name="VIN"))
+    ckt.add(Resistor("in", "out", 1e3))
+    ckt.add(Capacitor("out", GROUND, 1e-12))
+    result = solve_transient(ckt, t_stop=1e-7, dt=1e-8)
+    with pytest.raises(ValueError):
+        result.crossing_time("out", 0.9, rising=True)
+
+
+def test_current_source_integrates_linearly():
+    """I into C || R with tau >> t gives a near-linear ramp dv/dt = I/C.
+
+    The bleed resistor provides the DC path every nodal solver needs
+    (a current source into a floating capacitor is ill-posed in DC,
+    exactly as in SPICE).
+    """
+    ckt = Circuit("integrator")
+    ckt.add(CurrentSource(GROUND, "out", lambda t: 1e-6 if t > 0 else 0.0))
+    ckt.add(Capacitor("out", GROUND, 1e-9))
+    ckt.add(Resistor("out", GROUND, 1e6))  # tau = 1 ms >> 1 us window
+    result = solve_transient(ckt, t_stop=1e-6, dt=1e-8)
+    slope = (result["out"][-1] - result["out"][0]) / result.times[-1]
+    assert slope == pytest.approx(1e-6 / 1e-9, rel=2e-2)
+
+
+def test_invalid_timing_rejected():
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("in", GROUND, 1.0, name="VIN"))
+    ckt.add(Resistor("in", GROUND, 1e3))
+    with pytest.raises(ValueError):
+        solve_transient(ckt, t_stop=0.0, dt=1e-9)
+    with pytest.raises(ValueError):
+        solve_transient(ckt, t_stop=1e-6, dt=-1e-9)
+
+
+def test_companion_state_reset_after_run():
+    ckt = Circuit("rc")
+    cap = Capacitor("out", GROUND, 1e-12)
+    ckt.add(VoltageSource("in", GROUND, 1.0, name="VIN"))
+    ckt.add(Resistor("in", "out", 1e3))
+    ckt.add(cap)
+    solve_transient(ckt, t_stop=1e-8, dt=1e-9)
+    assert cap.companion is None

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list_option(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2a" in out
+    assert "fig10" in out
+
+
+def test_no_argument_lists(capsys):
+    assert main([]) == 0
+    assert "paper figures" in capsys.readouterr().out
+
+
+def test_unknown_figure_errors():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_runs_a_cheap_figure(capsys, monkeypatch):
+    """fig5a needs no calibration; run it through the CLI fast path."""
+    import repro.experiments.__main__ as cli
+    from repro.experiments.context import ExperimentContext
+
+    monkeypatch.setattr(
+        cli, "_fast_context",
+        lambda: ExperimentContext(
+            target=1e-2, calibration_samples=2_000, analysis_samples=1_000,
+            seed=99,
+        ),
+    )
+    assert main(["fig5a", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "vbody" in out
+    assert "regenerated" in out

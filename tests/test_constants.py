@@ -1,0 +1,34 @@
+"""Tests for repro.constants."""
+
+import pytest
+
+from repro.constants import (
+    ROOM_TEMPERATURE_K,
+    celsius_to_kelvin,
+    thermal_voltage,
+)
+
+
+def test_thermal_voltage_at_room_temperature():
+    assert thermal_voltage(ROOM_TEMPERATURE_K) == pytest.approx(0.02587, abs=1e-4)
+
+
+def test_thermal_voltage_scales_linearly():
+    assert thermal_voltage(600.0) == pytest.approx(2 * thermal_voltage(300.0))
+
+
+def test_thermal_voltage_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        thermal_voltage(0.0)
+    with pytest.raises(ValueError):
+        thermal_voltage(-10.0)
+
+
+def test_celsius_conversion():
+    assert celsius_to_kelvin(27.0) == pytest.approx(300.15)
+    assert celsius_to_kelvin(-273.0) == pytest.approx(0.15)
+
+
+def test_celsius_below_absolute_zero_rejected():
+    with pytest.raises(ValueError):
+        celsius_to_kelvin(-300.0)

@@ -1,0 +1,140 @@
+"""Tests for the experiment context, netlist plumbing, and misc edges."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.exceptions import CircuitError, ConvergenceError
+from repro.circuit.netlist import GROUND, Circuit
+from repro.circuit.elements import Resistor, VoltageSource, Capacitor
+from repro.experiments.context import ExperimentContext
+from repro.technology.corners import ProcessCorner
+
+
+class TestExperimentContext:
+    @pytest.fixture(scope="class")
+    def tiny_ctx(self):
+        return ExperimentContext(
+            target=1e-2, calibration_samples=2_000, analysis_samples=1_000,
+            table_grid=5, seed=123,
+        )
+
+    def test_criteria_is_lazy_and_cached(self, tiny_ctx):
+        assert tiny_ctx._criteria is None
+        first = tiny_ctx.criteria
+        second = tiny_ctx.criteria
+        assert first is second
+
+    def test_tables_cached_per_bias(self, tiny_ctx):
+        table_a = tiny_ctx.table(0.0)
+        table_b = tiny_ctx.table(0.0)
+        table_c = tiny_ctx.table(-0.4)
+        assert table_a is table_b
+        assert table_a is not table_c
+
+    def test_analyzer_carries_settings(self, tiny_ctx):
+        analyzer = tiny_ctx.analyzer()
+        assert analyzer.n_samples == 1_000
+        assert analyzer.criteria is tiny_ctx.criteria
+
+    def test_asb_conditions(self, tiny_ctx):
+        conditions = tiny_ctx.asb_conditions(0.3)
+        assert conditions.vsb == 0.3
+        assert conditions.vdd_standby == pytest.approx(0.8)
+
+    def test_scratch_cache(self, tiny_ctx):
+        tiny_ctx.cache["thing"] = 42
+        assert tiny_ctx.cache["thing"] == 42
+
+
+class TestNetlistPlumbing:
+    def test_nodes_track_registration_order(self):
+        ckt = Circuit("order")
+        ckt.add(Resistor("a", "b", 1.0))
+        ckt.add(Resistor("b", "c", 1.0))
+        assert ckt.nodes == [GROUND, "a", "b", "c"]
+        assert ckt.unknown_nodes == ["a", "b", "c"]
+
+    def test_repr_mentions_size(self):
+        ckt = Circuit("thing")
+        ckt.add(Resistor("a", "0", 1.0))
+        text = repr(ckt)
+        assert "thing" in text
+        assert "1 elements" in text
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(CircuitError):
+            Circuit("empty").validate()
+
+    def test_capacitor_and_source_listings(self):
+        ckt = Circuit("mixed")
+        ckt.add(VoltageSource("a", GROUND, 1.0, name="V1"))
+        cap = Capacitor("a", GROUND, 1e-12)
+        ckt.add(cap)
+        assert ckt.capacitors == [cap]
+        assert len(ckt.voltage_sources) == 1
+
+    def test_bad_element_values(self):
+        with pytest.raises(ValueError):
+            Resistor("a", "b", -1.0)
+        with pytest.raises(ValueError):
+            Capacitor("a", "b", 0.0)
+
+    def test_convergence_error_payload(self):
+        error = ConvergenceError("nope", residual=1e-3, iterations=42)
+        assert error.residual == 1e-3
+        assert error.iterations == 42
+        assert "42" in str(error)
+
+
+class TestResultHelpers:
+    def test_fig2c_improvement_and_rows(self):
+        from repro.experiments.repair import Fig2cResult
+
+        result = Fig2cResult(
+            sigmas=np.array([0.02, 0.04]),
+            yields={
+                (64, "zbb"): np.array([0.9, 0.5]),
+                (64, "self_repair"): np.array([0.95, 0.7]),
+            },
+        )
+        np.testing.assert_allclose(result.improvement(64), [5.0, 20.0])
+        rows = result.rows()
+        assert len(rows) == 3
+        assert "sigma" in rows[0]
+
+    def test_fig5b_spread_reduction(self):
+        from repro.experiments.repair import Fig5bResult
+
+        rng = np.random.default_rng(0)
+        wide = rng.normal(1.0, 0.5, 500)
+        narrow = rng.normal(1.0, 0.2, 500)
+        result = Fig5bResult(
+            leakage_zbb=np.abs(wide) + 0.1,
+            leakage_repaired=np.abs(narrow) + 0.1,
+            sigma_inter=0.05,
+        )
+        assert 0.4 < result.spread_reduction < 0.8
+        assert any("spread reduction" in row for row in result.rows())
+
+    def test_monitor_readout_repr_fields(self):
+        from repro.core.monitor import CornerBin, MonitorReadout
+
+        readout = MonitorReadout(leakage=1e-3, vout=1.5,
+                                 bin=CornerBin.NOMINAL)
+        assert readout.bin is CornerBin.NOMINAL
+        assert readout.vout == 1.5
+
+
+class TestCornersMisc:
+    def test_table_rejects_unknown_grid(self):
+        from repro.core.tables import FailureProbabilityTable
+
+        ctx = ExperimentContext(
+            target=1e-2, calibration_samples=2_000, analysis_samples=500,
+            seed=5,
+        )
+        table = FailureProbabilityTable(
+            ctx.analyzer(), corner_min=-0.05, corner_max=0.05, n_grid=5
+        )
+        # clamps, never raises, for any float
+        assert 0.0 <= table.probability(ProcessCorner(99.0)) <= 1.0

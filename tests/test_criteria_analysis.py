@@ -1,0 +1,115 @@
+"""Tests for criteria calibration and the failure analyzer."""
+
+import pytest
+
+from repro.failures.analysis import CellFailureAnalyzer
+from repro.failures.criteria import calibrate_criteria
+from repro.technology.corners import ProcessCorner
+
+
+class TestCalibration:
+    def test_calibration_is_deterministic(self, tech, geometry, conditions):
+        a = calibrate_criteria(tech, geometry, conditions, target=1e-2,
+                               n_samples=4000, seed=5)
+        b = calibrate_criteria(tech, geometry, conditions, target=1e-2,
+                               n_samples=4000, seed=5)
+        assert a == b
+
+    def test_calibration_equalises_probabilities(
+        self, tech, geometry, conditions, fast_criteria
+    ):
+        """Each mechanism hits its target at the nominal/ZBB point."""
+        analyzer = CellFailureAnalyzer(
+            tech, fast_criteria, geometry, conditions,
+            n_samples=30_000, scale=1.5, seed=21,
+        )
+        probs = analyzer.failure_probabilities(ProcessCorner(0.0))
+        for name in ("read", "write", "access", "hold"):
+            estimate = probs[name].estimate
+            assert 0.3e-2 < estimate < 3e-2, f"{name}: {estimate}"
+
+    def test_tighter_target_tightens_thresholds(self, tech, geometry,
+                                                conditions):
+        loose = calibrate_criteria(tech, geometry, conditions, target=3e-2,
+                                   n_samples=4000, seed=5)
+        tight = calibrate_criteria(tech, geometry, conditions, target=3e-3,
+                                   n_samples=12_000, seed=5)
+        assert tight.delta_read < loose.delta_read
+        assert tight.t_write_max > loose.t_write_max
+        assert tight.i_access_min < loose.i_access_min
+
+    def test_invalid_targets_rejected(self, tech, geometry, conditions):
+        with pytest.raises(ValueError):
+            calibrate_criteria(tech, geometry, conditions, target=0.0)
+        with pytest.raises(ValueError):
+            calibrate_criteria(tech, geometry, conditions, target=0.9)
+        with pytest.raises(ValueError):
+            calibrate_criteria(tech, geometry, conditions, target=1e-2,
+                               hold_target=0.9)
+
+
+class TestAnalyzer:
+    @pytest.fixture(scope="class")
+    def analyzer(self, tech, geometry, conditions, fast_criteria):
+        return CellFailureAnalyzer(
+            tech, fast_criteria, geometry, conditions,
+            n_samples=20_000, scale=1.5, seed=31,
+        )
+
+    def test_bathtub_over_corners(self, analyzer):
+        """Failure probability rises at both inter-die extremes."""
+        low = analyzer.failure_probabilities(ProcessCorner(-0.08))
+        mid = analyzer.failure_probabilities(ProcessCorner(0.0))
+        high = analyzer.failure_probabilities(ProcessCorner(0.08))
+        assert low["any"].estimate > 3 * mid["any"].estimate
+        assert high["any"].estimate > 3 * mid["any"].estimate
+
+    def test_mechanism_asymmetry(self, analyzer):
+        """Read dominates the low-Vt corner, access the high-Vt corner."""
+        low = analyzer.failure_probabilities(ProcessCorner(-0.08))
+        high = analyzer.failure_probabilities(ProcessCorner(0.08))
+        assert low["read"].estimate > low["access"].estimate
+        assert high["access"].estimate > high["read"].estimate
+
+    def test_union_bounds_components(self, analyzer):
+        probs = analyzer.failure_probabilities(ProcessCorner(0.02))
+        union = probs["any"].estimate
+        for name in ("read", "write", "access", "hold"):
+            assert union >= probs[name].estimate * 0.999
+
+    def test_rbb_helps_low_vt_die(self, analyzer, conditions):
+        corner = ProcessCorner(-0.08)
+        zbb = analyzer.failure_probabilities(corner)
+        rbb = analyzer.failure_probabilities(
+            corner, conditions.with_body_bias(-0.4)
+        )
+        assert rbb["any"].estimate < 0.3 * zbb["any"].estimate
+
+    def test_fbb_helps_high_vt_die(self, analyzer, conditions):
+        corner = ProcessCorner(0.08)
+        zbb = analyzer.failure_probabilities(corner)
+        fbb = analyzer.failure_probabilities(
+            corner, conditions.with_body_bias(0.4)
+        )
+        assert fbb["any"].estimate < 0.5 * zbb["any"].estimate
+
+    def test_reproducible_per_point(self, analyzer):
+        a = analyzer.failure_probabilities(ProcessCorner(0.03))
+        b = analyzer.failure_probabilities(ProcessCorner(0.03))
+        assert a["any"].estimate == b["any"].estimate
+
+    def test_hold_shortcut_matches_full(self, analyzer):
+        corner = ProcessCorner(-0.05)
+        full = analyzer.failure_probabilities(corner)["hold"].estimate
+        short = analyzer.hold_failure_probability(corner).estimate
+        assert short == pytest.approx(full, rel=1e-9)
+
+    def test_unknown_mechanism_rejected(self, analyzer):
+        probs = analyzer.failure_probabilities(ProcessCorner(0.0))
+        with pytest.raises(KeyError):
+            probs["latchup"]
+
+    def test_as_dict(self, analyzer):
+        probs = analyzer.failure_probabilities(ProcessCorner(0.0))
+        d = probs.as_dict()
+        assert set(d) == {"read", "write", "access", "hold", "any"}

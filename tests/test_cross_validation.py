@@ -1,0 +1,128 @@
+"""Cross-validation: vectorised cell solvers vs the general MNA engine.
+
+The statistical machinery rides entirely on the fast solvers in
+:mod:`repro.sram.solver`; these tests rebuild the same cell problems as
+explicit netlists and check both engines agree to sub-millivolt level,
+including under body bias and for randomly perturbed cells.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, MOSFETElement, VoltageSource, solve_dc
+from repro.circuit.netlist import GROUND
+from repro.sram.cell import SixTCell, sample_cell_dvt
+from repro.sram.solver import (
+    solve_hold_state,
+    solve_read_node,
+    solve_read_trip,
+    solve_write_node,
+)
+from repro.technology.corners import ProcessCorner
+
+VDD = 1.0
+
+
+def _read_circuit(cell: SixTCell, vbody: float) -> Circuit:
+    """The read divider: AXR from the precharged bitline against NR."""
+    ckt = Circuit("read")
+    ckt.add(VoltageSource("vdd", GROUND, VDD, name="VDD"))
+    ckt.add(VoltageSource("vb", GROUND, vbody, name="VB"))
+    ckt.add(MOSFETElement("vdd", "vdd", "r", "vb", cell.device("axr"),
+                          name="AXR"))
+    ckt.add(MOSFETElement("vdd", "r", GROUND, "vb", cell.device("nr"),
+                          name="NR"))
+    return ckt
+
+
+def _write_circuit(cell: SixTCell, vbody: float) -> Circuit:
+    """The write divider: PL (gate low) against AXL pulling to BL=0."""
+    ckt = Circuit("write")
+    ckt.add(VoltageSource("vdd", GROUND, VDD, name="VDD"))
+    ckt.add(VoltageSource("vb", GROUND, vbody, name="VB"))
+    ckt.add(MOSFETElement(GROUND, "l", "vdd", "vdd", cell.device("pl"),
+                          name="PL"))
+    ckt.add(MOSFETElement("vdd", "l", GROUND, "vb", cell.device("axl"),
+                          name="AXL"))
+    return ckt
+
+
+def _hold_circuit(cell: SixTCell, vdd_standby: float, vsb: float) -> Circuit:
+    """The full standby cell: both inverters plus access leakage paths."""
+    ckt = Circuit("hold")
+    ckt.add(VoltageSource("vdd", GROUND, vdd_standby, name="VDD"))
+    ckt.add(VoltageSource("vsl", GROUND, vsb, name="VSL"))
+    ckt.add(MOSFETElement("r", "l", "vdd", "vdd", cell.device("pl"), name="PL"))
+    ckt.add(MOSFETElement("r", "l", "vsl", GROUND, cell.device("nl"), name="NL"))
+    ckt.add(MOSFETElement("l", "r", "vdd", "vdd", cell.device("pr"), name="PR"))
+    ckt.add(MOSFETElement("l", "r", "vsl", GROUND, cell.device("nr"), name="NR"))
+    ckt.add(MOSFETElement(GROUND, "vdd", "l", GROUND, cell.device("axl"),
+                          name="AXL"))
+    ckt.add(MOSFETElement(GROUND, "vdd", "r", GROUND, cell.device("axr"),
+                          name="AXR"))
+    return ckt
+
+
+@pytest.fixture(scope="module")
+def cells(tech=None, geometry=None):
+    """A nominal cell plus a few randomly perturbed cells."""
+    from repro.sram.cell import CellGeometry
+    from repro.technology import predictive_70nm
+
+    tech = predictive_70nm()
+    geometry = CellGeometry()
+    rng = np.random.default_rng(7)
+    dvt = sample_cell_dvt(tech, geometry, rng, 3)
+    out = [SixTCell(tech, geometry, ProcessCorner(0.0))]
+    for i in range(3):
+        single = {k: np.array([v[i]]) for k, v in dvt.items()}
+        out.append(SixTCell(tech, geometry, ProcessCorner(0.0), single))
+    return out
+
+
+@pytest.mark.parametrize("vbody", [0.0, -0.4, 0.4])
+def test_read_node_matches_mna(cells, vbody):
+    for cell in cells:
+        fast = float(np.atleast_1d(solve_read_node(cell, VDD, vbody))[0])
+        sol = solve_dc(_read_circuit(cell, vbody),
+                       initial={"vdd": VDD, "r": 0.2})
+        assert fast == pytest.approx(sol["r"], abs=1e-4)
+
+
+@pytest.mark.parametrize("vbody", [0.0, -0.4])
+def test_write_node_matches_mna(cells, vbody):
+    for cell in cells:
+        fast = float(np.atleast_1d(solve_write_node(cell, VDD, vbody))[0])
+        sol = solve_dc(_write_circuit(cell, vbody),
+                       initial={"vdd": VDD, "l": 0.1})
+        assert fast == pytest.approx(sol["l"], abs=1e-4)
+
+
+def test_read_trip_matches_inverter_threshold(cells):
+    """The vectorised trip solve equals the MNA switching threshold."""
+    from repro.circuit import switching_threshold
+
+    for cell in cells[:2]:
+        fast = float(np.atleast_1d(solve_read_trip(cell, VDD))[0])
+        vm = switching_threshold(
+            cell.device("nl"), cell.device("pl"), VDD
+        )
+        assert fast == pytest.approx(vm, abs=1e-3)
+
+
+@pytest.mark.parametrize("vsb", [0.0, 0.3])
+def test_hold_state_matches_mna(cells, vsb):
+    vdd_standby = 0.8
+    for cell in cells:
+        vl_fast, vr_fast = solve_hold_state(cell, vdd_standby, vsb=vsb)
+        sol = solve_dc(
+            _hold_circuit(cell, vdd_standby, vsb),
+            initial={"vdd": vdd_standby, "vsl": vsb,
+                     "l": vdd_standby, "r": vsb},
+        )
+        assert float(np.atleast_1d(vl_fast)[0]) == pytest.approx(
+            sol["l"], abs=2e-4
+        )
+        assert float(np.atleast_1d(vr_fast)[0]) == pytest.approx(
+            sol["r"], abs=2e-4
+        )

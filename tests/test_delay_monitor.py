@@ -1,0 +1,183 @@
+"""Tests for the ring oscillator and delay-based corner binning."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    MOSFETElement,
+    VoltageSource,
+)
+from repro.circuit.netlist import GROUND
+from repro.circuit.transient import solve_transient
+from repro.core.delay_monitor import (
+    CombinedMonitor,
+    DelayMonitor,
+    RingOscillator,
+)
+from repro.core.monitor import CornerBin, LeakageMonitor
+from repro.devices import make_nmos, make_pmos
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def oscillator():
+    from repro.technology import predictive_70nm
+
+    return RingOscillator(predictive_70nm())
+
+
+class TestRingOscillator:
+    def test_construction_validation(self, tech):
+        with pytest.raises(ValueError):
+            RingOscillator(tech, n_stages=4)
+        with pytest.raises(ValueError):
+            RingOscillator(tech, n_stages=1)
+        with pytest.raises(ValueError):
+            RingOscillator(tech, c_load=-1e-15)
+
+    def test_high_vt_corner_is_slower(self, oscillator):
+        nominal = oscillator.period(ProcessCorner(0.0))
+        slow = oscillator.period(ProcessCorner(0.1))
+        fast = oscillator.period(ProcessCorner(-0.1))
+        assert fast < nominal < slow
+        assert slow > 1.1 * nominal
+
+    def test_fbb_speeds_the_ring_up(self, oscillator):
+        zbb = oscillator.period(ProcessCorner(0.0), vbody_n=0.0)
+        fbb = oscillator.period(ProcessCorner(0.0), vbody_n=0.25)
+        rbb = oscillator.period(ProcessCorner(0.0), vbody_n=-0.4)
+        assert fbb < zbb < rbb
+
+    def test_frequency_is_inverse_period(self, oscillator):
+        corner = ProcessCorner(0.02)
+        assert oscillator.frequency(corner) == pytest.approx(
+            1.0 / oscillator.period(corner)
+        )
+
+    def test_matches_transient_ring_simulation(self, tech):
+        """The analytic period agrees with a simulated 3-stage ring.
+
+        The MNA engine integrates the actual cross-coupled ring (load
+        capacitors per stage) from a perturbed start; the period is
+        measured between successive rising crossings of VDD/2.
+        """
+        oscillator = RingOscillator(tech, n_stages=3, wn=200e-9,
+                                    wp=400e-9, c_load=2e-15)
+        ckt = Circuit("ring3")
+        ckt.add(VoltageSource("vdd", GROUND, 1.0, name="VDD"))
+        nmos = make_nmos(tech, 200e-9)
+        pmos = make_pmos(tech, 400e-9)
+        nodes = ["n0", "n1", "n2"]
+        for i in range(3):
+            inp, out = nodes[i], nodes[(i + 1) % 3]
+            ckt.add(MOSFETElement(inp, out, GROUND, GROUND, nmos,
+                                  name=f"MN{i}"))
+            ckt.add(MOSFETElement(inp, out, "vdd", "vdd", pmos,
+                                  name=f"MP{i}"))
+            ckt.add(Capacitor(out, GROUND, 2e-15))
+        # The ring's DC operating point is the metastable midpoint; a
+        # brief startup current kick knocks it into oscillation (real
+        # rings start from noise).
+        ckt.add(CurrentSource(
+            GROUND, "n0", lambda t: 100e-6 if 0 < t < 5e-12 else 0.0,
+            name="KICK",
+        ))
+        result = solve_transient(
+            ckt, t_stop=300e-12, dt=0.25e-12,
+            initial={"vdd": 1.0, "n0": 0.45, "n1": 0.45, "n2": 0.45},
+        )
+        wave = result["n0"]
+        crossings = np.nonzero((wave[:-1] < 0.5) & (wave[1:] >= 0.5))[0]
+        assert crossings.size >= 3
+        periods = np.diff(result.times[crossings])
+        simulated = float(np.median(periods))
+        analytic = oscillator.period(ProcessCorner(0.0))
+        assert analytic == pytest.approx(simulated, rel=0.15)
+
+
+class TestDelayMonitor:
+    @pytest.fixture(scope="class")
+    def monitor(self, oscillator):
+        return DelayMonitor.calibrate(oscillator.tech, bin_boundary=0.035,
+                                      oscillator=oscillator)
+
+    def test_reference_ordering(self, monitor):
+        assert monitor.period_fast < monitor.period_slow
+        with pytest.raises(ValueError):
+            DelayMonitor(monitor.oscillator, 2e-10, 1e-10)
+
+    def test_classification(self, monitor):
+        assert monitor.classify(ProcessCorner(-0.08)) is CornerBin.LOW_VT
+        assert monitor.classify(ProcessCorner(0.0)) is CornerBin.NOMINAL
+        assert monitor.classify(ProcessCorner(0.08)) is CornerBin.HIGH_VT
+
+    def test_agrees_with_leakage_monitor(self, monitor, tech, geometry):
+        """Both sensors bin true-corner dies identically."""
+        from repro.sram.cell import SixTCell, sample_cell_dvt
+        from repro.sram.leakage import cell_leakage
+
+        n_cells = 8192
+        leakage_monitor = LeakageMonitor.calibrate_references(
+            tech, geometry, n_cells, n_samples=4000
+        )
+        for shift in (-0.08, 0.0, 0.08):
+            rng = np.random.default_rng(5)
+            dvt = sample_cell_dvt(tech, geometry, rng, 4000)
+            cell = SixTCell(tech, geometry, ProcessCorner(shift), dvt)
+            leakage = n_cells * float(np.mean(cell_leakage(cell).total))
+            assert leakage_monitor.classify(leakage) is monitor.classify(
+                ProcessCorner(shift)
+            )
+
+
+class TestCombinedMonitor:
+    @pytest.fixture(scope="class")
+    def combined(self, tech, geometry, oscillator):
+        leakage = LeakageMonitor.calibrate_references(
+            tech, geometry, 8192, n_samples=4000
+        )
+        delay = DelayMonitor.calibrate(tech, oscillator=oscillator)
+        return CombinedMonitor(leakage, delay)
+
+    def test_agreement_passes_through(self, combined, oscillator):
+        period = oscillator.period(ProcessCorner(0.08))
+        leaky = combined.leakage_monitor.lower.vref / \
+            combined.leakage_monitor.r_sense * 0.5
+        assert combined.classify(leaky, period) is CornerBin.HIGH_VT
+
+    def test_disagreement_defaults_to_nominal(self, combined, oscillator):
+        """A hot die: leaky *and* slow-ish — conflicting evidence."""
+        period_nominal = oscillator.period(ProcessCorner(0.0))
+        very_leaky = combined.leakage_monitor.upper.vref / \
+            combined.leakage_monitor.r_sense * 2.0
+        assert combined.classify(very_leaky, period_nominal) is \
+            CornerBin.NOMINAL
+
+    def test_temperature_robustness(self, tech, geometry):
+        """An 85C nominal die fools the leakage monitor but not the
+        combined one — the reason the companion work fuses sensors."""
+        from repro.sram.cell import SixTCell, sample_cell_dvt
+        from repro.sram.leakage import cell_leakage
+
+        hot_tech = tech.with_temperature(273.15 + 85.0)
+        n_cells = 8192
+        leakage_monitor = LeakageMonitor.calibrate_references(
+            tech, geometry, n_cells, n_samples=4000
+        )
+        delay = DelayMonitor.calibrate(tech)
+        combined = CombinedMonitor(leakage_monitor, delay)
+
+        rng = np.random.default_rng(6)
+        dvt = sample_cell_dvt(hot_tech, geometry, rng, 4000)
+        hot_die = SixTCell(hot_tech, geometry, ProcessCorner(0.0), dvt)
+        hot_leakage = n_cells * float(np.mean(cell_leakage(hot_die).total))
+        # Leakage alone misbins the hot nominal die as LOW_VT...
+        assert leakage_monitor.classify(hot_leakage) is CornerBin.LOW_VT
+        # ...but the hot ring is *slower*, not faster, so fusion refuses.
+        hot_ring = RingOscillator(hot_tech)
+        hot_period = hot_ring.period(ProcessCorner(0.0))
+        assert combined.classify(hot_leakage, hot_period) is not \
+            CornerBin.LOW_VT

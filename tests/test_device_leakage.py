@@ -1,0 +1,82 @@
+"""Tests for the closed-form leakage components."""
+
+import numpy as np
+import pytest
+
+from repro.constants import thermal_voltage
+from repro.devices import (
+    gate_leakage,
+    junction_leakage,
+    junction_leakage_magnitude,
+    make_nmos,
+    subthreshold_leakage,
+)
+
+
+@pytest.fixture(scope="module")
+def ut():
+    return thermal_voltage()
+
+
+class TestGateLeakage:
+    def test_scales_with_area(self, tech):
+        one = gate_leakage(tech.nmos, 100e-9, 70e-9, 1.0)
+        four = gate_leakage(tech.nmos, 200e-9, 140e-9, 1.0)
+        assert float(four) == pytest.approx(4 * float(one))
+
+    def test_exponential_in_oxide_voltage(self, tech):
+        low = float(gate_leakage(tech.nmos, 100e-9, 70e-9, 0.5))
+        high = float(gate_leakage(tech.nmos, 100e-9, 70e-9, 1.0))
+        expected_ratio = np.exp(0.5 / tech.nmos.v0_gate)
+        assert high / low == pytest.approx(expected_ratio, rel=1e-9)
+
+    def test_symmetric_in_sign(self, tech):
+        assert float(gate_leakage(tech.nmos, 1e-7, 7e-8, -0.8)) == pytest.approx(
+            float(gate_leakage(tech.nmos, 1e-7, 7e-8, 0.8))
+        )
+
+
+class TestJunctionLeakage:
+    def test_reverse_bias_grows_btbt(self, tech, ut):
+        area = tech.junction_area(200e-9)
+        i1 = float(junction_leakage(tech.nmos, area, 1.0, ut))
+        i2 = float(junction_leakage(tech.nmos, area, 1.4, ut))
+        assert i2 > 2 * i1
+
+    def test_zero_bias_zero_current_nearly(self, tech, ut):
+        area = tech.junction_area(200e-9)
+        i = float(junction_leakage(tech.nmos, area, 0.0, ut))
+        # Only the (tiny) BTBT extrapolation remains at zero bias.
+        assert abs(i) < 1e-10
+
+    def test_forward_bias_negative_and_explosive(self, tech, ut):
+        area = tech.junction_area(200e-9)
+        i_small = float(junction_leakage(tech.nmos, area, -0.3, ut))
+        i_large = float(junction_leakage(tech.nmos, area, -0.55, ut))
+        assert i_small < 0 and i_large < 0
+        assert abs(i_large) > 50 * abs(i_small)
+
+    def test_forward_exponent_clipped(self, tech, ut):
+        area = tech.junction_area(200e-9)
+        i = float(junction_leakage(tech.nmos, area, -5.0, ut))
+        assert np.isfinite(i)
+
+    def test_magnitude_wrapper(self, tech, ut):
+        area = tech.junction_area(200e-9)
+        assert float(
+            junction_leakage_magnitude(tech.nmos, area, -0.5, ut)
+        ) == pytest.approx(-float(junction_leakage(tech.nmos, area, -0.5, ut)))
+
+
+class TestSubthresholdLeakage:
+    def test_matches_device_off_current(self, tech):
+        device = make_nmos(tech, width=200e-9)
+        direct = float(device.subthreshold_current(1.0))
+        wrapped = float(subthreshold_leakage(device, 1.0))
+        assert wrapped == pytest.approx(direct)
+
+    def test_rbb_suppression(self, tech):
+        device = make_nmos(tech, width=200e-9)
+        assert float(subthreshold_leakage(device, 1.0, vsb=0.4)) < float(
+            subthreshold_leakage(device, 1.0, vsb=0.0)
+        )

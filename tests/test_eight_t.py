@@ -1,0 +1,117 @@
+"""Tests for the read-decoupled 8T cell."""
+
+import numpy as np
+import pytest
+
+from repro.sram.eight_t import (
+    EightTCell,
+    EightTGeometry,
+    eight_t_failure_probabilities,
+    sample_eight_t,
+)
+from repro.sram.cell import CellGeometry, SixTCell
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def tech8():
+    from repro.technology import predictive_70nm
+
+    return predictive_70nm()
+
+
+class TestGeometry:
+    def test_defaults(self):
+        buffer = EightTGeometry()
+        assert buffer.area_overhead == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EightTGeometry(w_read_driver=-1e-9)
+
+
+class TestReadStack:
+    def test_stack_current_magnitude(self, tech8):
+        cell = EightTCell(SixTCell(tech8, CellGeometry()), EightTGeometry())
+        i = float(np.atleast_1d(cell.read_stack_current(1.0))[0])
+        # A two-NMOS stack: below a single device's on-current but still
+        # a healthy read current.
+        single = float(
+            np.atleast_1d(
+                SixTCell(tech8, CellGeometry()).device("nl").on_current(1.0)
+            )[0]
+        )
+        assert 0.1 * single < i < single
+
+    def test_fbb_strengthens_the_stack(self, tech8):
+        cell = EightTCell(SixTCell(tech8, CellGeometry()), EightTGeometry())
+        zbb = float(np.atleast_1d(cell.read_stack_current(1.0, 0.0))[0])
+        fbb = float(np.atleast_1d(cell.read_stack_current(1.0, 0.25))[0])
+        rbb = float(np.atleast_1d(cell.read_stack_current(1.0, -0.4))[0])
+        assert rbb < zbb < fbb
+
+    def test_high_vt_corner_weakens_the_stack(self, tech8):
+        nominal = EightTCell(
+            SixTCell(tech8, CellGeometry(), ProcessCorner(0.0)),
+            EightTGeometry(),
+        )
+        slow = EightTCell(
+            SixTCell(tech8, CellGeometry(), ProcessCorner(0.08)),
+            EightTGeometry(),
+        )
+        assert float(np.atleast_1d(slow.read_stack_current(1.0))[0]) < float(
+            np.atleast_1d(nominal.read_stack_current(1.0))[0]
+        )
+
+
+class TestFailureComparison:
+    def test_read_failures_eliminated(self, tech8, conditions, fast_criteria):
+        rng = np.random.default_rng(5)
+        cell, weights = sample_eight_t(tech8, rng, 3_000)
+        probs = eight_t_failure_probabilities(
+            cell, weights, fast_criteria, conditions
+        )
+        assert probs["read"].estimate == 0.0
+        assert probs["any"].estimate >= probs["write"].estimate
+
+    def test_8t_beats_6t_at_the_leaky_corner(self, tech8, conditions,
+                                             fast_criteria):
+        """The paper's low-Vt read wall disappears with the 8T cell."""
+        from repro.failures.analysis import CellFailureAnalyzer
+
+        corner = ProcessCorner(-0.08)
+        analyzer = CellFailureAnalyzer(
+            tech8, fast_criteria, CellGeometry(), conditions,
+            n_samples=4_000, scale=1.5, seed=77,
+        )
+        p6 = analyzer.failure_probabilities(corner)
+        rng = np.random.default_rng(6)
+        cell, weights = sample_eight_t(
+            tech8, rng, 4_000, corner=corner, scale=1.5
+        )
+        p8 = eight_t_failure_probabilities(
+            cell, weights, fast_criteria, conditions
+        )
+        # Read dominated the 6T at this corner; the 8T removes it.
+        assert p6["read"].estimate > 0.05
+        assert p8["any"].estimate < 0.5 * p6["any"].estimate
+
+    def test_write_and_hold_are_shared_with_the_core(self, tech8, conditions,
+                                                     fast_criteria):
+        """8T write/hold equal the 6T values for the same core samples."""
+        from repro.sram.metrics import compute_cell_metrics
+
+        rng = np.random.default_rng(7)
+        cell, weights = sample_eight_t(tech8, rng, 2_000)
+        p8 = eight_t_failure_probabilities(
+            cell, weights, fast_criteria, conditions
+        )
+        metrics = compute_cell_metrics(cell.core, conditions)
+        from repro.stats.montecarlo import probability_of
+
+        expected_write = probability_of(
+            fast_criteria.write_fails(metrics), weights
+        )
+        assert p8["write"].estimate == pytest.approx(
+            expected_write.estimate, rel=1e-12
+        )

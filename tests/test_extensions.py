@@ -1,0 +1,148 @@
+"""Integration tests for the extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import extensions
+from repro.experiments.registry import EXTENSIONS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    from repro.experiments.context import ExperimentContext
+
+    return ExperimentContext(
+        target=1e-4,
+        calibration_samples=8_000,
+        analysis_samples=4_000,
+        table_grid=7,
+        seed=99,
+    )
+
+
+class TestExtDelay:
+    def test_sensors_agree_on_true_corners(self, ctx):
+        result = extensions.ext_delay(
+            ctx, shifts=np.array([-0.08, 0.0, 0.08]), n_cells=65536
+        )
+        assert result.decisions["leakage"] == result.decisions["delay"]
+        assert result.decisions["combined"] == result.decisions["leakage"]
+        assert result.decisions["leakage"] == [
+            "low_vt", "nominal", "high_vt"
+        ]
+
+    def test_hot_die_fools_leakage_only(self, ctx):
+        result = extensions.ext_delay(
+            ctx, shifts=np.array([0.0]), n_cells=65536
+        )
+        assert result.hot_decisions["leakage"] == "low_vt"
+        assert result.hot_decisions["combined"] != "low_vt"
+        assert any("hot" in row for row in result.rows())
+
+
+class TestExtDrv:
+    def test_drv_statistics(self, ctx):
+        result = extensions.ext_drv(ctx, n_samples=2_000, n_cells=16_384)
+        drv_zbb = result.cell_drv[0.0]
+        assert np.median(drv_zbb) < 0.5
+        # Array extremes dominate the cell median.
+        assert result.array_quantiles[0.0] > np.median(drv_zbb)
+        # The safe supply covers the array distribution.
+        assert result.safe_voltage >= result.array_quantiles[0.0]
+        assert len(result.rows()) >= 3
+
+
+class TestExtPerformance:
+    def test_fbb_recovers_speed_at_slow_corners(self, ctx):
+        result = extensions.ext_performance(
+            ctx, shifts=np.linspace(-0.1, 0.1, 5)
+        )
+        # Unrepaired access time grows monotonically with the corner.
+        assert np.all(np.diff(result.t_access_zbb) > 0)
+        # At the slow extreme the repair buys back a chunk of speed.
+        assert result.t_access_repaired[-1] < result.t_access_zbb[-1]
+        # At nominal the policy applies no bias: identical timings.
+        mid = len(result.shifts) // 2
+        assert result.t_access_repaired[mid] == pytest.approx(
+            result.t_access_zbb[mid]
+        )
+
+    def test_cycle_exceeds_access(self, ctx):
+        result = extensions.ext_performance(ctx, shifts=np.array([0.0]))
+        assert result.t_cycle_zbb[0] > result.t_access_zbb[0]
+
+
+class TestExtTemperature:
+    def test_leakage_grows_with_temperature(self, ctx):
+        result = extensions.ext_temperature(
+            ctx, temperatures_c=np.array([27.0, 85.0]), n_cells=65536
+        )
+        assert result.mean_cell_leakage[1] > 4 * result.mean_cell_leakage[0]
+
+    def test_leakage_monitor_eventually_misbins(self, ctx):
+        result = extensions.ext_temperature(ctx, n_cells=65536)
+        temps = result.temperatures_c
+        at = {t: i for i, t in enumerate(temps)}
+        assert result.leakage_bin[at[27.0]] == "nominal"   # 27C: correct
+        assert result.leakage_bin[at[85.0]] == "low_vt"    # 85C: fooled
+        # Above the calibration temperature the ring only gets slower —
+        # the delay monitor never claims LOW_VT there.  (Below it, cold
+        # silicon genuinely *is* fast: mobility beats the Vt increase,
+        # and the two sensors disagree in opposite directions, which the
+        # combined monitor resolves to NOMINAL.)
+        warm = [result.delay_bin[i] for i, t in enumerate(temps) if t >= 27]
+        assert all(b != "low_vt" for b in warm)
+
+
+class TestExtEcc:
+    def test_protection_ordering_at_nominal(self, ctx):
+        result = extensions.ext_ecc(
+            ctx, shifts=np.array([0.0]), memory_kbytes=8
+        )
+        # none >= ECC >= redundancy at equal overhead for hard faults.
+        assert result.p_none[0] >= result.p_ecc[0] - 1e-12
+        assert result.p_ecc[0] >= result.p_redundancy[0] - 1e-12
+
+    def test_repair_extends_the_window(self, ctx):
+        result = extensions.ext_ecc(
+            ctx, shifts=np.array([-0.04]), memory_kbytes=8
+        )
+        # A leaky die is hopeless for every static scheme but is saved
+        # by the post-silicon repair.
+        assert result.p_redundancy[0] > 0.99
+        assert result.p_repair_plus_redundancy[0] < 0.01
+
+
+class TestExtSnm:
+    def test_rbb_widens_read_butterfly(self, ctx):
+        result = extensions.ext_snm(ctx, n_samples=200)
+        # Monotone: more reverse bias -> larger read SNM.
+        assert np.all(np.diff(result.read_mean) < 0)
+        assert np.all(result.read_p01 < result.read_mean)
+        assert np.all(result.hold_mean > result.read_mean)
+
+
+class TestExt8T:
+    def test_read_wall_removed(self, ctx):
+        result = extensions.ext_8t(
+            ctx, shifts=np.array([-0.08, 0.0]), n_samples=5_000
+        )
+        # At the leaky corner the 6T is read-dominated; the 8T is far
+        # better because that mechanism is structurally absent.
+        assert result.p6_read[0] > 0.01
+        assert result.p8_any[0] < 0.2 * result.p6_any[0]
+        assert result.area_overhead == pytest.approx(1 / 3)
+
+
+class TestExtensionRegistry:
+    def test_all_registered(self):
+        assert set(EXTENSIONS) == {
+            "ext_delay", "ext_drv", "ext_performance", "ext_temperature",
+            "ext_ecc", "ext_snm", "ext_8t",
+        }
+
+    def test_dispatch(self, ctx):
+        result = run_experiment(
+            "ext_performance", ctx, shifts=np.array([0.0])
+        )
+        assert hasattr(result, "rows")

@@ -1,0 +1,76 @@
+"""Tests for the ASB hold-probability surface and its policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.source_bias import SourceBiasDAC
+from repro.experiments.asb import HoldProbabilityTable, default_asb_organization
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.experiments.context import ExperimentContext
+
+    ctx = ExperimentContext(
+        target=1e-3, calibration_samples=4_000, analysis_samples=2_000,
+        seed=55,
+    )
+    return HoldProbabilityTable(
+        ctx,
+        corner_grid=np.linspace(-0.08, 0.08, 3),
+        vsb_grid=np.array([0.0, 0.3, 0.5, 0.6, 0.635]),
+    )
+
+
+def test_probability_monotone_in_vsb(table):
+    for corner in (-0.08, 0.0, 0.08):
+        values = [table.probability(corner, v) for v in
+                  (0.0, 0.3, 0.5, 0.6)]
+        assert values == sorted(values)
+
+
+def test_probability_clamps_outside_grid(table):
+    inside = table.probability(0.08, 0.635)
+    outside = table.probability(0.5, 2.0)
+    assert outside == pytest.approx(inside)
+
+
+def test_vsb_for_target_inverse_property(table):
+    """The returned bias meets the target; one step more violates it."""
+    target = 1e-3
+    vsb = table.vsb_for_target(0.0, target)
+    assert table.probability(0.0, vsb) <= target
+    if vsb < 0.63:
+        assert table.probability(0.0, vsb + 0.02) >= target * 0.5
+
+
+def test_vsb_for_target_extremes(table):
+    # An impossible target pins to the bottom of the grid.
+    assert table.vsb_for_target(0.0, 1e-30) == pytest.approx(0.0, abs=1e-3)
+    # A trivial target pins to the top.
+    assert table.vsb_for_target(0.0, 1.0) == pytest.approx(0.635)
+
+
+def test_adaptive_vsb_policy(table):
+    org = default_asb_organization()
+    dac = SourceBiasDAC(bits=5, full_scale=0.62)
+    vsb = table.adaptive_vsb(0.0, org, dac)
+    # A real, DAC-quantised value.
+    assert vsb in {dac.voltage(code) for code in range(dac.n_codes)}
+    assert vsb > 0.3
+    # The selected code keeps the expected faulty columns within the
+    # budgeted share of the redundancy.
+    p_cell = table.probability(0.0, vsb)
+    p_col = 1.0 - (1.0 - p_cell) ** org.rows
+    assert org.columns * p_col <= 0.7 * org.redundant_columns + 1e-9
+
+
+def test_adaptive_vsb_share_validation(table):
+    org = default_asb_organization()
+    dac = SourceBiasDAC(bits=4)
+    with pytest.raises(ValueError):
+        table.adaptive_vsb(0.0, org, dac, redundancy_share=0.0)
+    # A smaller share is never more aggressive.
+    conservative = table.adaptive_vsb(0.0, org, dac, redundancy_share=0.3)
+    standard = table.adaptive_vsb(0.0, org, dac, redundancy_share=0.7)
+    assert conservative <= standard

@@ -1,0 +1,127 @@
+"""Tests for the March test algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.march import (
+    DOWN,
+    EITHER,
+    MARCH_B,
+    MARCH_CM,
+    MARCH_X,
+    MATS_PLUS,
+    UP,
+    MarchElement,
+    MarchTest,
+)
+from repro.failures.criteria import FailureCriteria
+from repro.sram.array import ArrayOrganization, FunctionalMemoryArray
+from repro.sram.metrics import OperatingConditions
+
+
+@pytest.fixture()
+def clean_array(tech):
+    criteria = FailureCriteria(
+        delta_read=-1.0, t_write_max=1.0, i_access_min=0.0,
+        hold_fraction_min=-2.0,
+    )
+    org = ArrayOrganization(rows=8, columns=16, redundant_columns=2)
+    return FunctionalMemoryArray(
+        tech, org, criteria, rng=np.random.default_rng(1)
+    )
+
+
+class TestMarchElement:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarchElement("sideways", (("r", 0),))
+        with pytest.raises(ValueError):
+            MarchElement(UP, ())
+        with pytest.raises(ValueError):
+            MarchElement(UP, (("x", 0),))
+        with pytest.raises(ValueError):
+            MarchElement(UP, (("r", 2),))
+
+    def test_row_order(self):
+        up = MarchElement(UP, (("r", 0),))
+        down = MarchElement(DOWN, (("r", 0),))
+        assert list(up.row_order(4)) == [0, 1, 2, 3]
+        assert list(down.row_order(4)) == [3, 2, 1, 0]
+
+    def test_str(self):
+        element = MarchElement(UP, (("r", 0), ("w", 1)))
+        assert str(element) == "UP(r0,w1)"
+
+
+class TestStandardAlgorithms:
+    def test_operation_counts(self):
+        assert MATS_PLUS.operation_count == 5
+        assert MARCH_X.operation_count == 6
+        assert MARCH_CM.operation_count == 10
+        assert MARCH_B.operation_count == 17
+
+    @pytest.mark.parametrize("march", [MATS_PLUS, MARCH_X, MARCH_CM, MARCH_B])
+    def test_clean_array_passes(self, march, clean_array):
+        fails = march.run(clean_array)
+        assert not fails.any()
+
+    @pytest.mark.parametrize("march", [MATS_PLUS, MARCH_X, MARCH_CM, MARCH_B])
+    def test_stuck_at_faults_detected(self, march, clean_array):
+        """A write-fault cell (can't store 1) is caught by every March."""
+        fail_d1, _ = clean_array._static_faults["write"]
+        fail_d1[4, 7] = True  # stuck at 0
+        fails = march.run(clean_array)
+        assert fails[4, 7]
+        # ... and nothing else is flagged.
+        fails[4, 7] = False
+        assert not fails.any()
+
+    @pytest.mark.parametrize("march", [MATS_PLUS, MARCH_X, MARCH_CM, MARCH_B])
+    def test_read_disturb_detected(self, march, clean_array):
+        disturbed_d1, _ = clean_array._static_faults["read"]
+        disturbed_d1[0, 3] = True  # reading a stored 1 flips it
+        fails = march.run(clean_array)
+        assert fails[0, 3]
+
+    def test_access_fault_detected_on_zero_background(self, clean_array):
+        """Sense-to-precharge faults surface when a 0 should be read."""
+        access_d1, access_d0 = clean_array._static_faults["access"]
+        access_d0[5, 5] = True
+        fails = MARCH_X.run(clean_array)
+        assert fails[5, 5]
+
+
+class TestRetentionVariant:
+    def test_retention_faults_need_the_dwell(self, tech):
+        """A retention-weak cell passes the plain March but fails the
+        retention variant at high source bias."""
+        criteria = FailureCriteria(
+            delta_read=-1.0, t_write_max=1.0, i_access_min=0.0,
+            hold_fraction_min=0.97,
+        )
+        org = ArrayOrganization(rows=8, columns=16, redundant_columns=2)
+        array = FunctionalMemoryArray(
+            tech, org, criteria,
+            conditions=OperatingConditions.source_biased_standby(tech),
+            rng=np.random.default_rng(3),
+        )
+        plain = MARCH_X.run(array)
+        assert not plain.any()
+        with_dwell = MARCH_X.run_with_retention(array, vsb=0.6)
+        assert with_dwell.any()
+
+    def test_zero_bias_dwell_is_harmless(self, clean_array):
+        fails = MARCH_X.run_with_retention(clean_array, vsb=0.0)
+        assert not fails.any()
+
+
+def test_custom_march_sequence_runs(clean_array):
+    march = MarchTest(
+        "toy",
+        (
+            MarchElement(EITHER, (("w", 1),)),
+            MarchElement(DOWN, (("r", 1), ("w", 0), ("r", 0))),
+        ),
+    )
+    assert march.operation_count == 4
+    assert not march.run(clean_array).any()

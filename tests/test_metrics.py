@@ -1,0 +1,75 @@
+"""Tests for CellMetrics and OperatingConditions."""
+
+import numpy as np
+import pytest
+
+from repro.sram.cell import SixTCell, sample_cell_dvt
+from repro.sram.metrics import (
+    OperatingConditions,
+    compute_cell_metrics,
+    compute_hold_margin,
+)
+from repro.technology.corners import ProcessCorner
+
+
+class TestOperatingConditions:
+    def test_nominal_preset(self, tech):
+        cond = OperatingConditions.nominal(tech)
+        assert cond.vdd == tech.vdd
+        assert cond.vdd_standby == pytest.approx(0.3 * tech.vdd)
+        assert cond.vsb == 0.0
+
+    def test_asb_preset(self, tech):
+        cond = OperatingConditions.source_biased_standby(tech, vsb=0.4)
+        assert cond.vdd_standby == pytest.approx(0.8 * tech.vdd)
+        assert cond.vsb == 0.4
+
+    def test_with_body_bias_copies(self, tech):
+        cond = OperatingConditions.nominal(tech)
+        biased = cond.with_body_bias(-0.4)
+        assert biased.vbody_n == -0.4
+        assert cond.vbody_n == 0.0
+        assert biased.vdd == cond.vdd
+
+    def test_with_source_bias_copies(self, tech):
+        cond = OperatingConditions.nominal(tech)
+        biased = cond.with_source_bias(0.3)
+        assert biased.vsb == 0.3
+        assert cond.vsb == 0.0
+
+
+class TestMetricComputation:
+    def test_shapes_follow_population(self, tech, geometry, conditions, rng):
+        dvt = sample_cell_dvt(tech, geometry, rng, 64)
+        cell = SixTCell(tech, geometry, ProcessCorner(0.0), dvt)
+        metrics = compute_cell_metrics(cell, conditions)
+        for field in ("v_read", "v_trip_read", "v_write", "v_trip_write",
+                      "t_write", "i_access", "v_hold_one", "v_hold_zero",
+                      "v_trip_hold"):
+            assert getattr(metrics, field).shape == (64,)
+
+    def test_margins_positive_for_healthy_cells(self, tech, geometry,
+                                                conditions):
+        cell = SixTCell(tech, geometry, ProcessCorner(0.0))
+        metrics = compute_cell_metrics(cell, conditions)
+        assert float(metrics.read_margin[0]) > 0
+        assert float(metrics.write_margin[0]) > 0
+        assert float(metrics.hold_margin[0]) > 0
+
+    def test_hold_margin_fraction_normalisation(self, tech, geometry):
+        cond = OperatingConditions(vdd=1.0, vdd_standby=0.5, vsb=0.1)
+        cell = SixTCell(tech, geometry, ProcessCorner(0.0))
+        metrics = compute_cell_metrics(cell, cond)
+        assert metrics.hold_rail == pytest.approx(0.4)
+        np.testing.assert_allclose(
+            metrics.hold_margin_fraction,
+            metrics.hold_margin / 0.4,
+        )
+
+    def test_hold_shortcut_equals_full_metrics(self, tech, geometry,
+                                               conditions, rng):
+        dvt = sample_cell_dvt(tech, geometry, rng, 32)
+        cell = SixTCell(tech, geometry, ProcessCorner(0.0), dvt)
+        full = compute_cell_metrics(cell, conditions)
+        short = compute_hold_margin(cell, conditions)
+        np.testing.assert_allclose(short, full.hold_margin, atol=1e-6)

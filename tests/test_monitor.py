@@ -1,0 +1,103 @@
+"""Tests for the leakage monitor and corner binning."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import Comparator, CornerBin, LeakageMonitor
+from repro.sram.cell import SixTCell, sample_cell_dvt
+from repro.sram.leakage import cell_leakage
+from repro.technology.corners import ProcessCorner
+
+
+class TestComparator:
+    def test_basic_compare(self):
+        comparator = Comparator(vref=0.5)
+        assert comparator.compare(0.6)
+        assert not comparator.compare(0.4)
+
+    def test_offset_shifts_decision(self):
+        comparator = Comparator(vref=0.5, offset=0.2)
+        assert not comparator.compare(0.6)
+        assert comparator.compare(0.75)
+
+
+class TestLeakageMonitor:
+    def test_classification_bands(self):
+        monitor = LeakageMonitor(
+            r_sense=1e4, vref_low_vt=2.0, vref_high_vt=1.0
+        )
+        assert monitor.classify(3e-4) is CornerBin.LOW_VT   # vout = 3.0
+        assert monitor.classify(1.5e-4) is CornerBin.NOMINAL
+        assert monitor.classify(0.5e-4) is CornerBin.HIGH_VT
+
+    def test_readout_contains_everything(self):
+        monitor = LeakageMonitor(
+            r_sense=1e4, vref_low_vt=2.0, vref_high_vt=1.0
+        )
+        readout = monitor.read(1.5e-4)
+        assert readout.leakage == 1.5e-4
+        assert readout.vout == pytest.approx(1.5)
+        assert readout.bin is CornerBin.NOMINAL
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            LeakageMonitor(r_sense=1e4, vref_low_vt=1.0, vref_high_vt=2.0)
+        with pytest.raises(ValueError):
+            LeakageMonitor(r_sense=-1.0, vref_low_vt=2.0, vref_high_vt=1.0)
+
+    def test_comparator_offset_moves_boundaries(self):
+        plain = LeakageMonitor(1e4, 2.0, 1.0)
+        offset = LeakageMonitor(1e4, 2.0, 1.0, comparator_offset=0.5)
+        leakage = 2.2e-4  # vout = 2.2
+        assert plain.classify(leakage) is CornerBin.LOW_VT
+        assert offset.classify(leakage) is CornerBin.NOMINAL
+
+
+class TestCalibratedMonitor:
+    @pytest.fixture(scope="class")
+    def monitor(self, tech, geometry):
+        return LeakageMonitor.calibrate_references(
+            tech, geometry, n_cells=8192, bin_boundary=0.035,
+            n_samples=4000,
+        )
+
+    def test_reference_ordering(self, monitor):
+        assert monitor.upper.vref > monitor.lower.vref
+
+    def test_classifies_true_corner_leakage(self, tech, geometry, monitor):
+        """Mean array leakage at clearly shifted corners bins correctly."""
+        for dvt_inter, expected in (
+            (-0.08, CornerBin.LOW_VT),
+            (0.0, CornerBin.NOMINAL),
+            (0.08, CornerBin.HIGH_VT),
+        ):
+            rng = np.random.default_rng(5)
+            dvt = sample_cell_dvt(tech, geometry, rng, 4000)
+            cell = SixTCell(tech, geometry, ProcessCorner(dvt_inter), dvt)
+            mean_leakage = 8192 * float(np.mean(cell_leakage(cell).total))
+            assert monitor.classify(mean_leakage) is expected
+
+    def test_separation_under_intra_die_noise(self, tech, geometry, monitor):
+        """Per-die array leakage (CLT draws) still bins reliably — the
+        paper's Fig. 3 point: array-level monitoring beats cell-level."""
+        from repro.stats.distributions import array_leakage_distribution
+
+        rng = np.random.default_rng(17)
+        misclassified = 0
+        trials = 50
+        for dvt_inter, expected in ((-0.08, CornerBin.LOW_VT),
+                                    (0.08, CornerBin.HIGH_VT)):
+            dvt = sample_cell_dvt(tech, geometry, rng, 4000)
+            cell = SixTCell(tech, geometry, ProcessCorner(dvt_inter), dvt)
+            dist = array_leakage_distribution(
+                cell_leakage(cell).total, 8192
+            )
+            draws = dist.sample(rng, trials)
+            for value in draws:
+                if monitor.classify(float(value)) is not expected:
+                    misclassified += 1
+        assert misclassified == 0
+
+    def test_invalid_cell_count(self, tech, geometry):
+        with pytest.raises(ValueError):
+            LeakageMonitor.calibrate_references(tech, geometry, n_cells=0)

@@ -1,0 +1,116 @@
+"""Tests for the EKV-style compact MOSFET model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import make_nmos, make_pmos
+
+
+@pytest.fixture(scope="module")
+def nmos(tech=None):
+    from repro.technology import predictive_70nm
+
+    return make_nmos(predictive_70nm(), width=200e-9)
+
+
+@pytest.fixture(scope="module")
+def pmos():
+    from repro.technology import predictive_70nm
+
+    return make_pmos(predictive_70nm(), width=100e-9)
+
+
+class TestThreshold:
+    def test_body_effect_raises_vth(self, nmos):
+        assert nmos.threshold(vsb=0.4) > nmos.threshold(vsb=0.0)
+
+    def test_forward_body_bias_lowers_vth(self, nmos):
+        assert nmos.threshold(vsb=-0.4) < nmos.threshold(vsb=0.0)
+
+    def test_body_effect_clamps_under_deep_fbb(self, nmos):
+        # The depletion sqrt argument is floored; vth stays finite/real.
+        vth = nmos.threshold(vsb=-2.0)
+        assert np.isfinite(vth)
+
+    def test_dibl_lowers_vth_with_vds(self, nmos):
+        assert nmos.threshold(vds=1.0) < nmos.threshold(vds=0.0)
+        expected = nmos.params.dibl * 1.0
+        delta = nmos.threshold(vds=0.0) - nmos.threshold(vds=1.0)
+        assert delta == pytest.approx(expected)
+
+    def test_dvt_shifts_threshold_directly(self, nmos):
+        shifted = nmos.with_dvt(0.05)
+        assert shifted.threshold() == pytest.approx(nmos.threshold() + 0.05)
+
+
+class TestDrainCurrent:
+    def test_on_current_magnitude(self, nmos, pmos):
+        # Healthy sub-90nm drive strengths: hundreds of uA for these widths.
+        assert 50e-6 < float(nmos.on_current(1.0)) < 1e-3
+        assert 5e-6 < float(pmos.on_current(1.0)) < 3e-4
+
+    def test_current_increases_with_vgs(self, nmos):
+        vgs = np.linspace(0.0, 1.0, 21)
+        i = nmos.current(vg=vgs, vd=1.0, vs=0.0, vb=0.0)
+        assert np.all(np.diff(i) > 0)
+
+    def test_current_increases_with_vds(self, nmos):
+        vds = np.linspace(0.0, 1.0, 21)
+        i = nmos.current(vg=1.0, vd=vds, vs=0.0, vb=0.0)
+        assert np.all(np.diff(i) > 0)
+        assert i[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_current_odd_in_vds(self, nmos):
+        forward = nmos.current(vg=0.8, vd=0.3, vs=0.0, vb=0.0)
+        reverse = nmos.current(vg=0.8, vd=0.0, vs=0.3, vb=0.0)
+        assert float(forward) == pytest.approx(-float(reverse), rel=1e-9)
+
+    def test_subthreshold_slope(self, nmos):
+        """Deep below threshold: one decade per n*Ut*ln10 of Vgs."""
+        i1 = float(nmos.current(vg=-0.05, vd=1.0, vs=0.0, vb=0.0))
+        i2 = float(nmos.current(vg=-0.10, vd=1.0, vs=0.0, vb=0.0))
+        swing = 0.05 / np.log10(i1 / i2)
+        expected = nmos.params.n_sub * nmos.ut * np.log(10)
+        assert swing == pytest.approx(expected, rel=0.02)
+
+    def test_square_law_in_strong_inversion(self, nmos):
+        """Saturation current grows super-linearly with overdrive."""
+        i1 = float(nmos.current(vg=0.6, vd=1.2, vs=0.0, vb=0.0))
+        i2 = float(nmos.current(vg=1.0, vd=1.2, vs=0.0, vb=0.0))
+        ratio = i2 / i1
+        assert ratio > 2.0  # more than linear in the ~2.1x overdrive step
+
+    def test_rbb_reduces_off_current(self, nmos):
+        off_zbb = float(nmos.subthreshold_current(1.0, vsb=0.0))
+        off_rbb = float(nmos.subthreshold_current(1.0, vsb=0.4))
+        off_fbb = float(nmos.subthreshold_current(1.0, vsb=-0.4))
+        assert off_rbb < off_zbb < off_fbb
+        assert off_zbb / off_rbb > 2.0
+
+    def test_pmos_on_current_convention_positive(self, pmos):
+        assert float(pmos.on_current(1.0)) > 0.0
+
+    def test_vectorised_dvt(self, nmos):
+        population = nmos.with_dvt(np.array([0.0, 0.05, -0.05]))
+        i = population.current(vg=1.0, vd=1.0, vs=0.0, vb=0.0)
+        assert i.shape == (3,)
+        assert i[2] > i[0] > i[1]  # lower Vt -> more current
+
+    def test_width_scaling(self):
+        from repro.technology import predictive_70nm
+
+        tech = predictive_70nm()
+        narrow = make_nmos(tech, width=100e-9)
+        wide = make_nmos(tech, width=400e-9)
+        ratio = float(wide.on_current(1.0)) / float(narrow.on_current(1.0))
+        assert ratio == pytest.approx(4.0, rel=1e-6)
+
+    def test_invalid_construction(self):
+        from repro.technology import predictive_70nm
+        from repro.devices import make_mosfet
+
+        tech = predictive_70nm()
+        with pytest.raises(ValueError):
+            make_mosfet(tech, "nfet", width=100e-9)
+        with pytest.raises(ValueError):
+            make_nmos(tech, width=-1e-9)

@@ -1,0 +1,84 @@
+"""Tests for the FORM / most-probable-failure-point estimator."""
+
+import numpy as np
+import pytest
+
+from repro.failures.analysis import CellFailureAnalyzer
+from repro.failures.mpfp import MpfpEstimator
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    from repro.experiments.context import ExperimentContext
+
+    ctx = ExperimentContext(
+        target=1e-3, calibration_samples=8_000, analysis_samples=6_000,
+        seed=99,
+    )
+    return ctx, MpfpEstimator(
+        ctx.tech, ctx.criteria, ctx.geometry, ctx.conditions
+    )
+
+
+@pytest.mark.parametrize("mechanism", ["read", "write", "access"])
+def test_form_matches_monte_carlo(estimator, mechanism):
+    """FORM beta agrees with the importance-sampled probability.
+
+    The calibration puts each mechanism at ~1e-3 (beta ~ 3.1); FORM is
+    first-order, so agreement within a factor ~2 in probability (a few
+    tenths of a sigma in beta) is the expected accuracy.
+    """
+    ctx, mpfp = estimator
+    result = mpfp.find_mpfp(mechanism)
+    analyzer = CellFailureAnalyzer(
+        ctx.tech, ctx.criteria, ctx.geometry, ctx.conditions,
+        n_samples=40_000, scale=1.5, seed=13,
+    )
+    mc = analyzer.failure_probabilities(ProcessCorner(0.0))[mechanism]
+    assert result.converged
+    assert 2.0 < result.beta < 4.5
+    from scipy.stats import norm
+
+    beta_mc = float(norm.isf(max(mc.estimate, 1e-12)))
+    assert result.beta == pytest.approx(beta_mc, abs=0.45)
+
+
+def test_mpfp_identifies_the_failing_transistors(estimator):
+    """Read failures are driven by the right-side divider devices."""
+    _, mpfp = estimator
+    result = mpfp.find_mpfp("read")
+    dominant = set(result.dominant_transistors(3))
+    # The read disturb is set by AXR (stronger => worse, so negative z)
+    # and NR (weaker => worse, positive z), with the PL/NL trip point
+    # also participating.
+    assert dominant & {"axr", "nr"}
+    assert result.z["nr"] > 0 or result.z["axr"] < 0
+
+
+def test_beta_shrinks_at_the_hostile_corner(estimator):
+    """Moving toward the low-Vt corner brings the read MPFP closer."""
+    _, mpfp = estimator
+    nominal = mpfp.find_mpfp("read", ProcessCorner(0.0))
+    hostile = mpfp.find_mpfp("read", ProcessCorner(-0.05))
+    assert hostile.beta < nominal.beta
+
+
+def test_failing_origin_reports_negative_beta(estimator):
+    """Deep in region A even the nominal cell fails: beta <= 0."""
+    _, mpfp = estimator
+    result = mpfp.find_mpfp("read", ProcessCorner(-0.15))
+    assert result.probability > 0.5
+
+
+def test_unknown_mechanism_rejected(estimator):
+    _, mpfp = estimator
+    with pytest.raises(KeyError):
+        mpfp.find_mpfp("latchup")
+
+
+def test_hold_is_explicitly_unsupported(estimator):
+    """The hold limit state is a bistability cliff — FORM refuses."""
+    _, mpfp = estimator
+    with pytest.raises(KeyError, match="bistability"):
+        mpfp.find_mpfp("hold")

@@ -1,0 +1,91 @@
+"""Tests for criteria/table persistence."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.persistence import (
+    load_criteria,
+    load_table,
+    save_criteria,
+    save_table,
+    technology_fingerprint,
+)
+from repro.technology.corners import ProcessCorner
+
+
+class TestFingerprint:
+    def test_stable(self, tech):
+        assert technology_fingerprint(tech) == technology_fingerprint(tech)
+
+    def test_sensitive_to_any_parameter(self, tech):
+        tweaked = dataclasses.replace(
+            tech, nmos=dataclasses.replace(tech.nmos, vth0=0.26)
+        )
+        assert technology_fingerprint(tweaked) != technology_fingerprint(tech)
+
+
+class TestCriteriaRoundtrip:
+    def test_roundtrip(self, tech, fast_criteria, tmp_path):
+        path = tmp_path / "criteria.json"
+        save_criteria(fast_criteria, path, tech)
+        loaded = load_criteria(path, tech)
+        assert loaded == fast_criteria
+
+    def test_strict_fingerprint_check(self, tech, fast_criteria, tmp_path):
+        path = tmp_path / "criteria.json"
+        save_criteria(fast_criteria, path, tech)
+        other = tech.with_temperature(310.0)
+        with pytest.raises(ValueError, match="different"):
+            load_criteria(path, other)
+        # Non-strict loading is allowed, at the caller's risk.
+        assert load_criteria(path, other, strict=False) == fast_criteria
+
+    def test_wrong_kind_rejected(self, tech, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"kind": "something-else", "format": 1}')
+        with pytest.raises(ValueError, match="not a criteria file"):
+            load_criteria(path, tech)
+
+
+class TestTableRoundtrip:
+    def test_roundtrip_preserves_probabilities(self, tech, tmp_path):
+        from repro.core.tables import FailureProbabilityTable
+        from repro.experiments.context import ExperimentContext
+
+        ctx = ExperimentContext(
+            target=1e-2, calibration_samples=2_000, analysis_samples=800,
+            seed=31,
+        )
+        table = FailureProbabilityTable(
+            ctx.analyzer(), corner_min=-0.06, corner_max=0.06, n_grid=5
+        )
+        path = tmp_path / "table.json"
+        save_table(table, path, ctx.tech)
+        loaded = load_table(path, ctx.tech)
+        for dvt in np.linspace(-0.06, 0.06, 11):
+            for mechanism in ("read", "access", "any"):
+                assert loaded.probability(dvt, mechanism) == pytest.approx(
+                    table.probability(dvt, mechanism), rel=1e-9
+                )
+        # The loaded table also clamps and serves ProcessCorner inputs.
+        assert loaded.probability(ProcessCorner(0.5)) == pytest.approx(
+            table.probability(0.06)
+        )
+
+    def test_table_fingerprint_check(self, tech, tmp_path):
+        from repro.core.tables import FailureProbabilityTable
+        from repro.experiments.context import ExperimentContext
+
+        ctx = ExperimentContext(
+            target=1e-2, calibration_samples=2_000, analysis_samples=800,
+            seed=31,
+        )
+        table = FailureProbabilityTable(
+            ctx.analyzer(), corner_min=-0.05, corner_max=0.05, n_grid=4
+        )
+        path = tmp_path / "table.json"
+        save_table(table, path, ctx.tech)
+        with pytest.raises(ValueError, match="different"):
+            load_table(path, ctx.tech.with_temperature(350.0))

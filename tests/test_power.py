@@ -1,0 +1,61 @@
+"""Tests for the standby power models."""
+
+import pytest
+
+from repro.power.standby import die_standby_power, standby_power_per_cell
+from repro.sram.cell import SixTCell
+from repro.sram.metrics import OperatingConditions
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def nominal_cell():
+    from repro.sram.cell import CellGeometry
+    from repro.technology import predictive_70nm
+
+    return SixTCell(predictive_70nm(), CellGeometry(), ProcessCorner(0.0))
+
+
+def test_power_decreases_with_source_bias(tech, nominal_cell):
+    powers = []
+    for vsb in (0.0, 0.2, 0.4):
+        conditions = OperatingConditions.source_biased_standby(tech, vsb)
+        powers.append(float(standby_power_per_cell(nominal_cell, conditions)[0]))
+    assert powers[0] > powers[1] > powers[2]
+    assert powers[2] < 0.25 * powers[0]
+
+
+def test_power_scale_is_rail_times_leakage(tech, nominal_cell):
+    from repro.sram.leakage import cell_leakage
+
+    conditions = OperatingConditions.source_biased_standby(tech, 0.3)
+    power = float(standby_power_per_cell(nominal_cell, conditions)[0])
+    leakage = float(
+        cell_leakage(nominal_cell, vdd=conditions.vdd_standby, vsb=0.3).total[0]
+    )
+    assert power == pytest.approx(conditions.vdd_standby * leakage)
+
+
+def test_die_power_clt(tech, geometry):
+    conditions = OperatingConditions.source_biased_standby(tech, 0.0)
+    dist = die_standby_power(
+        tech, geometry, ProcessCorner(0.0), n_cells=16_384,
+        conditions=conditions, n_samples=4_000,
+    )
+    assert dist.mean > 0
+    assert dist.std < 0.05 * dist.mean  # array-level concentration
+
+
+def test_leaky_corner_burns_more(tech, geometry):
+    conditions = OperatingConditions.source_biased_standby(tech, 0.0)
+    low = die_standby_power(tech, geometry, ProcessCorner(-0.08), 4096,
+                            conditions, n_samples=3_000)
+    high = die_standby_power(tech, geometry, ProcessCorner(0.08), 4096,
+                             conditions, n_samples=3_000)
+    assert low.mean > 3 * high.mean
+
+
+def test_invalid_cells_rejected(tech, geometry):
+    conditions = OperatingConditions.source_biased_standby(tech, 0.0)
+    with pytest.raises(ValueError):
+        die_standby_power(tech, geometry, ProcessCorner(0.0), 0, conditions)

@@ -1,0 +1,91 @@
+"""Guard the public API surface: every documented export must exist."""
+
+import importlib
+
+import pytest
+
+#: Package -> names its __all__ must expose.
+EXPECTED = {
+    "repro": [
+        "predictive_70nm", "ProcessCorner", "InterDieDistribution",
+        "CellGeometry", "SixTCell", "OperatingConditions",
+        "ArrayOrganization", "FunctionalMemoryArray",
+        "FailureCriteria", "calibrate_criteria", "CellFailureAnalyzer",
+        "LeakageMonitor", "BodyBiasGenerator", "SelfRepairingSRAM",
+        "SourceBiasDAC", "BISTController", "SelfAdaptiveSourceBias",
+        "PostSiliconTuner", "LotSimulator", "LotReport", "MpfpEstimator",
+    ],
+    "repro.technology": [
+        "TechnologyParameters", "DeviceParameters", "predictive_70nm",
+        "ProcessCorner", "RandomDopantFluctuation", "InterDieDistribution",
+    ],
+    "repro.devices": [
+        "MOSFET", "make_nmos", "make_pmos", "subthreshold_leakage",
+        "gate_leakage", "junction_leakage",
+    ],
+    "repro.circuit": [
+        "Circuit", "Resistor", "Capacitor", "CurrentSource",
+        "VoltageSource", "Diode", "MOSFETElement", "solve_dc",
+        "solve_transient", "dc_sweep", "inverter_vtc",
+        "switching_threshold", "ConvergenceError",
+    ],
+    "repro.sram": [
+        "CellGeometry", "SixTCell", "sample_cell_dvt", "CellMetrics",
+        "OperatingConditions", "compute_cell_metrics", "cell_leakage",
+        "ArrayOrganization", "FunctionalMemoryArray", "cell_drv",
+        "array_drv", "safe_standby_voltage", "RepairPlan",
+        "allocate_columns", "allocate_rows_and_columns", "BitlineModel",
+        "access_time", "read_cycle_time", "hold_snm", "read_snm",
+        "butterfly_snm", "EightTCell", "EightTGeometry",
+        "sample_eight_t", "eight_t_failure_probabilities",
+    ],
+    "repro.stats": [
+        "probability_of", "MonteCarloResult", "weighted_quantile",
+        "sobol_cell_dvt", "importance_sample_dvt", "lognormal_fit",
+        "array_leakage_distribution", "expect_over_corners",
+        "leakage_yield",
+    ],
+    "repro.failures": [
+        "FailureCriteria", "calibrate_criteria", "CellFailureAnalyzer",
+        "column_failure_probability", "memory_failure_probability",
+        "parametric_yield", "MpfpEstimator", "MpfpResult",
+    ],
+    "repro.core": [
+        "LeakageMonitor", "Comparator", "BodyBiasGenerator",
+        "SelfRepairingSRAM", "MarchTest", "MATS_PLUS", "MARCH_X",
+        "MARCH_CM", "MARCH_B", "SourceBiasDAC", "BISTController",
+        "SelfAdaptiveSourceBias", "FailureProbabilityTable",
+        "RingOscillator", "DelayMonitor", "CombinedMonitor",
+        "PostSiliconTuner", "LotSimulator", "LotReport", "DieRecord",
+    ],
+    "repro.experiments": [
+        "ExperimentContext", "default_context", "EXPERIMENTS",
+        "EXTENSIONS", "run_experiment", "fig2a", "fig10", "ext_delay",
+    ],
+}
+
+
+@pytest.mark.parametrize("package", sorted(EXPECTED))
+def test_exports_exist(package):
+    module = importlib.import_module(package)
+    for name in EXPECTED[package]:
+        assert hasattr(module, name), f"{package} is missing {name}"
+        assert name in module.__all__, f"{name} not in {package}.__all__"
+
+
+@pytest.mark.parametrize("package", sorted(EXPECTED))
+def test_all_entries_resolve(package):
+    """Everything a package advertises in __all__ must be importable."""
+    module = importlib.import_module(package)
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, (
+            f"{package}.__all__ lists {name} but it does not resolve"
+        )
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)

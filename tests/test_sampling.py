@@ -1,0 +1,90 @@
+"""Tests for sigma-scaled importance sampling — unbiasedness above all."""
+
+import numpy as np
+import pytest
+
+from repro.sram.cell import TRANSISTORS, cell_sigma_vt
+from repro.stats.montecarlo import probability_of
+from repro.stats.sampling import importance_sample_dvt
+
+
+def test_sample_structure(tech, geometry, rng):
+    sample = importance_sample_dvt(tech, geometry, rng, 1000, scale=2.0)
+    assert set(sample.dvt) == set(TRANSISTORS)
+    assert sample.weights.shape == (1000,)
+    assert sample.n_samples == 1000
+
+
+def test_weights_average_to_one(tech, geometry, rng):
+    """Likelihood ratios integrate to 1 under the proposal."""
+    sample = importance_sample_dvt(tech, geometry, rng, 200_000, scale=2.0)
+    assert np.mean(sample.weights) == pytest.approx(1.0, abs=0.02)
+
+
+def test_scale_one_degenerates_to_plain_mc(tech, geometry, rng):
+    sample = importance_sample_dvt(tech, geometry, rng, 1000, scale=1.0)
+    np.testing.assert_allclose(sample.weights, 1.0)
+
+
+def test_proposal_sigma_is_inflated(tech, geometry, rng):
+    sample = importance_sample_dvt(tech, geometry, rng, 100_000, scale=2.0)
+    sigmas = cell_sigma_vt(tech, geometry)
+    for name in TRANSISTORS:
+        assert np.std(sample.dvt[name]) == pytest.approx(
+            2.0 * sigmas[name], rel=0.03
+        )
+
+
+def test_importance_estimate_matches_plain_mc(tech, geometry):
+    """IS and plain MC agree on a moderately rare analytic event.
+
+    Event: the NL threshold delta alone exceeds 2.5 sigma
+    (P ~ 6.2e-3) — checked against both the analytic value and a plain
+    Monte-Carlo estimate.
+    """
+    sigma_nl = cell_sigma_vt(tech, geometry)["nl"]
+    threshold = 2.5 * sigma_nl
+
+    is_sample = importance_sample_dvt(
+        tech, geometry, np.random.default_rng(1), 200_000, scale=2.0
+    )
+    is_result = probability_of(
+        is_sample.dvt["nl"] > threshold, is_sample.weights
+    )
+
+    plain = importance_sample_dvt(
+        tech, geometry, np.random.default_rng(2), 200_000, scale=1.0
+    )
+    plain_result = probability_of(plain.dvt["nl"] > threshold)
+
+    from scipy.stats import norm
+
+    analytic = float(norm.sf(2.5))
+    assert is_result.estimate == pytest.approx(analytic, rel=0.10)
+    assert is_result.within(plain_result, n_sigma=4.0)
+
+
+def test_importance_sampling_reduces_rare_event_error(tech, geometry):
+    """For a 4-sigma event the IS estimator has far smaller stderr."""
+    sigma_nl = cell_sigma_vt(tech, geometry)["nl"]
+    threshold = 4.0 * sigma_nl
+    n = 100_000
+
+    is_sample = importance_sample_dvt(
+        tech, geometry, np.random.default_rng(3), n, scale=2.0
+    )
+    is_result = probability_of(
+        is_sample.dvt["nl"] > threshold, is_sample.weights
+    )
+    from scipy.stats import norm
+
+    analytic = float(norm.sf(4.0))  # ~3.2e-5
+    assert is_result.estimate == pytest.approx(analytic, rel=0.25)
+    # Plain MC stderr at this n would be sqrt(p/n) ~ 5.6e-7 ~ 18% rel;
+    # the IS stderr should be several times smaller.
+    assert is_result.stderr < 0.5 * np.sqrt(analytic / n)
+
+
+def test_invalid_scale_rejected(tech, geometry, rng):
+    with pytest.raises(ValueError):
+        importance_sample_dvt(tech, geometry, rng, 10, scale=0.5)

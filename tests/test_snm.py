@@ -1,0 +1,87 @@
+"""Tests for the static-noise-margin module."""
+
+import numpy as np
+import pytest
+
+from repro.sram.cell import CellGeometry, SixTCell, sample_cell_dvt
+from repro.sram.snm import butterfly_snm, hold_snm, inverter_vtc, read_snm
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def nominal_cell():
+    from repro.technology import predictive_70nm
+
+    return SixTCell(predictive_70nm(), CellGeometry(), ProcessCorner(0.0))
+
+
+class TestInverterVtc:
+    def test_monotone_decreasing(self, nominal_cell):
+        vin = np.linspace(0.0, 1.0, 21)
+        vtc = inverter_vtc(nominal_cell, "left", 1.0, vin)
+        assert vtc.shape == (21, 1)
+        assert np.all(np.diff(vtc[:, 0]) <= 1e-9)
+
+    def test_read_loading_lifts_the_low_level(self, nominal_cell):
+        vin = np.array([1.0])
+        hold = float(inverter_vtc(nominal_cell, "left", 1.0, vin)[0, 0])
+        read = float(
+            inverter_vtc(nominal_cell, "left", 1.0, vin, read_mode=True)[0, 0]
+        )
+        assert read > hold + 0.05  # the access transistor drags it up
+
+    def test_bad_side_rejected(self, nominal_cell):
+        with pytest.raises(ValueError):
+            inverter_vtc(nominal_cell, "middle", 1.0, np.array([0.5]))
+
+
+class TestSnmValues:
+    def test_magnitudes_are_physical(self, nominal_cell):
+        hold = float(hold_snm(nominal_cell, 1.0)[0])
+        read = float(read_snm(nominal_cell, 1.0)[0])
+        # Hold SNM: a healthy fraction of VDD/2; read SNM much smaller.
+        assert 0.2 < hold < 0.5
+        assert 0.05 < read < 0.25
+        assert read < hold
+
+    def test_rbb_improves_read_snm(self, nominal_cell):
+        """The paper's read-repair mechanism in SNM terms."""
+        zbb = float(read_snm(nominal_cell, 1.0, vbody_n=0.0)[0])
+        rbb = float(read_snm(nominal_cell, 1.0, vbody_n=-0.4)[0])
+        fbb = float(read_snm(nominal_cell, 1.0, vbody_n=0.25)[0])
+        assert rbb > zbb > fbb
+
+    def test_hold_snm_shrinks_with_supply(self, nominal_cell):
+        """The DRV is where the hold SNM collapses to ~0."""
+        s10 = float(hold_snm(nominal_cell, 1.0)[0])
+        s03 = float(hold_snm(nominal_cell, 0.3)[0])
+        s015 = float(hold_snm(nominal_cell, 0.15)[0])
+        assert s10 > s03 > s015
+        assert s015 < 0.03
+
+    def test_low_vt_corner_hurts_read_snm(self, nominal_cell):
+        leaky = nominal_cell.at_corner(ProcessCorner(-0.08))
+        assert float(read_snm(leaky, 1.0)[0]) < float(
+            read_snm(nominal_cell, 1.0)[0]
+        )
+
+    def test_population_statistics(self, tech, geometry):
+        rng = np.random.default_rng(2)
+        dvt = sample_cell_dvt(tech, geometry, rng, 500)
+        population = SixTCell(tech, geometry, ProcessCorner(0.0), dvt)
+        snm = read_snm(population, 1.0)
+        assert snm.shape == (500,)
+        assert np.all(snm >= 0.0)
+        # RDF spreads the read SNM by tens of millivolts.
+        assert 0.005 < snm.std() < 0.05
+
+    def test_stronger_pull_down_improves_read_snm(self, tech):
+        weak = SixTCell(tech, CellGeometry(w_pull_down=150e-9))
+        strong = SixTCell(tech, CellGeometry(w_pull_down=300e-9))
+        assert float(read_snm(strong, 1.0)[0]) > float(read_snm(weak, 1.0)[0])
+
+    def test_monolithic_entry_point(self, nominal_cell):
+        direct = butterfly_snm(nominal_cell, 1.0, read_mode=True)
+        assert float(direct[0]) == pytest.approx(
+            float(read_snm(nominal_cell, 1.0)[0])
+        )

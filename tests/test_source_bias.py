@@ -1,0 +1,139 @@
+"""Tests for the self-adaptive source-bias hardware models."""
+
+import numpy as np
+import pytest
+
+from repro.core.source_bias import (
+    BISTController,
+    RegisterBank,
+    SelfAdaptiveSourceBias,
+    SourceBiasDAC,
+)
+from repro.failures.criteria import FailureCriteria
+from repro.sram.array import ArrayOrganization, FunctionalMemoryArray
+from repro.sram.metrics import OperatingConditions
+
+
+class TestSourceBiasDAC:
+    def test_voltage_endpoints(self):
+        dac = SourceBiasDAC(bits=6, full_scale=0.63)
+        assert dac.voltage(0) == 0.0
+        assert dac.voltage(dac.n_codes - 1) == pytest.approx(0.63)
+
+    def test_step(self):
+        dac = SourceBiasDAC(bits=6, full_scale=0.63)
+        assert dac.step == pytest.approx(0.01)
+        assert dac.voltage(10) == pytest.approx(0.1)
+
+    def test_code_for_rounds_down(self):
+        dac = SourceBiasDAC(bits=6, full_scale=0.63)
+        assert dac.code_for(0.105) == 10
+        assert dac.code_for(-1.0) == 0
+        assert dac.code_for(99.0) == 63
+
+    def test_out_of_range_code_rejected(self):
+        dac = SourceBiasDAC(bits=4)
+        with pytest.raises(ValueError):
+            dac.voltage(16)
+        with pytest.raises(ValueError):
+            dac.voltage(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SourceBiasDAC(bits=0)
+        with pytest.raises(ValueError):
+            SourceBiasDAC(full_scale=-0.1)
+
+
+class TestRegisterBank:
+    def test_record_and_count(self):
+        bank = RegisterBank(8)
+        fail_map = np.zeros((4, 8), dtype=bool)
+        fail_map[1, 2] = True
+        fail_map[3, 2] = True
+        fail_map[0, 5] = True
+        bank.record(fail_map)
+        assert bank.faulty_columns == 2
+
+    def test_registers_are_sticky(self):
+        bank = RegisterBank(4)
+        first = np.zeros((2, 4), dtype=bool)
+        first[0, 1] = True
+        bank.record(first)
+        bank.record(np.zeros((2, 4), dtype=bool))
+        assert bank.faulty_columns == 1
+
+    def test_reset(self):
+        bank = RegisterBank(4)
+        fail = np.ones((1, 4), dtype=bool)
+        bank.record(fail)
+        bank.reset()
+        assert bank.faulty_columns == 0
+
+    def test_shape_mismatch_rejected(self):
+        bank = RegisterBank(4)
+        with pytest.raises(ValueError):
+            bank.record(np.zeros((2, 5), dtype=bool))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            RegisterBank(0)
+
+
+@pytest.fixture()
+def marginal_array(tech):
+    """An array whose cells fail retention progressively with VSB."""
+    criteria = FailureCriteria(
+        delta_read=-1.0, t_write_max=1.0, i_access_min=0.0,
+        hold_fraction_min=0.93,
+    )
+    org = ArrayOrganization(rows=16, columns=32, redundant_columns=2)
+    return FunctionalMemoryArray(
+        tech, org, criteria,
+        conditions=OperatingConditions.source_biased_standby(tech),
+        rng=np.random.default_rng(8),
+    )
+
+
+class TestCalibration:
+    def test_ramp_finds_a_nontrivial_bias(self, marginal_array):
+        loop = SelfAdaptiveSourceBias(dac=SourceBiasDAC(bits=5,
+                                                        full_scale=0.63))
+        result = loop.calibrate(marginal_array)
+        assert 0.0 < result.vsb_adaptive < 0.63
+        assert result.stopped_at_code is not None
+        assert result.faulty_columns <= 2
+
+    def test_bisect_matches_full_ramp(self, marginal_array):
+        dac = SourceBiasDAC(bits=5, full_scale=0.63)
+        ramp = SelfAdaptiveSourceBias(dac=dac).calibrate(marginal_array)
+        fast = SelfAdaptiveSourceBias(dac=dac).calibrate_bisect(marginal_array)
+        assert fast.code == ramp.code
+        assert fast.vsb_adaptive == pytest.approx(ramp.vsb_adaptive)
+
+    def test_margin_codes_back_off(self, marginal_array):
+        dac = SourceBiasDAC(bits=5, full_scale=0.63)
+        plain = SelfAdaptiveSourceBias(dac=dac).calibrate(marginal_array)
+        guarded = SelfAdaptiveSourceBias(
+            dac=dac, margin_codes=2
+        ).calibrate(marginal_array)
+        assert guarded.code == max(0, plain.code - 2)
+
+    def test_bist_controller_counts_columns(self, marginal_array):
+        controller = BISTController()
+        bank = RegisterBank(marginal_array.total_columns)
+        faulty = controller.test_at(marginal_array, 0.63, bank)
+        assert faulty == bank.faulty_columns
+        assert faulty > 2  # full-scale bias must exhaust the redundancy
+
+    def test_negative_margin_codes_rejected(self):
+        with pytest.raises(ValueError):
+            SelfAdaptiveSourceBias(margin_codes=-1)
+
+    def test_trace_is_recorded(self, marginal_array):
+        loop = SelfAdaptiveSourceBias(dac=SourceBiasDAC(bits=4,
+                                                        full_scale=0.63))
+        result = loop.calibrate(marginal_array)
+        assert len(result.trace) >= 1
+        voltages = [v for v, _ in result.trace]
+        assert voltages == sorted(voltages)

@@ -1,0 +1,118 @@
+"""Tests for the cell leakage decomposition and array sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sram.cell import SixTCell, sample_cell_dvt
+from repro.sram.leakage import cell_leakage, sample_array_leakage
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def nominal_cell():
+    from repro.sram.cell import CellGeometry
+    from repro.technology import predictive_70nm
+
+    return SixTCell(predictive_70nm(), CellGeometry(), ProcessCorner(0.0))
+
+
+class TestComponents:
+    def test_all_components_positive(self, nominal_cell):
+        breakdown = cell_leakage(nominal_cell)
+        assert float(breakdown.subthreshold[0]) > 0
+        assert float(breakdown.gate[0]) > 0
+        assert float(breakdown.junction[0]) > 0
+        assert float(breakdown.total[0]) == pytest.approx(
+            float(breakdown.subthreshold[0] + breakdown.gate[0]
+                  + breakdown.junction[0])
+        )
+
+    def test_nominal_magnitude_na_range(self, nominal_cell):
+        """Nominal cell leakage sits in the Fig. 3a nA decade."""
+        total = float(cell_leakage(nominal_cell).total[0])
+        assert 1e-9 < total < 1e-7
+
+    def test_rbb_cuts_subthreshold_raises_junction(self, nominal_cell):
+        zbb = cell_leakage(nominal_cell, vbody_n=0.0)
+        rbb = cell_leakage(nominal_cell, vbody_n=-0.4)
+        assert float(rbb.subthreshold[0]) < float(zbb.subthreshold[0])
+        assert float(rbb.junction[0]) > float(zbb.junction[0])
+
+    def test_fbb_raises_subthreshold(self, nominal_cell):
+        zbb = cell_leakage(nominal_cell, vbody_n=0.0)
+        fbb = cell_leakage(nominal_cell, vbody_n=0.4)
+        assert float(fbb.subthreshold[0]) > float(zbb.subthreshold[0])
+
+    def test_gate_leakage_insensitive_to_body_bias(self, nominal_cell):
+        zbb = float(cell_leakage(nominal_cell, vbody_n=0.0).gate[0])
+        rbb = float(cell_leakage(nominal_cell, vbody_n=-0.4).gate[0])
+        assert rbb == pytest.approx(zbb)
+
+    def test_total_has_interior_minimum_vs_body_bias(self, nominal_cell):
+        """Fig. 5a: the total is minimised at a moderate RBB."""
+        vbody = np.linspace(-0.6, 0.4, 21)
+        totals = np.array(
+            [float(cell_leakage(nominal_cell, vbody_n=v).total[0])
+             for v in vbody]
+        )
+        best = vbody[np.argmin(totals)]
+        assert -0.55 < best < -0.05
+        assert totals[0] > totals.min()
+        assert totals[-1] > totals.min()
+
+    def test_source_bias_suppresses_leakage(self, nominal_cell):
+        unbiased = float(cell_leakage(nominal_cell, vsb=0.0).total[0])
+        biased = float(cell_leakage(nominal_cell, vsb=0.3).total[0])
+        assert biased < 0.5 * unbiased
+
+    def test_low_vt_corner_leaks_more(self, nominal_cell):
+        leaky = nominal_cell.at_corner(ProcessCorner(-0.1))
+        assert float(cell_leakage(leaky).total[0]) > 3 * float(
+            cell_leakage(nominal_cell).total[0]
+        )
+
+    def test_scaled_helper(self, nominal_cell):
+        breakdown = cell_leakage(nominal_cell)
+        doubled = breakdown.scaled(2.0)
+        assert float(doubled.total[0]) == pytest.approx(
+            2 * float(breakdown.total[0])
+        )
+
+
+class TestPopulationStatistics:
+    def test_lognormal_shape(self, tech, geometry, rng):
+        """Cell leakage under RDF is heavily right-skewed (lognormal-ish)."""
+        dvt = sample_cell_dvt(tech, geometry, rng, 20_000)
+        cell = SixTCell(tech, geometry, ProcessCorner(0.0), dvt)
+        totals = cell_leakage(cell).total
+        # The total is a sum of three lognormal-ish paths, so the skew is
+        # diluted but still clearly positive.
+        assert np.mean(totals) > 1.05 * np.median(totals)
+        from scipy.stats import skew
+
+        assert skew(totals) > 1.0
+
+    def test_array_sampling_clt(self, tech, geometry, rng):
+        """Array sums concentrate: relative sigma shrinks ~ 1/sqrt(N)."""
+        template = SixTCell(tech, geometry, ProcessCorner(0.0))
+        arrays = sample_array_leakage(template, cells_per_array=2048,
+                                      n_arrays=100, rng=rng)
+        rel_sigma = arrays.std() / arrays.mean()
+        # Single-cell relative sigma is O(1); the array's should be tiny.
+        assert rel_sigma < 0.05
+
+    def test_array_sampling_validation(self, tech, geometry, rng):
+        template = SixTCell(tech, geometry)
+        with pytest.raises(ValueError):
+            sample_array_leakage(template, 0, 10, rng)
+
+    def test_chunking_is_equivalent(self, tech, geometry):
+        """Chunked and unchunked sampling agree statistically."""
+        template = SixTCell(tech, geometry, ProcessCorner(0.0))
+        a = sample_array_leakage(
+            template, 512, 40, np.random.default_rng(4), chunk_cells=4000
+        )
+        b = sample_array_leakage(
+            template, 512, 40, np.random.default_rng(5), chunk_cells=100_000
+        )
+        assert a.mean() == pytest.approx(b.mean(), rel=0.02)

@@ -1,0 +1,84 @@
+"""Tests for the interpolated failure-probability tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.tables import FailureProbabilityTable
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.experiments.context import ExperimentContext
+
+    ctx = ExperimentContext(
+        target=1e-2, calibration_samples=6_000, analysis_samples=4_000,
+        seed=99,
+    )
+    return FailureProbabilityTable(
+        ctx.analyzer(), corner_min=-0.1, corner_max=0.1, n_grid=9
+    )
+
+
+def test_interpolation_matches_direct_estimates(table):
+    """Off-grid interpolation agrees with a direct MC estimate."""
+    analyzer = table.analyzer
+    for dvt in (-0.055, 0.033):
+        direct = analyzer.failure_probabilities(
+            ProcessCorner(dvt), table.conditions
+        )["any"].estimate
+        interpolated = table.probability(dvt, "any")
+        assert interpolated == pytest.approx(direct, rel=0.5)
+
+
+def test_grid_points_are_exact(table):
+    """On grid nodes the spline passes through the estimates."""
+    analyzer = table.analyzer
+    dvt = float(table.grid[2])
+    direct = analyzer.failure_probabilities(
+        ProcessCorner(dvt), table.conditions
+    )["any"].estimate
+    assert table.probability(dvt, "any") == pytest.approx(
+        max(direct, 1e-12), rel=1e-6
+    )
+
+
+def test_clamps_outside_grid(table):
+    inside = table.probability(0.1, "any")
+    outside = table.probability(0.5, "any")
+    assert outside == pytest.approx(inside)
+
+
+def test_series_matches_scalar(table):
+    shifts = np.array([-0.08, 0.0, 0.08])
+    series = table.series(shifts, "any")
+    scalars = [table.probability(float(s), "any") for s in shifts]
+    np.testing.assert_allclose(series, scalars, rtol=1e-12)
+
+
+def test_accepts_process_corner(table):
+    assert table.probability(ProcessCorner(0.02)) == pytest.approx(
+        table.probability(0.02)
+    )
+
+
+def test_unknown_mechanism_rejected(table):
+    with pytest.raises(KeyError):
+        table.probability(0.0, "latchup")
+
+
+def test_bathtub_shape_preserved(table):
+    assert table.probability(-0.1, "any") > table.probability(0.0, "any")
+    assert table.probability(0.1, "any") > table.probability(0.0, "any")
+
+
+def test_constructor_validation():
+    from repro.experiments.context import ExperimentContext
+
+    ctx = ExperimentContext(target=1e-2, calibration_samples=2_000,
+                            analysis_samples=1_000, seed=99)
+    with pytest.raises(ValueError):
+        FailureProbabilityTable(ctx.analyzer(), n_grid=2)
+    with pytest.raises(ValueError):
+        FailureProbabilityTable(ctx.analyzer(), corner_min=0.1,
+                                corner_max=-0.1)

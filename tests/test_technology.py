@@ -1,0 +1,131 @@
+"""Tests for the technology package: parameters, corners, variation."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.technology import (
+    InterDieDistribution,
+    ProcessCorner,
+    RandomDopantFluctuation,
+)
+
+
+class TestParameters:
+    def test_default_card_is_consistent(self, tech):
+        assert tech.vdd == pytest.approx(1.0)
+        assert tech.length == pytest.approx(70e-9)
+        assert tech.nmos.vth0 > 0
+        assert tech.pmos.vth0 > 0
+
+    def test_cox_from_tox(self, tech):
+        # eps0 * 3.9 / 1.6nm ~ 2.16e-2 F/m^2
+        assert tech.cox == pytest.approx(2.157e-2, rel=1e-2)
+
+    def test_device_lookup(self, tech):
+        assert tech.device("nmos") is tech.nmos
+        assert tech.device("pmos") is tech.pmos
+        with pytest.raises(ValueError):
+            tech.device("finfet")
+
+    def test_junction_area_scales_with_width(self, tech):
+        assert tech.junction_area(2e-7) == pytest.approx(
+            2 * tech.junction_area(1e-7)
+        )
+
+    def test_with_temperature_returns_copy(self, tech):
+        hot = tech.with_temperature(400.0)
+        assert hot.temperature == 400.0
+        assert tech.temperature != 400.0
+        assert hot.nmos is tech.nmos
+
+    def test_invalid_parameters_rejected(self, tech):
+        with pytest.raises(ValueError):
+            dataclasses.replace(tech, vdd=-1.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(tech.nmos, vth0=-0.1)
+        with pytest.raises(ValueError):
+            dataclasses.replace(tech.nmos, n_sub=0.9)
+
+
+class TestProcessCorner:
+    def test_nominal_flags(self):
+        corner = ProcessCorner(0.0)
+        assert not corner.is_low_vt
+        assert not corner.is_high_vt
+
+    def test_low_and_high(self):
+        assert ProcessCorner(-0.05).is_low_vt
+        assert ProcessCorner(0.05).is_high_vt
+
+    def test_shifted(self):
+        assert ProcessCorner(0.02).shifted(0.03).dvt_inter == pytest.approx(0.05)
+
+    def test_str_formats_millivolts(self):
+        assert "50.0 mV" in str(ProcessCorner(0.05))
+
+
+class TestRandomDopantFluctuation:
+    def test_pelgrom_scaling(self, tech):
+        rdf = RandomDopantFluctuation.from_devices(tech.nmos, tech.pmos)
+        sigma_small = rdf.sigma_vt(100e-9, 70e-9)
+        sigma_big = rdf.sigma_vt(400e-9, 70e-9)
+        assert sigma_small == pytest.approx(2 * sigma_big)
+
+    def test_minimum_device_sigma_about_30mv(self, tech):
+        rdf = RandomDopantFluctuation.from_devices(tech.nmos, tech.pmos)
+        sigma = rdf.sigma_vt(100e-9, 70e-9)
+        assert 0.02 < sigma < 0.04
+
+    def test_sample_statistics(self, tech, rng):
+        rdf = RandomDopantFluctuation.from_devices(tech.nmos, tech.pmos)
+        samples = rdf.sample(rng, 200e-9, 70e-9, size=50_000)
+        sigma = rdf.sigma_vt(200e-9, 70e-9)
+        assert np.mean(samples) == pytest.approx(0.0, abs=3 * sigma / 200)
+        assert np.std(samples) == pytest.approx(sigma, rel=0.02)
+
+    def test_invalid_geometry_rejected(self, tech):
+        rdf = RandomDopantFluctuation.from_devices(tech.nmos, tech.pmos)
+        with pytest.raises(ValueError):
+            rdf.sigma_vt(-1e-9, 70e-9)
+
+
+class TestInterDieDistribution:
+    def test_sampling_statistics(self, rng):
+        dist = InterDieDistribution(sigma=0.05)
+        samples = dist.sample(rng, 100_000)
+        assert np.std(samples) == pytest.approx(0.05, rel=0.02)
+
+    def test_quadrature_weights_sum_to_one(self):
+        dist = InterDieDistribution(sigma=0.03)
+        nodes, weights = dist.quadrature(15)
+        assert weights.sum() == pytest.approx(1.0)
+        assert nodes.size == 15
+
+    def test_quadrature_integrates_moments(self):
+        dist = InterDieDistribution(sigma=0.04, mean=0.01)
+        nodes, weights = dist.quadrature(21)
+        assert np.dot(weights, nodes) == pytest.approx(0.01, abs=1e-12)
+        assert np.dot(weights, (nodes - 0.01) ** 2) == pytest.approx(
+            0.04**2, rel=1e-10
+        )
+
+    def test_pdf_normalisation(self):
+        dist = InterDieDistribution(sigma=0.02)
+        x = np.linspace(-0.2, 0.2, 20_001)
+        integral = np.trapezoid(dist.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_sigma_pdf_rejected(self):
+        with pytest.raises(ValueError):
+            InterDieDistribution(sigma=0.0).pdf(0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            InterDieDistribution(sigma=-0.01)
+
+    def test_sample_corners_returns_process_corners(self, rng):
+        corners = InterDieDistribution(sigma=0.05).sample_corners(rng, 10)
+        assert len(corners) == 10
+        assert all(isinstance(c, ProcessCorner) for c in corners)

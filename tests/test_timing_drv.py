@@ -1,0 +1,145 @@
+"""Tests for the array timing and DRV analysis modules."""
+
+import numpy as np
+import pytest
+
+from repro.sram.array import ArrayOrganization
+from repro.sram.cell import CellGeometry, SixTCell, sample_cell_dvt
+from repro.sram.drv import array_drv, cell_drv, retention_ok, safe_standby_voltage
+from repro.sram.timing import (
+    BitlineModel,
+    access_time,
+    read_cycle_time,
+    write_cycle_time,
+)
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def org():
+    return ArrayOrganization(rows=256, columns=64, redundant_columns=3)
+
+
+@pytest.fixture(scope="module")
+def nominal_cell():
+    from repro.technology import predictive_70nm
+
+    return SixTCell(predictive_70nm(), CellGeometry(), ProcessCorner(0.0))
+
+
+class TestTiming:
+    def test_bitline_capacitance_scales_with_rows(self):
+        model = BitlineModel()
+        assert model.capacitance(256) > model.capacitance(64)
+        assert model.capacitance(256) == pytest.approx(
+            model.c_fixed + 256 * model.c_cell
+        )
+        with pytest.raises(ValueError):
+            model.capacitance(0)
+
+    def test_access_time_magnitude(self, nominal_cell, org):
+        t = float(np.atleast_1d(access_time(nominal_cell, org, 1.0))[0])
+        # A 256-row bitline at ~100 uA: a few hundred ps.
+        assert 1e-10 < t < 2e-9
+
+    def test_more_rows_slower_access(self, nominal_cell):
+        small = ArrayOrganization(rows=64, columns=64, redundant_columns=3)
+        big = ArrayOrganization(rows=512, columns=64, redundant_columns=3)
+        t_small = float(np.atleast_1d(access_time(nominal_cell, small, 1.0))[0])
+        t_big = float(np.atleast_1d(access_time(nominal_cell, big, 1.0))[0])
+        assert t_big > 2 * t_small
+
+    def test_fbb_speeds_the_access(self, nominal_cell, org):
+        t_zbb = float(np.atleast_1d(access_time(nominal_cell, org, 1.0, 0.0))[0])
+        t_fbb = float(
+            np.atleast_1d(access_time(nominal_cell, org, 1.0, 0.25))[0]
+        )
+        assert t_fbb < t_zbb
+
+    def test_high_vt_corner_slower(self, nominal_cell, org):
+        slow = nominal_cell.at_corner(ProcessCorner(0.08))
+        assert float(np.atleast_1d(access_time(slow, org, 1.0))[0]) > float(
+            np.atleast_1d(access_time(nominal_cell, org, 1.0))[0]
+        )
+
+    def test_cycle_time_includes_overhead(self, nominal_cell, org):
+        t_access = float(np.atleast_1d(access_time(nominal_cell, org, 1.0))[0])
+        t_cycle = float(
+            np.atleast_1d(read_cycle_time(nominal_cell, org, 1.0))[0]
+        )
+        assert t_cycle == pytest.approx(t_access / 0.4)
+        with pytest.raises(ValueError):
+            read_cycle_time(nominal_cell, org, 1.0, overhead_fraction=1.0)
+
+    def test_write_cycle(self, nominal_cell):
+        t = float(np.atleast_1d(write_cycle_time(nominal_cell, 1.0))[0])
+        assert t > 0
+        with pytest.raises(ValueError):
+            write_cycle_time(nominal_cell, 1.0, overhead_fraction=-0.1)
+
+
+class TestDRV:
+    @pytest.fixture(scope="class")
+    def population(self):
+        from repro.technology import predictive_70nm
+
+        tech = predictive_70nm()
+        geometry = CellGeometry()
+        rng = np.random.default_rng(3)
+        dvt = sample_cell_dvt(tech, geometry, rng, 2000)
+        return SixTCell(tech, geometry, ProcessCorner(0.0), dvt)
+
+    def test_retention_monotone_in_supply(self, nominal_cell, fast_criteria):
+        low = retention_ok(nominal_cell, 0.10, fast_criteria)
+        high = retention_ok(nominal_cell, 0.60, fast_criteria)
+        assert bool(np.all(high >= low))
+
+    def test_cell_drv_distribution(self, population, fast_criteria):
+        drv = cell_drv(population, fast_criteria, n_levels=21)
+        assert drv.shape == (2000,)
+        # Every cell retains somewhere inside the scanned range.
+        assert drv.max() < 1.0
+        assert drv.min() >= 0.05
+        # The typical DRV sits well below the nominal supply.
+        assert np.median(drv) < 0.5
+
+    def test_drv_is_monotone_in_criteria(self, population, fast_criteria):
+        """A stricter retention margin demands a higher supply."""
+        import dataclasses
+
+        strict = dataclasses.replace(
+            fast_criteria,
+            hold_fraction_min=min(0.99, fast_criteria.hold_fraction_min + 0.04),
+        )
+        drv_base = cell_drv(population, fast_criteria, n_levels=15)
+        drv_strict = cell_drv(population, strict, n_levels=15)
+        assert np.mean(drv_strict) >= np.mean(drv_base)
+
+    def test_rbb_does_not_hurt_typical_drv(self, population, fast_criteria):
+        """Cutting the NMOS leakage keeps retention at least as easy for
+        the typical cell."""
+        drv_zbb = cell_drv(population, fast_criteria, n_levels=15)
+        drv_rbb = cell_drv(population, fast_criteria, vbody_n=-0.4,
+                           n_levels=15)
+        assert np.median(drv_rbb) <= np.median(drv_zbb) + 0.05
+
+    def test_array_drv_is_extreme_value(self, population, fast_criteria, rng):
+        drv = cell_drv(population, fast_criteria, n_levels=15)
+        maxima = array_drv(drv, n_cells=16_384, rng=rng, n_arrays=200)
+        assert maxima.shape == (200,)
+        assert maxima.mean() > np.quantile(drv, 0.99)
+
+    def test_safe_standby_voltage(self, population, fast_criteria, rng):
+        drv = cell_drv(population, fast_criteria, n_levels=15)
+        safe = safe_standby_voltage(drv, n_cells=16_384, rng=rng)
+        assert drv.max() - 0.05 <= safe <= 1.0
+
+    def test_validation(self, population, fast_criteria, rng):
+        with pytest.raises(ValueError):
+            cell_drv(population, fast_criteria, v_min=0.8, v_max=0.3)
+        with pytest.raises(ValueError):
+            cell_drv(population, fast_criteria, n_levels=1)
+        with pytest.raises(ValueError):
+            array_drv(np.array([0.2]), 0, rng)
+        with pytest.raises(ValueError):
+            array_drv(np.array([]), 100, rng)

@@ -1,0 +1,67 @@
+"""Tests for the combined post-silicon tuner (repair + ASB)."""
+
+import numpy as np
+import pytest
+
+from repro.core.body_bias import SelfRepairingSRAM
+from repro.core.source_bias import SourceBiasDAC, SelfAdaptiveSourceBias
+from repro.core.tuning import PostSiliconTuner
+from repro.sram.array import ArrayOrganization
+from repro.technology.corners import ProcessCorner
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    from repro.experiments.context import ExperimentContext
+
+    ctx = ExperimentContext(
+        target=1e-4, calibration_samples=8_000, analysis_samples=5_000,
+        table_grid=7, seed=99,
+    )
+    organization = ArrayOrganization.from_capacity(
+        2 * 1024, rows=64, redundancy_fraction=0.10
+    )
+    pipeline = SelfRepairingSRAM(
+        ctx.analyzer(), organization, table_provider=ctx.table,
+        leakage_samples=4_000,
+    )
+    return PostSiliconTuner(
+        pipeline,
+        SelfAdaptiveSourceBias(dac=SourceBiasDAC(bits=5, full_scale=0.62)),
+    )
+
+
+def test_nominal_die_gets_zbb_and_a_real_source_bias(tuner):
+    outcome = tuner.tune(ProcessCorner(0.0), np.random.default_rng(1))
+    assert outcome.vbody == 0.0
+    assert outcome.vsb > 0.3
+    assert outcome.standby_conditions.vsb == outcome.vsb
+    assert outcome.standby_conditions.vbody_n == 0.0
+
+
+def test_leaky_die_gets_rbb_then_calibrates(tuner):
+    # -60 mV: leaky enough to bin LOW_VT, mild enough that the RBB'd die
+    # is statically repairable at this loose test calibration.
+    outcome = tuner.tune(ProcessCorner(-0.06), np.random.default_rng(2))
+    assert outcome.vbody < 0.0
+    # RBB'd retention is at least as robust: the calibrated source bias
+    # is a genuine (non-zero) value.
+    assert outcome.vsb > 0.0
+    assert outcome.calibration.faulty_columns <= \
+        tuner.repair_pipeline.organization.redundant_columns
+
+
+def test_fast_and_full_ramps_agree(tuner):
+    fast = tuner.tune(ProcessCorner(0.0), np.random.default_rng(3),
+                      fast=True)
+    full = tuner.tune(ProcessCorner(0.0), np.random.default_rng(3),
+                      fast=False)
+    assert fast.vsb == pytest.approx(full.vsb)
+    assert fast.vbody == full.vbody
+
+
+def test_deterministic_given_rng(tuner):
+    a = tuner.tune(ProcessCorner(0.02), np.random.default_rng(7))
+    b = tuner.tune(ProcessCorner(0.02), np.random.default_rng(7))
+    assert a.vsb == b.vsb
+    assert a.vbody == b.vbody

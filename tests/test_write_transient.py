@@ -1,0 +1,87 @@
+"""Cross-validation: quasi-static write time vs a transient simulation.
+
+``solve_write_time`` computes the write duration as a charge integral
+over the static I-V curves.  Here the same write event — the access
+transistor discharging the '1' node against the pull-up into a 2 fF
+node capacitance — is simulated with the backward-Euler transient
+engine, and the time to cross the write trip point is compared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Capacitor, Circuit, MOSFETElement, VoltageSource
+from repro.circuit.netlist import GROUND
+from repro.circuit.transient import solve_transient
+from repro.sram.cell import CellGeometry, SixTCell
+from repro.sram.solver import solve_write_time, solve_write_trip
+from repro.technology import predictive_70nm
+from repro.technology.corners import ProcessCorner
+
+VDD = 1.0
+C_NODE = 2e-15
+
+
+def _simulate_write(cell: SixTCell) -> float:
+    """Transient write-0: time [s] for node L to fall below V_TRIPWR."""
+    ckt = Circuit("write-transient")
+    ckt.add(VoltageSource("vdd", GROUND, VDD, name="VDD"))
+    # Wordline steps high at t=0 via the access transistor's gate.
+    ckt.add(
+        VoltageSource("wl", GROUND, lambda t: VDD if t > 0 else 0.0,
+                      name="WL")
+    )
+    ckt.add(MOSFETElement(GROUND, "l", "vdd", "vdd", cell.device("pl"),
+                          name="PL"))
+    ckt.add(MOSFETElement("wl", "l", GROUND, GROUND, cell.device("axl"),
+                          name="AXL"))
+    ckt.add(Capacitor("l", GROUND, C_NODE))
+    result = solve_transient(
+        ckt, t_stop=60e-12, dt=0.2e-12, initial={"l": VDD, "vdd": VDD}
+    )
+    v_stop = float(np.atleast_1d(solve_write_trip(cell, VDD))[0])
+    return result.crossing_time("l", v_stop, rising=False)
+
+
+@pytest.mark.parametrize("corner", [0.0, 0.06])
+def test_write_time_matches_transient(corner):
+    tech = predictive_70nm()
+    cell = SixTCell(tech, CellGeometry(), ProcessCorner(corner))
+    quasi_static = float(
+        np.atleast_1d(solve_write_time(cell, VDD, node_capacitance=C_NODE))[0]
+    )
+    transient = _simulate_write(cell)
+    # Backward Euler is first order and the initial operating point sees
+    # the node already pinned at VDD, so agree to ~15%.
+    assert quasi_static == pytest.approx(transient, rel=0.15)
+
+
+def test_rbb_slows_transient_write_too():
+    """The body-bias trend holds in the full transient, not just the
+    quasi-static integral."""
+    tech = predictive_70nm()
+    cell = SixTCell(tech, CellGeometry(), ProcessCorner(0.0))
+
+    def simulate(vbody: float) -> float:
+        ckt = Circuit("write-transient")
+        ckt.add(VoltageSource("vdd", GROUND, VDD, name="VDD"))
+        ckt.add(VoltageSource("vb", GROUND, vbody, name="VB"))
+        ckt.add(
+            VoltageSource("wl", GROUND, lambda t: VDD if t > 0 else 0.0,
+                          name="WL")
+        )
+        ckt.add(MOSFETElement(GROUND, "l", "vdd", "vdd",
+                              cell.device("pl"), name="PL"))
+        ckt.add(MOSFETElement("wl", "l", GROUND, "vb",
+                              cell.device("axl"), name="AXL"))
+        ckt.add(Capacitor("l", GROUND, C_NODE))
+        result = solve_transient(
+            ckt, t_stop=80e-12, dt=0.2e-12,
+            initial={"l": VDD, "vdd": VDD, "vb": vbody},
+        )
+        v_stop = float(
+            np.atleast_1d(solve_write_trip(cell, VDD, vbody))[0]
+        )
+        return result.crossing_time("l", v_stop, rising=False)
+
+    assert simulate(-0.4) > simulate(0.0)

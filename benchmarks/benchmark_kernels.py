@@ -71,8 +71,15 @@ def test_kernel_importance_sampling(benchmark):
     assert sample.n_samples == 100_000
 
 
+#: Minimum acceptable metric-engine throughput [cells/s].  Typical
+#: hardware delivers 7-30k cells/s; the floor sits ~3x below the
+#: slowest machine we run on so only a genuine algorithmic regression
+#: (not scheduler jitter or a loaded CI box) can trip it.
+THROUGHPUT_FLOOR = 2_000
+
+
 def test_kernel_throughput_floor(population):
-    """Hard floor: the metric engine must stay above ~20k cells/s.
+    """Hard floor: the metric engine must stay above THROUGHPUT_FLOOR.
 
     (Not a pytest-benchmark fixture — a plain guard so a catastrophic
     slowdown fails loudly even in --benchmark-disable runs.)
@@ -83,4 +90,8 @@ def test_kernel_throughput_floor(population):
     start = time.perf_counter()
     compute_cell_metrics(population, conditions)
     elapsed = time.perf_counter() - start
-    assert N_CELLS / elapsed > 2_000, f"metrics at {N_CELLS/elapsed:.0f}/s"
+    rate = N_CELLS / elapsed
+    assert rate > THROUGHPUT_FLOOR, (
+        f"metric engine measured {rate:.0f} cells/s, below the "
+        f"{THROUGHPUT_FLOOR} cells/s floor"
+    )

@@ -1,0 +1,104 @@
+"""Serial-vs-parallel and cold-vs-warm-cache wall-clock benchmarks.
+
+Measures the two levers ``repro.parallel`` adds on a representative
+fig2c-style workload (failure-probability tables at several body-bias
+levels — the sweep every yield figure sits on):
+
+* **fan-out**: the same sweep through ``ParallelExecutor(workers=4)``
+  must produce bit-identical tables, and on a >= 4-core machine cut
+  wall-clock by >= 2x (speedup asserts are gated on ``os.cpu_count()``
+  so single-core CI still verifies determinism);
+* **cache**: a warm rerun from a populated ``cache_dir`` must be
+  >= 5x faster than the cold build and numerically identical.
+
+Run directly for a readable report::
+
+    PYTHONPATH=src python benchmarks/benchmark_parallel.py
+
+or through pytest (``pytest benchmarks/benchmark_parallel.py -s``).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.experiments.context import ExperimentContext
+
+#: Body-bias levels of the sweep (fig2c evaluates tables at ZBB and the
+#: repair biases; three levels keep the benchmark representative).
+VBODY_LEVELS = (-0.3, 0.0, 0.3)
+
+#: Reduced-accuracy-but-not-trivial sweep: enough Monte-Carlo work per
+#: grid point that process fan-out dominates pool overhead.
+SWEEP_PARAMS = dict(
+    target=1e-4,
+    calibration_samples=12_000,
+    analysis_samples=10_000,
+    table_grid=9,
+    seed=11,
+)
+
+#: Probe corners for the bit-identity check.
+PROBES = (-0.09, -0.03, 0.0, 0.04, 0.09)
+
+
+def build_sweep(workers: int = 1, cache_dir: str | None = None):
+    """Build the full multi-table sweep; returns (context, seconds)."""
+    ctx = ExperimentContext(**SWEEP_PARAMS, workers=workers, cache_dir=cache_dir)
+    ctx.criteria  # calibrate outside the timed region: shared, not swept
+    start = time.perf_counter()
+    for vbody in VBODY_LEVELS:
+        ctx.table(vbody)
+    return ctx, time.perf_counter() - start
+
+
+def assert_identical(ctx_a: ExperimentContext, ctx_b: ExperimentContext) -> None:
+    for vbody in VBODY_LEVELS:
+        for probe in PROBES:
+            a = ctx_a.table(vbody).probability(probe)
+            b = ctx_b.table(vbody).probability(probe)
+            assert a == b, f"vbody={vbody} probe={probe}: {a} != {b}"
+
+
+def test_parallel_sweep_identical_and_faster():
+    """workers=4 matches workers=1 bitwise; speedup needs the cores."""
+    serial_ctx, serial_s = build_sweep(workers=1)
+    parallel_ctx, parallel_s = build_sweep(workers=4)
+    assert_identical(serial_ctx, parallel_ctx)
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    print(
+        f"\nserial {serial_s:.1f}s, workers=4 {parallel_s:.1f}s "
+        f"-> speedup x{speedup:.2f} on {cores} core(s)"
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x at workers=4 on {cores} cores, got x{speedup:.2f}"
+        )
+    elif cores == 1:
+        # No parallel hardware: the engine must at least not collapse.
+        assert speedup > 0.5, f"pool overhead dominated: x{speedup:.2f}"
+
+
+def test_warm_cache_rerun():
+    """A warm rerun loads every table: >= 5x faster, identical values."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cold_ctx, cold_s = build_sweep(cache_dir=cache_dir)
+        warm_ctx, warm_s = build_sweep(cache_dir=cache_dir)
+        assert warm_ctx.result_cache.hits >= len(VBODY_LEVELS)
+        assert_identical(cold_ctx, warm_ctx)
+        speedup = cold_s / warm_s
+        print(f"\ncold {cold_s:.1f}s, warm {warm_s:.3f}s -> speedup x{speedup:.0f}")
+        assert speedup >= 5.0, f"warm rerun only x{speedup:.1f} faster"
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    test_parallel_sweep_identical_and_faster()
+    test_warm_cache_rerun()
+    print("\nbenchmark_parallel: all checks passed")

@@ -18,6 +18,9 @@ The library stacks up as:
 * :mod:`repro.core` — **the paper's contribution**: the self-repairing
   SRAM (leakage monitor + adaptive body bias) and the self-adaptive
   source-bias calibration (BIST + March tests + counter/DAC);
+* :mod:`repro.parallel` — deterministic process fan-out and the
+  fingerprint-keyed disk cache behind every sweep (results are
+  bit-identical at any worker count);
 * :mod:`repro.experiments` — one entry point per paper figure,
   regenerating every result of the evaluation.
 """
@@ -37,6 +40,7 @@ from repro.failures import (
     MpfpEstimator,
     calibrate_criteria,
 )
+from repro.parallel import ParallelExecutor, ResultCache
 from repro.sram import (
     ArrayOrganization,
     CellGeometry,
@@ -76,5 +80,7 @@ __all__ = [
     "LotSimulator",
     "LotReport",
     "MpfpEstimator",
+    "ParallelExecutor",
+    "ResultCache",
     "__version__",
 ]

@@ -22,6 +22,7 @@ test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +33,20 @@ from repro.power.standby import die_standby_power
 from repro.sram.metrics import OperatingConditions
 from repro.technology.corners import ProcessCorner
 from repro.technology.variation import InterDieDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - hint-only import
+    from repro.parallel.executor import ParallelExecutor
+
+
+def _die_task(task) -> "DieRecord":
+    """Worker entry point: one die through the flow (picklable).
+
+    The task carries its own :class:`~numpy.random.SeedSequence`, so
+    the record is a pure function of the payload — identical whether it
+    runs inline or in any worker process.
+    """
+    simulator, corner, seed_seq = task
+    return simulator.process_die(corner, np.random.default_rng(seed_seq))
 
 
 @dataclass(frozen=True)
@@ -151,6 +166,13 @@ class LotSimulator:
     def _power(self, corner: float, vsb: float):
         key = (round(corner, 3), round(vsb, 3))
         if key not in self._power_cache:
+            seed = np.random.SeedSequence(
+                entropy=[
+                    101,
+                    int(round(key[0] * 1e3)) & 0xFFFFFFFF,
+                    int(round(key[1] * 1e3)) & 0xFFFFFFFF,
+                ]
+            )
             self._power_cache[key] = die_standby_power(
                 self.pipeline.tech,
                 self.pipeline.geometry,
@@ -158,7 +180,7 @@ class LotSimulator:
                 self.pipeline.organization.n_cells,
                 self.asb_conditions.with_source_bias(key[1]),
                 n_samples=4_000,
-                rng=np.random.default_rng((101, hash(key) & 0xFFFFFF)),
+                rng=np.random.default_rng(seed),
             )
         return self._power_cache[key]
 
@@ -195,15 +217,27 @@ class LotSimulator:
         n_dies: int,
         sigma_inter: float,
         seed: int = 0,
+        executor: "ParallelExecutor | None" = None,
     ) -> LotReport:
-        """Simulate a lot of ``n_dies`` from a ``sigma_inter`` process."""
+        """Simulate a lot of ``n_dies`` from a ``sigma_inter`` process.
+
+        Every die gets its own child of ``seed`` (via
+        :meth:`numpy.random.SeedSequence.spawn`), so the lot report is
+        bit-identical whether the dies run inline (``executor=None``)
+        or fanned out across any number of workers.
+        """
         if n_dies <= 0:
             raise ValueError(f"n_dies must be positive, got {n_dies}")
-        rng = np.random.default_rng(seed)
-        shifts = InterDieDistribution(sigma_inter).sample(rng, n_dies)
-        report = LotReport()
-        for shift in shifts:
-            report.dies.append(
-                self.process_die(ProcessCorner(float(shift)), rng)
-            )
-        return report
+        shift_seed, die_root = np.random.SeedSequence(seed).spawn(2)
+        shifts = InterDieDistribution(sigma_inter).sample(
+            np.random.default_rng(shift_seed), n_dies
+        )
+        tasks = [
+            (self, ProcessCorner(float(shift)), die_seed)
+            for shift, die_seed in zip(shifts, die_root.spawn(n_dies))
+        ]
+        if executor is None:
+            records = [_die_task(task) for task in tasks]
+        else:
+            records = executor.map(_die_task, tasks)
+        return LotReport(dies=list(records))

@@ -14,12 +14,19 @@ suite).
 
 from __future__ import annotations
 
+import dataclasses
+from typing import TYPE_CHECKING
+
 import numpy as np
 from scipy.interpolate import PchipInterpolator
 
 from repro.failures.analysis import MECHANISMS, CellFailureAnalyzer
 from repro.sram.metrics import OperatingConditions
 from repro.technology.corners import ProcessCorner
+
+if TYPE_CHECKING:  # pragma: no cover - hint-only imports
+    from repro.parallel.cache import ResultCache
+    from repro.parallel.executor import ParallelExecutor
 
 #: Probability floor to keep log-space interpolation finite.
 _P_FLOOR = 1e-12
@@ -33,6 +40,12 @@ class FailureProbabilityTable:
         conditions: bias conditions the table is built at.
         corner_min / corner_max: grid span of inter-die shifts [V].
         n_grid: grid points (grid is uniform).
+        executor: fan-out engine for the grid build; None builds
+            serially.  Results are bit-identical at any worker count
+            (each grid point derives its own RNG stream from its key).
+        cache: disk-backed result cache; when set, the build first
+            looks up the full (technology, criteria, sampling, grid)
+            fingerprint and only runs Monte Carlo on a miss.
     """
 
     def __init__(
@@ -42,6 +55,8 @@ class FailureProbabilityTable:
         corner_min: float = -0.15,
         corner_max: float = 0.15,
         n_grid: int = 21,
+        executor: "ParallelExecutor | None" = None,
+        cache: "ResultCache | None" = None,
     ) -> None:
         if n_grid < 4:
             raise ValueError("n_grid must be at least 4 for PCHIP")
@@ -52,20 +67,58 @@ class FailureProbabilityTable:
             conditions if conditions is not None else analyzer.conditions
         )
         self.grid = np.linspace(corner_min, corner_max, n_grid)
+        self._executor = executor
+        self._cache = cache
         self._splines: dict[str, PchipInterpolator] = {}
         self._build()
 
+    def _cache_key(self) -> dict:
+        """Everything the grid estimates depend on, as a JSON payload."""
+        analyzer = self.analyzer
+        return {
+            "technology": dataclasses.asdict(analyzer.tech),
+            "criteria": dataclasses.asdict(analyzer.criteria),
+            "geometry": dataclasses.asdict(analyzer.geometry),
+            "conditions": dataclasses.asdict(self.conditions),
+            "n_samples": analyzer.n_samples,
+            "scale": analyzer.scale,
+            "seed": analyzer.seed,
+            "grid": [float(x) for x in self.grid],
+        }
+
     def _build(self) -> None:
+        key = self._cache_key() if self._cache is not None else None
+        if key is not None:
+            stored = self._cache.get("failure-table", key)
+            if stored is not None:
+                for name, values in stored["log10_probability"].items():
+                    self._splines[name] = PchipInterpolator(
+                        self.grid, np.array(values, dtype=float)
+                    )
+                return
+        results = self.analyzer.failure_probabilities_batch(
+            [ProcessCorner(float(dvt)) for dvt in self.grid],
+            [self.conditions] * self.grid.size,
+            executor=self._executor,
+        )
         log_p = {name: np.empty(self.grid.size) for name in MECHANISMS + ("any",)}
-        for i, dvt in enumerate(self.grid):
-            probs = self.analyzer.failure_probabilities(
-                ProcessCorner(float(dvt)), self.conditions
-            )
+        for i, probs in enumerate(results):
             for name in MECHANISMS + ("any",):
                 p = max(probs[name].estimate, _P_FLOOR)
                 log_p[name][i] = np.log10(min(p, 1.0))
         for name, values in log_p.items():
             self._splines[name] = PchipInterpolator(self.grid, values)
+        if key is not None:
+            self._cache.put(
+                "failure-table",
+                key,
+                {
+                    "log10_probability": {
+                        name: [float(v) for v in values]
+                        for name, values in log_p.items()
+                    }
+                },
+            )
 
     def probability(
         self, corner: ProcessCorner | float, mechanism: str = "any"

@@ -4,10 +4,14 @@ Regenerate any paper figure from the shell::
 
     python -m repro.experiments fig2a
     python -m repro.experiments fig10 --fast
+    python -m repro.experiments fig2c --workers 4 --cache-dir ~/.cache/repro
     python -m repro.experiments --list
 
 ``--fast`` swaps in a reduced-accuracy context (seconds instead of
-minutes) for a quick qualitative look.
+minutes) for a quick qualitative look.  ``--workers`` fans the sweep
+grids out across processes (bit-identical results at any count) and
+``--cache-dir`` persists calibrated criteria and built tables so the
+next run of the same figure starts warm (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -47,7 +51,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="reduced-accuracy context (quick qualitative run)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="processes for sweep fan-out (default 1 = serial; "
+        "results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist criteria/tables to DIR and reuse them on reruns",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
 
     if args.list or not args.figure:
         print("paper figures:")
@@ -64,6 +85,13 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     ctx = _fast_context() if args.fast else default_context()
+    try:
+        ctx.configure_execution(
+            workers=args.workers if args.workers != 1 else None,
+            cache_dir=args.cache_dir,
+        )
+    except NotADirectoryError as exc:
+        parser.error(str(exc))
     start = time.time()
     result = run_experiment(args.figure, ctx)
     elapsed = time.time() - start

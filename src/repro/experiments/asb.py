@@ -15,6 +15,7 @@ the statistical policies:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -70,20 +71,62 @@ class HoldProbabilityTable:
             else np.array([0.0, 0.2, 0.3, 0.4, 0.45, 0.5, 0.525,
                            0.55, 0.575, 0.6, 0.63])
         )
-        analyzer = ctx.analyzer()
-        log_p = np.empty((self.corner_grid.size, self.vsb_grid.size))
-        for i, dvt in enumerate(self.corner_grid):
-            for j, vsb in enumerate(self.vsb_grid):
-                result = analyzer.hold_failure_probability(
-                    ProcessCorner(float(dvt)), ctx.asb_conditions(float(vsb))
-                )
-                log_p[i, j] = np.log10(
-                    min(max(result.estimate, _P_FLOOR), 1.0)
-                )
+        log_p = self._grid_log_probabilities(ctx)
         self._interp = RegularGridInterpolator(
             (self.corner_grid, self.vsb_grid), log_p,
             bounds_error=False, fill_value=None,
         )
+
+    def _grid_log_probabilities(self, ctx: ExperimentContext) -> np.ndarray:
+        """The log10 hold-probability matrix, cached and fanned out.
+
+        All (corner, vsb) grid nodes are independent importance-sampled
+        estimates, so the build goes through the analyzer's batch API
+        (parallel when the context has workers) and, when the context
+        carries a result cache, is persisted under a fingerprint of the
+        full analyzer + grid payload.
+        """
+        analyzer = ctx.analyzer()
+        key = None
+        if ctx.result_cache is not None:
+            key = {
+                "technology": dataclasses.asdict(ctx.tech),
+                "criteria": dataclasses.asdict(analyzer.criteria),
+                "geometry": dataclasses.asdict(ctx.geometry),
+                "n_samples": analyzer.n_samples,
+                "scale": analyzer.scale,
+                "seed": analyzer.seed,
+                "corner_grid": [float(x) for x in self.corner_grid],
+                "vsb_grid": [float(x) for x in self.vsb_grid],
+            }
+            stored = ctx.result_cache.get("hold-table", key)
+            if stored is not None:
+                return np.array(stored["log10_probability"], dtype=float)
+        corners = []
+        conditions = []
+        for dvt in self.corner_grid:
+            for vsb in self.vsb_grid:
+                corners.append(ProcessCorner(float(dvt)))
+                conditions.append(ctx.asb_conditions(float(vsb)))
+        results = analyzer.hold_failure_probability_batch(
+            corners, conditions, executor=ctx.executor
+        )
+        log_p = np.array(
+            [np.log10(min(max(r.estimate, _P_FLOOR), 1.0)) for r in results]
+        ).reshape(self.corner_grid.size, self.vsb_grid.size)
+        # Raising the source bias can only degrade the retention margin,
+        # so the true surface is monotone increasing in VSB; estimates
+        # below the Monte-Carlo resolution jitter around the floor, and
+        # a running max restores the invariant the bisection policies
+        # (vsb_for_target, adaptive_vsb) rely on.
+        log_p = np.maximum.accumulate(log_p, axis=1)
+        if key is not None:
+            ctx.result_cache.put(
+                "hold-table",
+                key,
+                {"log10_probability": [[float(v) for v in row] for row in log_p]},
+            )
+        return log_p
 
     def probability(self, corner: float, vsb: float) -> float:
         """Interpolated hold failure probability at (corner, vsb)."""

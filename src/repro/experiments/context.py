@@ -4,15 +4,23 @@ Criteria calibration and the failure-probability tables are the
 expensive pieces every figure needs; the context builds each exactly
 once and shares it.  ``default_context()`` memoises a full-accuracy
 instance; tests construct small ones explicitly.
+
+Execution is configurable: ``workers`` fans grid builds out across
+processes (bit-identical to serial — see ``docs/performance.md``) and
+``cache_dir`` persists calibrated criteria and built tables to disk so
+a rerun with the same parameters loads instead of recomputing.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from functools import lru_cache
 
 from repro.core.tables import FailureProbabilityTable
 from repro.failures.analysis import CellFailureAnalyzer
 from repro.failures.criteria import FailureCriteria, calibrate_criteria
+from repro.parallel.cache import ResultCache
+from repro.parallel.executor import ParallelExecutor
 from repro.sram.cell import CellGeometry
 from repro.sram.metrics import OperatingConditions
 from repro.technology.parameters import TechnologyParameters, predictive_70nm
@@ -30,6 +38,11 @@ class ExperimentContext:
         analysis_samples: weighted samples per failure estimate.
         table_grid: corner-grid points per interpolated table.
         seed: base seed for all derived randomness.
+        workers: process count for sweep fan-out (default 1 = serial,
+            hermetic).  Any worker count produces bit-identical results.
+        cache_dir: directory for the disk-backed result cache (default
+            None = no persistence); criteria and tables computed by this
+            context are stored there and reloaded on the next run.
     """
 
     def __init__(
@@ -41,6 +54,8 @@ class ExperimentContext:
         analysis_samples: int = 40_000,
         table_grid: int = 17,
         seed: int = 2006,
+        workers: int = 1,
+        cache_dir: str | None = None,
     ) -> None:
         self.tech = tech if tech is not None else predictive_70nm()
         self.geometry = geometry if geometry is not None else CellGeometry()
@@ -55,11 +70,60 @@ class ExperimentContext:
         #: Scratch cache for expensive experiment-level artifacts (e.g.
         #: the ASB hold-probability table); keyed by the artifact name.
         self.cache: dict = {}
+        self.executor = ParallelExecutor(workers)
+        self.result_cache = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+
+    @property
+    def workers(self) -> int:
+        """The configured fan-out width (1 = serial)."""
+        return self.executor.requested_workers
+
+    def configure_execution(
+        self,
+        workers: int | None = None,
+        cache_dir: str | None = None,
+    ) -> "ExperimentContext":
+        """Re-point the execution engine / result cache after creation.
+
+        Used by the CLI to upgrade an already-built context (e.g. the
+        memoised :func:`default_context`) without re-calibrating; only
+        artifacts built *after* the call see the new settings.  Returns
+        ``self`` for chaining.
+        """
+        if workers is not None:
+            self.executor = ParallelExecutor(workers)
+        if cache_dir is not None:
+            self.result_cache = ResultCache(cache_dir)
+        return self
+
+    def _criteria_key(self) -> dict:
+        """Everything criteria calibration depends on, as JSON."""
+        return {
+            "technology": dataclasses.asdict(self.tech),
+            "geometry": dataclasses.asdict(self.geometry),
+            "conditions": dataclasses.asdict(self.conditions),
+            "target": self.target,
+            "n_samples": self._calibration_samples,
+            "seed": self.seed,
+        }
 
     @property
     def criteria(self) -> FailureCriteria:
-        """Calibrated failure criteria (computed once, lazily)."""
+        """Calibrated failure criteria (computed once, lazily).
+
+        With a ``cache_dir`` configured, a previous run's calibration
+        for the identical (technology, target, sampling) payload is
+        loaded from disk instead of recomputed.
+        """
         if self._criteria is None:
+            key = self._criteria_key() if self.result_cache is not None else None
+            if key is not None:
+                stored = self.result_cache.get("criteria", key)
+                if stored is not None:
+                    self._criteria = FailureCriteria(**stored["criteria"])
+                    return self._criteria
             self._criteria = calibrate_criteria(
                 self.tech,
                 self.geometry,
@@ -68,6 +132,12 @@ class ExperimentContext:
                 n_samples=self._calibration_samples,
                 seed=self.seed,
             )
+            if key is not None:
+                self.result_cache.put(
+                    "criteria",
+                    key,
+                    {"criteria": dataclasses.asdict(self._criteria)},
+                )
         return self._criteria
 
     def analyzer(
@@ -84,12 +154,20 @@ class ExperimentContext:
         )
 
     def table(self, vbody: float = 0.0) -> FailureProbabilityTable:
-        """Shared interpolated failure table at one body-bias level."""
+        """Shared interpolated failure table at one body-bias level.
+
+        Built through the context's executor (fan-out over the corner
+        grid) and result cache (warm reload across runs).
+        """
         key = round(vbody, 6)
         if key not in self._tables:
             conditions = self.conditions.with_body_bias(vbody)
             self._tables[key] = FailureProbabilityTable(
-                self.analyzer(), conditions, n_grid=self.table_grid
+                self.analyzer(),
+                conditions,
+                n_grid=self.table_grid,
+                executor=self.executor,
+                cache=self.result_cache,
             )
         return self._tables[key]
 

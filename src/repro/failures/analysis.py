@@ -12,6 +12,7 @@ consistent (the union is never smaller than a component).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -23,8 +24,23 @@ from repro.stats.sampling import importance_sample_dvt
 from repro.technology.corners import ProcessCorner
 from repro.technology.parameters import TechnologyParameters
 
+if TYPE_CHECKING:  # pragma: no cover - hint-only import
+    from repro.parallel.executor import ParallelExecutor
+
 #: Mechanism names in presentation order.
 MECHANISMS = ("read", "write", "access", "hold")
+
+
+def _failure_point(task) -> "FailureProbabilities":
+    """Worker entry point: one full failure estimate (picklable)."""
+    analyzer, corner, conditions = task
+    return analyzer.failure_probabilities(corner, conditions)
+
+
+def _hold_point(task) -> MonteCarloResult:
+    """Worker entry point: one hold-only estimate (picklable)."""
+    analyzer, corner, conditions = task
+    return analyzer.hold_failure_probability(corner, conditions)
 
 
 @dataclass(frozen=True)
@@ -83,19 +99,36 @@ class CellFailureAnalyzer:
         self.scale = scale
         self.seed = seed
 
+    def _seed_for(
+        self, corner: ProcessCorner, conditions: OperatingConditions
+    ) -> np.random.SeedSequence:
+        """Per-(corner, bias) seed, stable across processes.
+
+        Each key field is rounded to nanovolt resolution and folded into
+        the :class:`~numpy.random.SeedSequence` entropy directly — no
+        ``hash()`` in the loop, so the derivation is collision-resistant
+        over the full field width and identical in every worker process,
+        which the parallel engine's determinism guarantee depends on.
+        """
+
+        def word(value: float) -> int:
+            return int(round(value * 1e9)) & 0xFFFFFFFFFFFFFFFF
+
+        return np.random.SeedSequence(
+            entropy=[
+                self.seed,
+                word(corner.dvt_inter),
+                word(conditions.vbody_n),
+                word(conditions.vsb),
+                word(conditions.vdd),
+                word(conditions.vdd_standby),
+            ]
+        )
+
     def _rng_for(
         self, corner: ProcessCorner, conditions: OperatingConditions
     ) -> np.random.Generator:
-        key = hash(
-            (
-                round(corner.dvt_inter, 9),
-                round(conditions.vbody_n, 9),
-                round(conditions.vsb, 9),
-                round(conditions.vdd, 9),
-                round(conditions.vdd_standby, 9),
-            )
-        )
-        return np.random.default_rng((self.seed, key & 0xFFFFFFFF))
+        return np.random.default_rng(self._seed_for(corner, conditions))
 
     def failure_probabilities(
         self,
@@ -130,6 +163,66 @@ class CellFailureAnalyzer:
             for name, indicator in fails.items()
         }
         return FailureProbabilities(**results)
+
+    def failure_probabilities_batch(
+        self,
+        corners: Sequence[ProcessCorner],
+        conditions_list: Sequence[OperatingConditions | None] | None = None,
+        executor: "ParallelExecutor | None" = None,
+    ) -> list[FailureProbabilities]:
+        """:meth:`failure_probabilities` over a whole sweep at once.
+
+        Args:
+            corners: evaluation corners, one per sweep point.
+            conditions_list: per-point bias overrides (same length as
+                ``corners``); None applies the analyzer baseline to
+                every point.
+            executor: fan-out engine; None (or ``workers=1``) evaluates
+                inline.  Because every point derives its RNG stream
+                from its own (corner, bias) key via :meth:`_seed_for`,
+                the results are bit-identical at any worker count.
+        """
+        if conditions_list is None:
+            conditions_list = [None] * len(corners)
+        if len(conditions_list) != len(corners):
+            raise ValueError(
+                f"conditions_list has {len(conditions_list)} entries "
+                f"for {len(corners)} corners"
+            )
+        tasks = [
+            (self, corner, conditions)
+            for corner, conditions in zip(corners, conditions_list)
+        ]
+        if executor is None:
+            return [_failure_point(task) for task in tasks]
+        return executor.map(_failure_point, tasks)
+
+    def hold_failure_probability_batch(
+        self,
+        corners: Sequence[ProcessCorner],
+        conditions_list: Sequence[OperatingConditions | None] | None = None,
+        executor: "ParallelExecutor | None" = None,
+    ) -> list[MonteCarloResult]:
+        """:meth:`hold_failure_probability` over a whole sweep at once.
+
+        Same fan-out and determinism contract as
+        :meth:`failure_probabilities_batch`; this is the hot path of
+        the ASB (corner, VSB) surface build.
+        """
+        if conditions_list is None:
+            conditions_list = [None] * len(corners)
+        if len(conditions_list) != len(corners):
+            raise ValueError(
+                f"conditions_list has {len(conditions_list)} entries "
+                f"for {len(corners)} corners"
+            )
+        tasks = [
+            (self, corner, conditions)
+            for corner, conditions in zip(corners, conditions_list)
+        ]
+        if executor is None:
+            return [_hold_point(task) for task in tasks]
+        return executor.map(_hold_point, tasks)
 
     def hold_failure_probability(
         self,

@@ -1,0 +1,24 @@
+"""Deterministic fan-out execution and result caching.
+
+The statistics stack evaluates many independent Monte-Carlo points
+(one per (corner, bias) grid node, one per die in a lot).  This package
+supplies the two pieces that let those sweeps saturate the hardware
+without changing a single estimate:
+
+* :class:`~repro.parallel.executor.ParallelExecutor` — an
+  order-preserving process-pool map whose results are bit-identical at
+  any worker count, because every task carries its own seed material
+  (see :func:`~repro.parallel.executor.spawn_seeds`);
+* :class:`~repro.parallel.cache.ResultCache` — a disk-backed JSON store
+  keyed by a fingerprint of *everything* that determines a result
+  (technology card, criteria, sampling parameters, grid), so a warm
+  rerun of a benchmark or example loads tables instead of recomputing
+  them, and any parameter change invalidates cleanly.
+
+See ``docs/performance.md`` for the execution model and cache layout.
+"""
+
+from repro.parallel.cache import ResultCache, fingerprint
+from repro.parallel.executor import ParallelExecutor, spawn_seeds
+
+__all__ = ["ParallelExecutor", "ResultCache", "fingerprint", "spawn_seeds"]

@@ -1,0 +1,112 @@
+"""Disk-backed, fingerprint-keyed result cache.
+
+Every expensive artifact in the statistics stack (calibrated criteria,
+interpolated probability tables) is a deterministic function of a small
+set of inputs: the technology card, the failure criteria, the sampling
+parameters, the evaluation grid.  The cache therefore keys each stored
+result by a SHA-256 fingerprint of the *complete* input payload —
+change any field anywhere (a Pelgrom coefficient, a sample count, a
+grid node) and the key changes, so stale results can never be served.
+
+Files are plain JSON, human-inspectable and safe to commit; each file
+embeds the key payload it was computed from, and :meth:`ResultCache.get`
+verifies the stored payload matches before returning (a truncated-hash
+collision or a hand-edited file degrades to a miss, never to silent
+corruption).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+#: Format version written into every cache file.
+_FORMAT = 1
+
+
+def fingerprint(payload: dict) -> str:
+    """A stable hex digest of a JSON-serialisable key payload.
+
+    The payload is canonicalised (sorted keys, no whitespace, floats
+    via ``default=float`` for numpy scalars) so logically equal payloads
+    always hash identically across processes and platforms.
+    """
+    import hashlib
+
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=float
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+class ResultCache:
+    """JSON result store under one directory, keyed by fingerprints.
+
+    Args:
+        cache_dir: directory to store cache files in (created if
+            missing).  Safe to share between runs and processes —
+            writes are atomic (write-to-temp then rename).
+
+    Attributes:
+        hits / misses: lookup counters for this instance (diagnostic;
+            the warm/cold benchmark asserts on them).
+    """
+
+    def __init__(self, cache_dir: str | pathlib.Path) -> None:
+        self.cache_dir = pathlib.Path(cache_dir)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            raise NotADirectoryError(
+                f"cache_dir {self.cache_dir} exists and is not a directory"
+            ) from None
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, kind: str, key: str) -> pathlib.Path:
+        return self.cache_dir / f"{kind}-{key}.json"
+
+    def get(self, kind: str, key_payload: dict) -> dict | None:
+        """The stored value for ``key_payload``, or None on a miss."""
+        path = self._path(kind, fingerprint(key_payload))
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            stored = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            stored.get("format") != _FORMAT
+            or stored.get("kind") != kind
+            or stored.get("key") != _roundtrip(key_payload)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stored["value"]
+
+    def put(self, kind: str, key_payload: dict, value: dict) -> pathlib.Path:
+        """Store ``value`` under ``key_payload``; returns the file path."""
+        path = self._path(kind, fingerprint(key_payload))
+        payload = {
+            "format": _FORMAT,
+            "kind": kind,
+            "key": _roundtrip(key_payload),
+            "value": value,
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, default=float))
+        tmp.replace(path)
+        return path
+
+
+def _roundtrip(payload: dict) -> dict:
+    """``payload`` as it looks after a JSON round-trip.
+
+    Stored keys are compared against freshly built ones, which may
+    contain numpy scalars or tuples; normalising both sides through
+    JSON makes the equality check type-exact.
+    """
+    return json.loads(json.dumps(payload, default=float))

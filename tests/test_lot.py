@@ -68,6 +68,21 @@ def test_shipped_dies_meet_the_memory_limit(simulator):
             assert die.p_memory <= simulator.p_memory_limit
 
 
+def test_run_identical_across_workers(simulator):
+    """The determinism contract: fan-out must not change a single die."""
+    import dataclasses
+
+    from repro.parallel import ParallelExecutor
+
+    serial = simulator.run(n_dies=10, sigma_inter=0.04, seed=21)
+    parallel = simulator.run(
+        n_dies=10, sigma_inter=0.04, seed=21, executor=ParallelExecutor(2)
+    )
+    assert [dataclasses.asdict(d) for d in serial.dies] == [
+        dataclasses.asdict(d) for d in parallel.dies
+    ]
+
+
 def test_wide_process_yields_less(simulator):
     narrow = simulator.run(n_dies=80, sigma_inter=0.02, seed=11)
     wide = simulator.run(n_dies=80, sigma_inter=0.08, seed=11)

@@ -1,0 +1,219 @@
+"""Tests for the parallel execution engine and the result cache.
+
+Covers the determinism contract (``workers=N`` bit-identical to
+``workers=1``), warm-vs-cold cache equality, and fingerprint
+invalidation when the technology card or criteria change.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.parallel import ParallelExecutor, ResultCache, fingerprint, spawn_seeds
+from repro.technology.corners import ProcessCorner
+
+#: Cheap context parameters shared by every cache/determinism test.
+CTX_PARAMS = dict(
+    target=1e-2,
+    calibration_samples=3_000,
+    analysis_samples=1_500,
+    table_grid=5,
+    seed=7,
+)
+
+
+def _square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+def _draw(seed_seq):
+    """One deterministic draw from a task-embedded seed."""
+    return float(np.random.default_rng(seed_seq).normal())
+
+
+class TestExecutor:
+    def test_serial_map_preserves_order(self):
+        assert ParallelExecutor(1).map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_map_matches_serial(self):
+        tasks = list(range(20))
+        serial = ParallelExecutor(1).map(_square, tasks)
+        parallel = ParallelExecutor(2).map(_square, tasks)
+        assert serial == parallel
+
+    def test_seeded_tasks_identical_at_any_worker_count(self):
+        seeds = spawn_seeds(42, 8)
+        serial = ParallelExecutor(1).map(_draw, seeds)
+        parallel = ParallelExecutor(3).map(_draw, spawn_seeds(42, 8))
+        assert serial == parallel
+
+    def test_spawn_seeds_stable_and_distinct(self):
+        a = [_draw(s) for s in spawn_seeds(5, 4)]
+        b = [_draw(s) for s in spawn_seeds(5, 4)]
+        assert a == b
+        assert len(set(a)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_workers_clamp_to_cores(self):
+        import os
+
+        executor = ParallelExecutor(10_000)
+        assert executor.workers <= (os.cpu_count() or 1)
+        assert executor.requested_workers == 10_000
+        assert not executor.is_serial
+
+    def test_executor_is_picklable(self):
+        import pickle
+
+        executor = pickle.loads(pickle.dumps(ParallelExecutor(4)))
+        assert executor.requested_workers == 4
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = {"a": 1, "b": [1.0, 2.0]}
+        assert cache.get("thing", key) is None
+        cache.put("thing", key, {"value": 3.5})
+        assert cache.get("thing", key) == {"value": 3.5}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_different_key_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("thing", {"a": 1}, {"v": 1})
+        assert cache.get("thing", {"a": 2}) is None
+        assert cache.get("other", {"a": 1}) is None
+
+    def test_corrupt_file_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("thing", {"a": 1}, {"v": 1})
+        path.write_text("{not json")
+        assert cache.get("thing", {"a": 1}) is None
+
+    def test_cache_dir_collides_with_file(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(NotADirectoryError):
+            ResultCache(target)
+
+    def test_fingerprint_canonical(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+        assert fingerprint({"x": np.float64(1.5)}) == fingerprint({"x": 1.5})
+
+
+class TestSweepDeterminism:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(**CTX_PARAMS)
+
+    def test_batch_matches_pointwise(self, ctx):
+        analyzer = ctx.analyzer()
+        corners = [ProcessCorner(x) for x in (-0.06, 0.0, 0.06)]
+        batch = analyzer.failure_probabilities_batch(corners)
+        for corner, probs in zip(corners, batch):
+            assert probs.as_dict() == analyzer.failure_probabilities(corner).as_dict()
+
+    def test_batch_identical_across_workers(self, ctx):
+        analyzer = ctx.analyzer()
+        corners = [ProcessCorner(x) for x in (-0.05, 0.0, 0.05)]
+        serial = analyzer.failure_probabilities_batch(corners)
+        parallel = analyzer.failure_probabilities_batch(
+            corners, executor=ParallelExecutor(4)
+        )
+        for s, p in zip(serial, parallel):
+            assert s.as_dict() == p.as_dict()
+
+    def test_hold_batch_identical_across_workers(self, ctx):
+        analyzer = ctx.analyzer()
+        corners = [ProcessCorner(x) for x in (-0.05, 0.05)]
+        conditions = [ctx.asb_conditions(0.2), ctx.asb_conditions(0.4)]
+        serial = analyzer.hold_failure_probability_batch(corners, conditions)
+        parallel = analyzer.hold_failure_probability_batch(
+            corners, conditions, executor=ParallelExecutor(2)
+        )
+        assert [r.estimate for r in serial] == [r.estimate for r in parallel]
+
+    def test_batch_length_mismatch_rejected(self, ctx):
+        analyzer = ctx.analyzer()
+        with pytest.raises(ValueError):
+            analyzer.failure_probabilities_batch(
+                [ProcessCorner(0.0)], [None, None]
+            )
+        with pytest.raises(ValueError):
+            analyzer.hold_failure_probability_batch(
+                [ProcessCorner(0.0)], [None, None]
+            )
+
+    def test_parallel_table_matches_serial(self, ctx):
+        serial = ExperimentContext(**CTX_PARAMS)
+        parallel = ExperimentContext(**CTX_PARAMS, workers=2)
+        for dvt in (-0.07, 0.0, 0.07):
+            assert serial.table().probability(dvt) == parallel.table().probability(dvt)
+
+
+class TestDiskCache:
+    def test_warm_table_equals_cold(self, tmp_path):
+        cold = ExperimentContext(**CTX_PARAMS, cache_dir=tmp_path)
+        cold_table = cold.table(0.0)
+        assert cold.result_cache.hits == 0
+
+        warm = ExperimentContext(**CTX_PARAMS, cache_dir=tmp_path)
+        warm_table = warm.table(0.0)
+        assert warm.result_cache.hits >= 2  # criteria + table
+        for dvt in (-0.07, -0.02, 0.0, 0.05):
+            for mechanism in ("read", "write", "access", "hold", "any"):
+                assert warm_table.probability(dvt, mechanism) == cold_table.probability(
+                    dvt, mechanism
+                )
+
+    def test_technology_change_invalidates(self, tmp_path):
+        base = ExperimentContext(**CTX_PARAMS, cache_dir=tmp_path)
+        base.table(0.0)
+        tweaked_tech = dataclasses.replace(base.tech, vdd=base.tech.vdd * 1.01)
+        tweaked = ExperimentContext(tech=tweaked_tech, **CTX_PARAMS,
+                                    cache_dir=tmp_path)
+        tweaked.table(0.0)
+        assert tweaked.result_cache.hits == 0
+        assert tweaked.result_cache.misses >= 2
+
+    def test_criteria_change_invalidates(self, tmp_path):
+        params = dict(CTX_PARAMS)
+        base = ExperimentContext(**params, cache_dir=tmp_path)
+        base.table(0.0)
+        params["target"] = 3e-2
+        retargeted = ExperimentContext(**params, cache_dir=tmp_path)
+        retargeted.table(0.0)
+        assert retargeted.result_cache.hits == 0
+
+    def test_cached_criteria_skip_recalibration(self, tmp_path, monkeypatch):
+        first = ExperimentContext(**CTX_PARAMS, cache_dir=tmp_path)
+        calibrated = first.criteria
+
+        import repro.experiments.context as context_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("calibration ran despite a warm cache")
+
+        monkeypatch.setattr(context_module, "calibrate_criteria", boom)
+        second = ExperimentContext(**CTX_PARAMS, cache_dir=tmp_path)
+        assert second.criteria == calibrated
+
+    def test_configure_execution_after_creation(self, tmp_path):
+        ctx = ExperimentContext(**CTX_PARAMS)
+        assert ctx.workers == 1 and ctx.result_cache is None
+        ctx.configure_execution(workers=2, cache_dir=tmp_path)
+        assert ctx.workers == 2
+        ctx.table(0.0)
+        assert ctx.result_cache.misses >= 1
+        warm = ExperimentContext(**CTX_PARAMS, cache_dir=tmp_path)
+        warm.table(0.0)
+        assert warm.result_cache.hits >= 2

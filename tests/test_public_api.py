@@ -14,6 +14,10 @@ EXPECTED = {
         "LeakageMonitor", "BodyBiasGenerator", "SelfRepairingSRAM",
         "SourceBiasDAC", "BISTController", "SelfAdaptiveSourceBias",
         "PostSiliconTuner", "LotSimulator", "LotReport", "MpfpEstimator",
+        "ParallelExecutor", "ResultCache",
+    ],
+    "repro.parallel": [
+        "ParallelExecutor", "ResultCache", "fingerprint", "spawn_seeds",
     ],
     "repro.technology": [
         "TechnologyParameters", "DeviceParameters", "predictive_70nm",

@@ -9,7 +9,10 @@ levels — the sweep every yield figure sits on):
   wall-clock by >= 2x (speedup asserts are gated on ``os.cpu_count()``
   so single-core CI still verifies determinism);
 * **cache**: a warm rerun from a populated ``cache_dir`` must be
-  >= 5x faster than the cold build and numerically identical.
+  >= 5x faster than the cold build and numerically identical — and the
+  hit/miss counters from ``repro.observability`` must show the warm
+  run actually *loaded* every artifact (zero misses), rather than
+  inferring warm behaviour from wall-clock alone.
 
 Run directly for a readable report::
 
@@ -25,6 +28,7 @@ import shutil
 import tempfile
 import time
 
+from repro import observability
 from repro.experiments.context import ExperimentContext
 
 #: Body-bias levels of the sweep (fig2c evaluates tables at ZBB and the
@@ -83,18 +87,44 @@ def test_parallel_sweep_identical_and_faster():
         assert speedup > 0.5, f"pool overhead dominated: x{speedup:.2f}"
 
 
+def _cache_counters() -> tuple[float, float]:
+    counters = observability.registry.snapshot()["counters"]
+    return counters.get("cache.hits", 0), counters.get("cache.misses", 0)
+
+
 def test_warm_cache_rerun():
-    """A warm rerun loads every table: >= 5x faster, identical values."""
+    """A warm rerun loads every table: >= 5x faster, identical values.
+
+    Warm-run behaviour is verified from the observability counters —
+    the cold build must miss (and store) every artifact, the warm one
+    must hit every lookup and miss none — not just from wall-clock.
+    """
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    observability.enable()
     try:
+        observability.reset()
         cold_ctx, cold_s = build_sweep(cache_dir=cache_dir)
+        cold_hits, cold_misses = _cache_counters()
+        observability.reset()
         warm_ctx, warm_s = build_sweep(cache_dir=cache_dir)
-        assert warm_ctx.result_cache.hits >= len(VBODY_LEVELS)
+        warm_hits, warm_misses = _cache_counters()
+        # Criteria + one table per body-bias level = the full artifact set.
+        n_artifacts = 1 + len(VBODY_LEVELS)
+        print(
+            f"\ncache counters: cold {cold_hits:.0f} hits / "
+            f"{cold_misses:.0f} misses, warm {warm_hits:.0f} hits / "
+            f"{warm_misses:.0f} misses"
+        )
+        assert cold_misses >= n_artifacts, "cold run should miss everything"
+        assert warm_hits >= n_artifacts, "warm run should load every artifact"
+        assert warm_misses == 0, "warm run recomputed something"
         assert_identical(cold_ctx, warm_ctx)
         speedup = cold_s / warm_s
-        print(f"\ncold {cold_s:.1f}s, warm {warm_s:.3f}s -> speedup x{speedup:.0f}")
+        print(f"cold {cold_s:.1f}s, warm {warm_s:.3f}s -> speedup x{speedup:.0f}")
         assert speedup >= 5.0, f"warm rerun only x{speedup:.1f} faster"
     finally:
+        observability.disable()
+        observability.reset()
         shutil.rmtree(cache_dir, ignore_errors=True)
 
 

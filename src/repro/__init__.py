@@ -21,6 +21,9 @@ The library stacks up as:
 * :mod:`repro.parallel` — deterministic process fan-out and the
   fingerprint-keyed disk cache behind every sweep (results are
   bit-identical at any worker count);
+* :mod:`repro.observability` — structured logging, metrics counters
+  and span-style trace timing behind one switch (off by default with a
+  no-op fast path; ``-v`` / ``--metrics-out`` on the CLI);
 * :mod:`repro.experiments` — one entry point per paper figure,
   regenerating every result of the evaluation.
 """

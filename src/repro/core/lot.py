@@ -29,6 +29,9 @@ import numpy as np
 from repro.core.body_bias import SelfRepairingSRAM
 from repro.core.monitor import CornerBin
 from repro.core.source_bias import SourceBiasDAC
+from repro.observability.log import get_logger
+from repro.observability.metrics import incr
+from repro.observability.tracing import trace
 from repro.power.standby import die_standby_power
 from repro.sram.metrics import OperatingConditions
 from repro.technology.corners import ProcessCorner
@@ -36,6 +39,8 @@ from repro.technology.variation import InterDieDistribution
 
 if TYPE_CHECKING:  # pragma: no cover - hint-only import
     from repro.parallel.executor import ParallelExecutor
+
+_log = get_logger("core.lot")
 
 
 def _die_task(task) -> "DieRecord":
@@ -184,10 +189,12 @@ class LotSimulator:
             )
         return self._power_cache[key]
 
+    @trace("lot.die")
     def process_die(
         self, corner: ProcessCorner, rng: np.random.Generator
     ) -> DieRecord:
         """Run one die through the complete flow."""
+        incr("lot.dies")
         # Stage 1: monitor (noisy per-die measurement) and repair.
         vbody, bin, _ = self.pipeline.decide_bias(corner, rng)
         quantised = ProcessCorner(round(corner.dvt_inter, 3))
@@ -202,6 +209,7 @@ class LotSimulator:
         power = float(
             self._power(quantised.dvt_inter, vsb).sample(rng, 1)[0]
         )
+        incr("lot.shipped" if shipped else "lot.scrapped")
         return DieRecord(
             corner=corner.dvt_inter,
             bin=bin,
@@ -236,8 +244,22 @@ class LotSimulator:
             (self, ProcessCorner(float(shift)), die_seed)
             for shift, die_seed in zip(shifts, die_root.spawn(n_dies))
         ]
-        if executor is None:
-            records = [_die_task(task) for task in tasks]
-        else:
-            records = executor.map(_die_task, tasks)
-        return LotReport(dies=list(records))
+        _log.info("lot.start", dies=n_dies, sigma_inter=sigma_inter)
+        with trace("lot.run"):
+            if executor is None:
+                # Inline path: cheap per-die progress (every ~10%).
+                stride = max(1, n_dies // 10)
+                records = []
+                for i, task in enumerate(tasks):
+                    records.append(_die_task(task))
+                    if (i + 1) % stride == 0 or i + 1 == n_dies:
+                        _log.info("lot.progress", done=i + 1, total=n_dies)
+            else:
+                records = executor.map(_die_task, tasks)
+        report = LotReport(dies=list(records))
+        _log.info(
+            "lot.done",
+            dies=n_dies,
+            yield_pct=round(100 * report.yield_fraction, 1),
+        )
+        return report

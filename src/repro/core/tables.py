@@ -15,18 +15,23 @@ suite).
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.interpolate import PchipInterpolator
 
 from repro.failures.analysis import MECHANISMS, CellFailureAnalyzer
+from repro.observability.log import get_logger
+from repro.observability.tracing import trace
 from repro.sram.metrics import OperatingConditions
 from repro.technology.corners import ProcessCorner
 
 if TYPE_CHECKING:  # pragma: no cover - hint-only imports
     from repro.parallel.cache import ResultCache
     from repro.parallel.executor import ParallelExecutor
+
+_log = get_logger("core.tables")
 
 #: Probability floor to keep log-space interpolation finite.
 _P_FLOOR = 1e-12
@@ -86,7 +91,9 @@ class FailureProbabilityTable:
             "grid": [float(x) for x in self.grid],
         }
 
+    @trace("table.build")
     def _build(self) -> None:
+        start = time.perf_counter()
         key = self._cache_key() if self._cache is not None else None
         if key is not None:
             stored = self._cache.get("failure-table", key)
@@ -95,7 +102,14 @@ class FailureProbabilityTable:
                     self._splines[name] = PchipInterpolator(
                         self.grid, np.array(values, dtype=float)
                     )
+                _log.info("table.build.cached", grid=self.grid.size)
                 return
+        _log.info(
+            "table.build.start",
+            grid=self.grid.size,
+            n_samples=self.analyzer.n_samples,
+            vbody=self.conditions.vbody_n,
+        )
         results = self.analyzer.failure_probabilities_batch(
             [ProcessCorner(float(dvt)) for dvt in self.grid],
             [self.conditions] * self.grid.size,
@@ -108,6 +122,11 @@ class FailureProbabilityTable:
                 log_p[name][i] = np.log10(min(p, 1.0))
         for name, values in log_p.items():
             self._splines[name] = PchipInterpolator(self.grid, values)
+        _log.info(
+            "table.build.done",
+            grid=self.grid.size,
+            seconds=round(time.perf_counter() - start, 3),
+        )
         if key is not None:
             self._cache.put(
                 "failure-table",

@@ -23,6 +23,12 @@ Fig. 10   leakage / hold yield vs sigma, three policies   :func:`fig10`
 All functions accept an :class:`~repro.experiments.context.ExperimentContext`
 (or build the default) and return plain dataclasses with a ``rows()``
 method that prints the same series the paper plots.
+
+The CLI (``python -m repro.experiments <id>``) exposes ``--fast``,
+``--workers N``, ``--cache-dir DIR``, and the telemetry flags
+``--verbose/-v``, ``--log-json``, and ``--metrics-out FILE`` — see
+``docs/experiments.md`` for the catalogue and ``docs/observability.md``
+for what the telemetry reports.
 """
 
 from repro.experiments.asb import (
@@ -45,7 +51,13 @@ from repro.experiments.extensions import (
     ext_snm,
     ext_temperature,
 )
-from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    EXTENSIONS,
+    ExperimentSpec,
+    render_markdown,
+    run_experiment,
+)
 from repro.experiments.repair import (
     Fig2aResult,
     Fig2bResult,
@@ -70,6 +82,8 @@ __all__ = [
     "default_context",
     "EXPERIMENTS",
     "EXTENSIONS",
+    "ExperimentSpec",
+    "render_markdown",
     "run_experiment",
     "ext_8t",
     "ext_delay",

@@ -5,6 +5,7 @@ Regenerate any paper figure from the shell::
     python -m repro.experiments fig2a
     python -m repro.experiments fig10 --fast
     python -m repro.experiments fig2c --workers 4 --cache-dir ~/.cache/repro
+    python -m repro.experiments fig2a --fast -v --metrics-out /tmp/m.json
     python -m repro.experiments --list
 
 ``--fast`` swaps in a reduced-accuracy context (seconds instead of
@@ -12,16 +13,29 @@ minutes) for a quick qualitative look.  ``--workers`` fans the sweep
 grids out across processes (bit-identical results at any count) and
 ``--cache-dir`` persists calibrated criteria and built tables so the
 next run of the same figure starts warm (see ``docs/performance.md``).
+
+Telemetry (see ``docs/observability.md``): ``-v``/``-vv`` streams
+structured progress events to stderr (``--log-json`` renders them as
+JSON lines), and ``--metrics-out FILE`` writes a machine-readable
+report — per-stage wall-time spans, Monte-Carlo sample counts, cache
+hit/miss counters — after the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import observability
 from repro.experiments.context import ExperimentContext, default_context
-from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    EXTENSIONS,
+    render_markdown,
+    run_experiment,
+)
 
 
 def _fast_context() -> ExperimentContext:
@@ -47,6 +61,12 @@ def main(argv: list[str] | None = None) -> int:
         "--list", action="store_true", help="list available experiments"
     )
     parser.add_argument(
+        "--doc",
+        action="store_true",
+        help="print the experiment catalogue as markdown "
+        "(the generated body of docs/experiments.md)",
+    )
+    parser.add_argument(
         "--fast",
         action="store_true",
         help="reduced-accuracy context (quick qualitative run)",
@@ -65,23 +85,53 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="persist criteria/tables to DIR and reuse them on reruns",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured progress logs on stderr (-vv for debug)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="render progress logs as JSON lines instead of text",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a JSON telemetry report (spans, counters) to FILE",
+    )
     args = parser.parse_args(argv)
 
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
 
+    if args.doc:
+        print(render_markdown(), end="")
+        return 0
+
     if args.list or not args.figure:
         print("paper figures:")
-        for name, (_, description) in sorted(EXPERIMENTS.items()):
-            print(f"  {name:16s}  {description}")
+        for name, spec in sorted(EXPERIMENTS.items()):
+            print(f"  {name:16s}  {spec.description}")
         print("extensions:")
-        for name, (_, description) in sorted(EXTENSIONS.items()):
-            print(f"  {name:16s}  {description}")
+        for name, spec in sorted(EXTENSIONS.items()):
+            print(f"  {name:16s}  {spec.description}")
         return 0
 
     if args.figure not in EXPERIMENTS and args.figure not in EXTENSIONS:
         parser.error(
             f"unknown experiment {args.figure!r}; try --list"
+        )
+
+    # Telemetry: logs whenever -v/--log-json asks for them; metric and
+    # trace collection only when a report will consume it.
+    collect = args.metrics_out is not None
+    if args.verbose or args.log_json or collect:
+        observability.configure(
+            verbosity=args.verbose, json_lines=args.log_json, metrics=collect
         )
 
     ctx = _fast_context() if args.fast else default_context()
@@ -93,11 +143,27 @@ def main(argv: list[str] | None = None) -> int:
     except NotADirectoryError as exc:
         parser.error(str(exc))
     start = time.time()
-    result = run_experiment(args.figure, ctx)
+    with observability.trace(args.figure):
+        result = run_experiment(args.figure, ctx)
     elapsed = time.time() - start
     print("\n".join(result.rows()))
     print(f"\n[{args.figure} regenerated in {elapsed:.1f}s"
           f"{' (fast context)' if args.fast else ''}]")
+
+    if collect:
+        report = observability.snapshot()
+        report["experiment"] = args.figure
+        report["elapsed_seconds"] = round(elapsed, 3)
+        report["invocation"] = {
+            "fast": args.fast,
+            "workers": args.workers,
+            "cache_dir": args.cache_dir,
+        }
+        with open(args.metrics_out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        observability.get_logger("experiments.cli").info(
+            "metrics.written", path=args.metrics_out
+        )
     return 0
 
 

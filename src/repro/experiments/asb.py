@@ -27,6 +27,9 @@ from repro.core.source_bias import (
 )
 from repro.experiments.context import ExperimentContext, default_context
 from repro.failures.memory import memory_failure_probability
+from repro.observability.log import get_logger
+from repro.observability.metrics import incr
+from repro.observability.tracing import trace
 from repro.power.standby import die_standby_power
 from repro.sram.array import ArrayOrganization, FunctionalMemoryArray
 from repro.stats.distributions import NormalDistribution
@@ -38,6 +41,8 @@ from repro.technology.variation import InterDieDistribution
 DEFAULT_SHIFTS = np.linspace(-0.1, 0.1, 9)
 #: Probability floor for log-space interpolation.
 _P_FLOOR = 1e-14
+
+_log = get_logger("experiments.asb")
 
 
 def default_asb_organization() -> ArrayOrganization:
@@ -77,6 +82,7 @@ class HoldProbabilityTable:
             bounds_error=False, fill_value=None,
         )
 
+    @trace("hold_table.build")
     def _grid_log_probabilities(self, ctx: ExperimentContext) -> np.ndarray:
         """The log10 hold-probability matrix, cached and fanned out.
 
@@ -101,7 +107,18 @@ class HoldProbabilityTable:
             }
             stored = ctx.result_cache.get("hold-table", key)
             if stored is not None:
+                _log.info(
+                    "hold_table.build.cached",
+                    corners=self.corner_grid.size,
+                    vsb_levels=self.vsb_grid.size,
+                )
                 return np.array(stored["log10_probability"], dtype=float)
+        _log.info(
+            "hold_table.build.start",
+            corners=self.corner_grid.size,
+            vsb_levels=self.vsb_grid.size,
+            points=self.corner_grid.size * self.vsb_grid.size,
+        )
         corners = []
         conditions = []
         for dvt in self.corner_grid:
@@ -178,15 +195,19 @@ class HoldProbabilityTable:
         if not 0.0 < redundancy_share <= 1.0:
             raise ValueError("redundancy_share must be in (0, 1]")
         budget = redundancy_share * organization.redundant_columns
+        incr("asb.calibrations")
         best = 0
         for code in range(dac.n_codes):
+            incr("asb.vsb_steps")
             p_cell = self.probability(corner, dac.voltage(code))
             p_col = 1.0 - (1.0 - p_cell) ** organization.rows
             if organization.columns * p_col <= budget:
                 best = code
             else:
                 break
-        return dac.voltage(best)
+        vsb = dac.voltage(best)
+        _log.debug("asb.vsb_selected", corner=corner, code=best, vsb=vsb)
+        return vsb
 
 
 def hold_table(ctx: ExperimentContext) -> HoldProbabilityTable:

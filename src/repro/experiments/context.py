@@ -19,11 +19,15 @@ from functools import lru_cache
 from repro.core.tables import FailureProbabilityTable
 from repro.failures.analysis import CellFailureAnalyzer
 from repro.failures.criteria import FailureCriteria, calibrate_criteria
+from repro.observability.log import get_logger
+from repro.observability.tracing import trace
 from repro.parallel.cache import ResultCache
 from repro.parallel.executor import ParallelExecutor
 from repro.sram.cell import CellGeometry
 from repro.sram.metrics import OperatingConditions
 from repro.technology.parameters import TechnologyParameters, predictive_70nm
+
+_log = get_logger("experiments.context")
 
 
 class ExperimentContext:
@@ -123,15 +127,23 @@ class ExperimentContext:
                 stored = self.result_cache.get("criteria", key)
                 if stored is not None:
                     self._criteria = FailureCriteria(**stored["criteria"])
+                    _log.info("criteria.cached", target=self.target)
                     return self._criteria
-            self._criteria = calibrate_criteria(
-                self.tech,
-                self.geometry,
-                self.conditions,
+            _log.info(
+                "criteria.calibrate.start",
                 target=self.target,
                 n_samples=self._calibration_samples,
-                seed=self.seed,
             )
+            with trace("criteria.calibrate"):
+                self._criteria = calibrate_criteria(
+                    self.tech,
+                    self.geometry,
+                    self.conditions,
+                    target=self.target,
+                    n_samples=self._calibration_samples,
+                    seed=self.seed,
+                )
+            _log.info("criteria.calibrate.done", target=self.target)
             if key is not None:
                 self.result_cache.put(
                     "criteria",

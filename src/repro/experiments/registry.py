@@ -1,43 +1,104 @@
-"""Registry mapping experiment ids to their entry points."""
+"""Registry mapping experiment ids to their entry points.
+
+Each entry is an :class:`ExperimentSpec` carrying the callable plus the
+metadata the CLI and the documentation render from — one-line purpose
+and the expected runtime under the ``--fast`` and full-accuracy
+contexts.  ``docs/experiments.md`` is generated from this table via
+:func:`render_markdown` (``python -m repro.experiments --doc``) and a
+test asserts the file is in sync, so the docs cannot drift from the
+code.
+
+Runtimes are rough single-core figures; sweeps scale down with
+``--workers`` and reruns with ``--cache-dir`` are near-instant (see
+``docs/performance.md``).
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.experiments import asb, extensions, repair
 
-#: Experiment id -> (callable, one-line description).
-EXPERIMENTS: dict[str, tuple[Callable, str]] = {
-    "fig2a": (repair.fig2a, "failure probabilities vs inter-die Vt shift"),
-    "fig2b": (repair.fig2b, "failure probabilities vs NMOS body bias"),
-    "fig2c": (repair.fig2c, "parametric yield vs sigma, ZBB vs self-repair"),
-    "fig3": (repair.fig3, "cell vs 1KB-array leakage distributions"),
-    "fig4b": (repair.fig4b, "failing cells per corner, both policies"),
-    "fig5a": (repair.fig5a, "leakage components vs body bias"),
-    "fig5b": (repair.fig5b, "memory leakage spread, ZBB vs self-repair"),
-    "fig5c": (repair.fig5c, "leakage yield vs sigma, ZBB vs self-repair"),
-    "fig6": (asb.fig6, "max VSB for target hold failure vs corner"),
-    "fig8": (asb.fig8, "adaptive VSB vs corner (model + BIST)"),
-    "fig9": (asb.fig9, "VSB and standby-power distributions"),
-    "fig10": (asb.fig10, "leakage/hold yield vs sigma, three policies"),
+
+class ExperimentSpec(NamedTuple):
+    """One registered experiment: entry point plus doc metadata."""
+
+    func: Callable
+    description: str
+    fast_runtime: str
+    full_runtime: str
+
+
+#: Experiment id -> spec, for the paper's figures.
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "fig2a": ExperimentSpec(
+        repair.fig2a, "failure probabilities vs inter-die Vt shift",
+        "~15 s", "~3 min"),
+    "fig2b": ExperimentSpec(
+        repair.fig2b, "failure probabilities vs NMOS body bias",
+        "~30 s", "~5 min"),
+    "fig2c": ExperimentSpec(
+        repair.fig2c, "parametric yield vs sigma, ZBB vs self-repair",
+        "~1 min", "~10 min"),
+    "fig3": ExperimentSpec(
+        repair.fig3, "cell vs 1KB-array leakage distributions",
+        "~10 s", "~1 min"),
+    "fig4b": ExperimentSpec(
+        repair.fig4b, "failing cells per corner, both policies",
+        "~30 s", "~5 min"),
+    "fig5a": ExperimentSpec(
+        repair.fig5a, "leakage components vs body bias",
+        "~5 s", "~10 s"),
+    "fig5b": ExperimentSpec(
+        repair.fig5b, "memory leakage spread, ZBB vs self-repair",
+        "~30 s", "~5 min"),
+    "fig5c": ExperimentSpec(
+        repair.fig5c, "leakage yield vs sigma, ZBB vs self-repair",
+        "~1 min", "~10 min"),
+    "fig6": ExperimentSpec(
+        asb.fig6, "max VSB for target hold failure vs corner",
+        "~30 s", "~8 min"),
+    "fig8": ExperimentSpec(
+        asb.fig8, "adaptive VSB vs corner (model + BIST)",
+        "~1 min", "~10 min"),
+    "fig9": ExperimentSpec(
+        asb.fig9, "VSB and standby-power distributions",
+        "~1 min", "~10 min"),
+    "fig10": ExperimentSpec(
+        asb.fig10, "leakage/hold yield vs sigma, three policies",
+        "~2 min", "~15 min"),
 }
 
 #: Extensions beyond the paper's figures (companion-work features).
-EXTENSIONS: dict[str, tuple[Callable, str]] = {
-    "ext_delay": (extensions.ext_delay,
-                  "leakage vs delay vs combined corner binning"),
-    "ext_drv": (extensions.ext_drv,
-                "data retention voltage distribution (ref [9])"),
-    "ext_performance": (extensions.ext_performance,
-                        "access time vs body-bias repair policy"),
-    "ext_temperature": (extensions.ext_temperature,
-                        "monitor binning vs temperature"),
-    "ext_ecc": (extensions.ext_ecc,
-                "ECC vs redundancy at equal overhead"),
-    "ext_snm": (extensions.ext_snm,
-                "butterfly static noise margins vs body bias"),
-    "ext_8t": (extensions.ext_8t,
-               "read-decoupled 8T cell vs the 6T across corners"),
+EXTENSIONS: dict[str, ExperimentSpec] = {
+    "ext_delay": ExperimentSpec(
+        extensions.ext_delay,
+        "leakage vs delay vs combined corner binning",
+        "~30 s", "~3 min"),
+    "ext_drv": ExperimentSpec(
+        extensions.ext_drv,
+        "data retention voltage distribution (ref [9])",
+        "~30 s", "~2 min"),
+    "ext_performance": ExperimentSpec(
+        extensions.ext_performance,
+        "access time vs body-bias repair policy",
+        "~30 s", "~5 min"),
+    "ext_temperature": ExperimentSpec(
+        extensions.ext_temperature,
+        "monitor binning vs temperature",
+        "~30 s", "~2 min"),
+    "ext_ecc": ExperimentSpec(
+        extensions.ext_ecc,
+        "ECC vs redundancy at equal overhead",
+        "~30 s", "~5 min"),
+    "ext_snm": ExperimentSpec(
+        extensions.ext_snm,
+        "butterfly static noise margins vs body bias",
+        "~10 s", "~30 s"),
+    "ext_8t": ExperimentSpec(
+        extensions.ext_8t,
+        "read-decoupled 8T cell vs the 6T across corners",
+        "~30 s", "~5 min"),
 }
 
 
@@ -47,5 +108,28 @@ def run_experiment(name: str, *args, **kwargs):
     if name not in registry:
         known = ", ".join(sorted(registry))
         raise KeyError(f"unknown experiment {name!r}; known: {known}")
-    func, _ = registry[name]
-    return func(*args, **kwargs)
+    return registry[name].func(*args, **kwargs)
+
+
+def render_markdown() -> str:
+    """The experiment catalogue as a markdown table pair.
+
+    This is the generated body of ``docs/experiments.md``; regenerate
+    with ``python -m repro.experiments --doc``.
+    """
+    lines = ["## Paper figures", ""]
+    lines += _table(EXPERIMENTS)
+    lines += ["", "## Extensions", ""]
+    lines += _table(EXTENSIONS)
+    return "\n".join(lines) + "\n"
+
+
+def _table(registry: dict[str, ExperimentSpec]) -> list[str]:
+    rows = ["| id | what it reproduces | `--fast` | full |",
+            "|---|---|---|---|"]
+    for name, spec in sorted(registry.items()):
+        rows.append(
+            f"| `{name}` | {spec.description} "
+            f"| {spec.fast_runtime} | {spec.full_runtime} |"
+        )
+    return rows

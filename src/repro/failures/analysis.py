@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.failures.criteria import FailureCriteria
+from repro.observability.tracing import trace
 from repro.sram.cell import CellGeometry, SixTCell
 from repro.sram.metrics import OperatingConditions, compute_cell_metrics
 from repro.stats.montecarlo import MonteCarloResult, probability_of
@@ -143,26 +144,32 @@ class CellFailureAnalyzer:
                 baseline conditions.
         """
         conditions = conditions if conditions is not None else self.conditions
-        rng = self._rng_for(corner, conditions)
-        sample = importance_sample_dvt(
-            self.tech, self.geometry, rng, self.n_samples, self.scale
-        )
-        cell = SixTCell(self.tech, self.geometry, corner, sample.dvt)
-        metrics = compute_cell_metrics(cell, conditions)
-        fails = {
-            "read": self.criteria.read_fails(metrics),
-            "write": self.criteria.write_fails(metrics),
-            "access": self.criteria.access_fails(metrics),
-            "hold": self.criteria.hold_fails(metrics),
-        }
-        fails["any"] = (
-            fails["read"] | fails["write"] | fails["access"] | fails["hold"]
-        )
-        results = {
-            name: probability_of(indicator, sample.weights)
-            for name, indicator in fails.items()
-        }
-        return FailureProbabilities(**results)
+        with trace("analysis.point"):
+            rng = self._rng_for(corner, conditions)
+            with trace("sample"):
+                sample = importance_sample_dvt(
+                    self.tech, self.geometry, rng, self.n_samples, self.scale
+                )
+            with trace("solve"):
+                cell = SixTCell(self.tech, self.geometry, corner, sample.dvt)
+                metrics = compute_cell_metrics(cell, conditions)
+            fails = {}
+            for name, predicate in (
+                ("read", self.criteria.read_fails),
+                ("write", self.criteria.write_fails),
+                ("access", self.criteria.access_fails),
+                ("hold", self.criteria.hold_fails),
+            ):
+                with trace(f"classify.{name}"):
+                    fails[name] = predicate(metrics)
+            fails["any"] = (
+                fails["read"] | fails["write"] | fails["access"] | fails["hold"]
+            )
+            results = {
+                name: probability_of(indicator, sample.weights)
+                for name, indicator in fails.items()
+            }
+            return FailureProbabilities(**results)
 
     def failure_probabilities_batch(
         self,
@@ -233,12 +240,15 @@ class CellFailureAnalyzer:
         from repro.sram.metrics import compute_hold_margin
 
         conditions = conditions if conditions is not None else self.conditions
-        rng = self._rng_for(corner, conditions)
-        sample = importance_sample_dvt(
-            self.tech, self.geometry, rng, self.n_samples, self.scale
-        )
-        cell = SixTCell(self.tech, self.geometry, corner, sample.dvt)
-        margin = compute_hold_margin(cell, conditions)
-        rail = conditions.vdd_standby - conditions.vsb
-        threshold = self.criteria.hold_fraction_min * rail
-        return probability_of(margin < threshold, sample.weights)
+        with trace("analysis.hold_point"):
+            rng = self._rng_for(corner, conditions)
+            with trace("sample"):
+                sample = importance_sample_dvt(
+                    self.tech, self.geometry, rng, self.n_samples, self.scale
+                )
+            with trace("solve"):
+                cell = SixTCell(self.tech, self.geometry, corner, sample.dvt)
+                margin = compute_hold_margin(cell, conditions)
+            rail = conditions.vdd_standby - conditions.vsb
+            threshold = self.criteria.hold_fraction_min * rail
+            return probability_of(margin < threshold, sample.weights)

@@ -1,0 +1,172 @@
+"""Observability: structured logging, metrics, and span tracing.
+
+Three instruments, one switch:
+
+* **metrics** (:mod:`repro.observability.metrics`) — counters, gauges
+  and histograms in a process-wide :class:`MetricsRegistry` (Monte-
+  Carlo sample totals, cache hits/misses, dies processed, effective-
+  sample-size fractions, ...);
+* **tracing** (:mod:`repro.observability.tracing`) — ``trace(name)``
+  spans aggregating into a hierarchical wall-time tree that survives
+  the :class:`~repro.parallel.executor.ParallelExecutor` process
+  boundary (workers snapshot, the parent merges);
+* **logging** (:mod:`repro.observability.log`) — event-style
+  structured logs, human one-liners or JSON lines.
+
+Everything is **off by default** and costs a single flag check per
+instrumented call site, so the library's numbers and the timing-
+sensitive benchmarks are unaffected until a caller opts in::
+
+    from repro import observability
+
+    observability.configure(verbosity=1)      # logs on, metrics on
+    ... run an experiment ...
+    report = observability.snapshot()         # JSON-ready dict
+
+The CLI exposes the same switchboard as ``-v`` / ``--log-json`` /
+``--metrics-out FILE`` on ``python -m repro.experiments``; the report
+schema and a worked walkthrough live in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from repro.observability import _state
+from repro.observability import log
+from repro.observability.log import configure as configure_logging, get_logger
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    incr,
+    observe,
+    registry,
+    set_gauge,
+)
+from repro.observability.tracing import SpanNode, Tracer, trace, tracer
+
+#: Version tag written into every ``--metrics-out`` report.
+SCHEMA = "repro.telemetry/1"
+
+#: Counters that every report must contain even when the code path
+#: that would create them never ran (a run without ``--cache-dir``
+#: still reports ``cache.hits = 0``, so downstream consumers can rely
+#: on the key).
+_BASELINE_COUNTERS = (
+    "cache.hits",
+    "cache.misses",
+    "cache.puts",
+    "mc.estimates",
+    "mc.samples",
+)
+
+
+def enabled() -> bool:
+    """True while metrics/trace collection is on."""
+    return _state.enabled
+
+
+def enable() -> None:
+    """Turn metric and trace collection on (idempotent)."""
+    _state.set_enabled(True)
+    for name in _BASELINE_COUNTERS:
+        registry.counter(name)
+
+
+def disable() -> None:
+    """Turn metric and trace collection off (data is kept)."""
+    _state.set_enabled(False)
+
+
+def reset() -> None:
+    """Drop all collected metrics and the trace tree."""
+    registry.reset()
+    tracer.reset()
+
+
+def configure(
+    verbosity: int = 0,
+    json_lines: bool = False,
+    metrics: bool = True,
+    stream=None,
+) -> None:
+    """One-call setup: logging wiring plus the collection switch.
+
+    Args:
+        verbosity: log level — 0 warnings, 1 progress, 2+ debug.
+        json_lines: render log events as JSON lines.
+        metrics: also enable metric/trace collection.
+        stream: log destination (default stderr).
+    """
+    configure_logging(verbosity=verbosity, json_lines=json_lines, stream=stream)
+    if metrics:
+        enable()
+
+
+def snapshot() -> dict:
+    """Everything collected so far, as a JSON-serialisable dict."""
+    return {
+        "schema": SCHEMA,
+        "metrics": registry.snapshot(),
+        "trace": tracer.snapshot(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Cross-process plumbing (used by repro.parallel.executor)
+# ----------------------------------------------------------------------
+def worker_begin() -> None:
+    """Start an isolated collection scope inside a worker process.
+
+    Called at the top of every fanned-out task: enables collection and
+    clears any state inherited from the parent at fork time, so the
+    snapshot taken at task end contains exactly that task's telemetry.
+    """
+    reset()
+    _state.set_enabled(True)
+
+
+def worker_snapshot() -> dict:
+    """The worker-side telemetry delta to ship back to the parent."""
+    return {"metrics": registry.snapshot(), "trace": tracer.snapshot()}
+
+
+def merge_worker(snapshot_dict: dict) -> None:
+    """Absorb a :func:`worker_snapshot` into the parent's collectors.
+
+    Metrics accumulate into the process-wide registry; the worker's
+    trace subtree is grafted under the span open at the call site, so
+    fanned-out work lands in the tree exactly where the fan-out
+    happened.
+    """
+    registry.merge(snapshot_dict["metrics"])
+    tracer.merge_at_current(snapshot_dict["trace"])
+
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanNode",
+    "Tracer",
+    "configure",
+    "configure_logging",
+    "disable",
+    "enable",
+    "enabled",
+    "get_logger",
+    "incr",
+    "log",
+    "merge_worker",
+    "observe",
+    "registry",
+    "reset",
+    "set_gauge",
+    "snapshot",
+    "trace",
+    "tracer",
+    "worker_begin",
+    "worker_snapshot",
+]

@@ -1,0 +1,22 @@
+"""The process-wide observability on/off switch.
+
+Isolated in its own module so that :mod:`repro.observability.metrics`
+and :mod:`repro.observability.tracing` can both read it without
+importing each other.  The flag is deliberately a bare module global:
+the no-op fast path of every instrument is a single attribute load and
+truth test, which is what keeps instrumented hot paths free (measured
+in ``tests/test_observability.py``) when telemetry is off.
+"""
+
+from __future__ import annotations
+
+#: Collection switch.  False (the default) means every ``incr`` /
+#: ``observe`` / ``trace`` call degenerates to a flag check; tier-1
+#: tests and the kernel benchmarks run in this mode.
+enabled: bool = False
+
+
+def set_enabled(value: bool) -> None:
+    """Flip the process-wide collection switch."""
+    global enabled
+    enabled = bool(value)

@@ -1,0 +1,140 @@
+"""Structured logging for the ``repro`` namespace.
+
+Every module logs *events*: a short dotted event name plus key=value
+fields, emitted through an :class:`EventLogger`::
+
+    from repro.observability.log import get_logger
+
+    _log = get_logger("core.tables")
+    _log.info("table.build.start", grid=21, vbody=0.0)
+
+:func:`configure` wires a single handler onto the ``repro`` root
+logger and picks the rendering:
+
+* human (default): ``HH:MM:SS LEVEL logger event k=v k=v`` — what
+  ``-v`` / ``-vv`` print on stderr;
+* JSON lines (``json_lines=True``): one JSON object per line with
+  ``ts`` / ``level`` / ``logger`` / ``event`` plus the fields — the
+  ``--log-json`` form, made for piping into ``jq`` or a log shipper.
+
+Unconfigured (the library default), the ``repro`` logger has no
+handler and sits at WARNING, and every :class:`EventLogger` call is
+guarded by ``isEnabledFor`` — instrumented code costs one level check
+per event when logging is off.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+#: Root of the library's logger namespace.
+ROOT = "repro"
+
+#: The handler installed by :func:`configure` (tracked so repeated
+#: calls reconfigure instead of stacking handlers).
+_handler: logging.Handler | None = None
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger event k=v ...`` on one line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        clock = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = (
+            f"{clock} {record.levelname:7s} {record.name} {record.getMessage()}"
+        )
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            line += " " + " ".join(
+                f"{key}={_render(value)}" for key, value in fields.items()
+            )
+        return line
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per event (``--log-json``)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            payload.update(fields)
+        return json.dumps(payload, default=str)
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class EventLogger:
+    """Thin wrapper emitting (event, **fields) records."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _emit(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"event_fields": fields})
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit(logging.WARNING, event, fields)
+
+
+def get_logger(name: str = "") -> EventLogger:
+    """The event logger for ``repro.<name>`` (or the root)."""
+    full = f"{ROOT}.{name}" if name else ROOT
+    return EventLogger(logging.getLogger(full))
+
+
+def configure(
+    verbosity: int = 0,
+    json_lines: bool = False,
+    stream=None,
+) -> None:
+    """Wire up the ``repro`` logger tree.
+
+    Args:
+        verbosity: 0 = warnings only, 1 = progress events (INFO),
+            2+ = everything (DEBUG) — the CLI's ``-v`` count.
+        json_lines: emit one JSON object per event instead of the
+            human one-liner (the CLI's ``--log-json``).
+        stream: destination, default ``sys.stderr`` (keeps telemetry
+            separate from the experiment's stdout rows).
+
+    Idempotent: calling again replaces the previous configuration
+    rather than stacking handlers.
+    """
+    global _handler
+    root = logging.getLogger(ROOT)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler.setFormatter(
+        JsonLinesFormatter() if json_lines else HumanFormatter()
+    )
+    root.addHandler(_handler)
+    root.propagate = False
+    if verbosity <= 0:
+        root.setLevel(logging.WARNING)
+    elif verbosity == 1:
+        root.setLevel(logging.INFO)
+    else:
+        root.setLevel(logging.DEBUG)

@@ -1,0 +1,196 @@
+"""Counters, gauges, and histograms with a mergeable registry.
+
+Three instrument kinds cover everything the statistics stack wants to
+report:
+
+* :class:`Counter` — a monotonically growing total (samples drawn,
+  cache hits, dies processed);
+* :class:`Gauge` — a last-value-wins level (configured worker count,
+  current effective-sample-size fraction);
+* :class:`Histogram` — a streaming summary (count / total / min / max /
+  mean) of a repeated measurement, with a :meth:`Histogram.time`
+  context manager for wall-clock observations.
+
+A :class:`MetricsRegistry` owns instruments by name, snapshots them to
+a plain dict (JSON-ready), and can merge a snapshot produced by another
+process — how per-worker measurements travel back across the
+:class:`~repro.parallel.executor.ParallelExecutor` boundary.
+
+Call sites never touch the registry directly; they use the guarded
+module helpers (:func:`incr`, :func:`set_gauge`, :func:`observe`)
+which are no-ops while collection is disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.observability import _state
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: amount must be >= 0")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A streaming count/total/min/max summary of a measurement."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed values (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    @contextmanager
+    def time(self):
+        """Observe the wall time of the ``with`` body, in seconds."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - start)
+
+
+class MetricsRegistry:
+    """Named instruments with dict snapshots and cross-process merge."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = cls(name)
+        elif type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the histogram called ``name``."""
+        return self._get(name, Histogram)
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._instruments.clear()
+
+    def snapshot(self) -> dict:
+        """All instruments as a JSON-serialisable dict.
+
+        Shape (the ``metrics`` section of the ``--metrics-out``
+        report — see ``docs/observability.md``)::
+
+            {"counters":   {name: value},
+             "gauges":     {name: value},
+             "histograms": {name: {count, total, min, max, mean}}}
+        """
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                out["histograms"][name] = {
+                    "count": inst.count,
+                    "total": inst.total,
+                    "min": inst.min if inst.count else None,
+                    "max": inst.max if inst.count else None,
+                    "mean": inst.mean,
+                }
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins, matching their in-process semantics).
+        Used by the parent process to absorb per-worker measurements.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            if not summary["count"]:
+                continue
+            hist.count += summary["count"]
+            hist.total += summary["total"]
+            hist.min = min(hist.min, summary["min"])
+            hist.max = max(hist.max, summary["max"])
+
+
+#: The process-wide registry every guarded helper writes to.
+registry = MetricsRegistry()
+
+
+def incr(name: str, amount: float = 1.0) -> None:
+    """Bump counter ``name`` — no-op while collection is disabled."""
+    if _state.enabled:
+        registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` — no-op while collection is disabled."""
+    if _state.enabled:
+        registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe ``value`` in histogram ``name`` — no-op when disabled."""
+    if _state.enabled:
+        registry.histogram(name).observe(value)

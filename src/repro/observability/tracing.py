@@ -1,0 +1,169 @@
+"""Span-style timing that aggregates into a hierarchical trace tree.
+
+``trace(name)`` marks a stage of work, either as a context manager::
+
+    with trace("table.build"):
+        ...
+
+or as a decorator::
+
+    @trace("calibrate")
+    def calibrate(...): ...
+
+Unlike a flat profiler, repeated entries into the same span *under the
+same parent* aggregate — a 17-point grid build shows up as one
+``analysis.point`` node with ``calls=17`` and its total wall time, not
+17 siblings — so the tree stays readable at any sweep size while still
+localising where a run spends its life (sampling vs solving vs
+classification; cold table builds vs warm cache loads).
+
+Trees merge across processes: each worker snapshots the subtree its
+task produced and the parent grafts it under whatever span was open at
+the fan-out call site (see
+:meth:`repro.parallel.executor.ParallelExecutor.map`), so a parallel
+run's tree reads the same as a serial one, with the per-task counts
+and times summed over workers.
+
+When collection is disabled (:mod:`repro.observability._state`),
+entering a span is a single flag check — the decorator form calls the
+wrapped function directly and the context-manager form skips the clock
+entirely.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+from repro.observability import _state
+
+
+class SpanNode:
+    """One node of the aggregated timing tree."""
+
+    __slots__ = ("name", "calls", "seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """Get-or-create the child span called ``name``."""
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def snapshot(self) -> dict:
+        """The subtree as a JSON-serialisable dict.
+
+        Shape (the ``trace`` section of the ``--metrics-out`` report)::
+
+            {"name": ..., "calls": ..., "seconds": ..., "children": [...]}
+        """
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "children": [
+                self.children[name].snapshot()
+                for name in sorted(self.children)
+            ],
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` of a same-named node into this one."""
+        self.calls += snapshot["calls"]
+        self.seconds += snapshot["seconds"]
+        for child_snap in snapshot["children"]:
+            self.child(child_snap["name"]).merge(child_snap)
+
+
+class Tracer:
+    """Owns a trace tree and the currently-open span stack."""
+
+    def __init__(self) -> None:
+        self.root = SpanNode("run")
+        self._stack: list[SpanNode] = [self.root]
+
+    @property
+    def current(self) -> SpanNode:
+        return self._stack[-1]
+
+    def push(self, name: str) -> SpanNode:
+        node = self.current.child(name)
+        node.calls += 1
+        self._stack.append(node)
+        return node
+
+    def pop(self, elapsed: float) -> None:
+        if len(self._stack) == 1:
+            raise RuntimeError("trace stack underflow: pop without push")
+        self._stack.pop().seconds += elapsed
+
+    def reset(self) -> None:
+        """Drop the tree and any open spans."""
+        self.root = SpanNode("run")
+        self._stack = [self.root]
+
+    def snapshot(self) -> dict:
+        """The whole tree (root node named ``run``)."""
+        return self.root.snapshot()
+
+    def merge_at_current(self, snapshot: dict) -> None:
+        """Graft another tree's children under the open span.
+
+        ``snapshot`` is a full tree from :meth:`snapshot` (typically a
+        worker's); its root is discarded and its children merge into
+        whatever span is currently open here, which places remote work
+        exactly where the fan-out happened.
+        """
+        for child_snap in snapshot["children"]:
+            self.current.child(child_snap["name"]).merge(child_snap)
+
+
+#: The process-wide tracer every span writes to.
+tracer = Tracer()
+
+
+class trace:
+    """Span marker, usable as a context manager or a decorator."""
+
+    __slots__ = ("name", "_active", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._active = False
+
+    def __call__(self, fn):
+        name = self.name
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _state.enabled:
+                return fn(*args, **kwargs)
+            tracer.push(name)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                tracer.pop(time.perf_counter() - start)
+
+        return wrapper
+
+    def __enter__(self) -> "trace":
+        # The enabled state is latched on entry so a mid-span flip
+        # cannot unbalance the span stack.
+        self._active = _state.enabled
+        if self._active:
+            tracer.push(self.name)
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._active:
+            tracer.pop(time.perf_counter() - self._start)
+            self._active = False
+        return False

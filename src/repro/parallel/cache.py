@@ -20,6 +20,11 @@ from __future__ import annotations
 import json
 import pathlib
 
+from repro.observability.log import get_logger
+from repro.observability.metrics import incr
+
+_log = get_logger("parallel.cache")
+
 #: Format version written into every cache file.
 _FORMAT = 1
 
@@ -66,30 +71,41 @@ class ResultCache:
     def _path(self, kind: str, key: str) -> pathlib.Path:
         return self.cache_dir / f"{kind}-{key}.json"
 
+    def _miss(self, kind: str, key: str, reason: str) -> None:
+        self.misses += 1
+        incr("cache.misses")
+        _log.debug("cache.miss", kind=kind, key=key, reason=reason)
+
     def get(self, kind: str, key_payload: dict) -> dict | None:
         """The stored value for ``key_payload``, or None on a miss."""
-        path = self._path(kind, fingerprint(key_payload))
+        key = fingerprint(key_payload)
+        path = self._path(kind, key)
         if not path.exists():
-            self.misses += 1
+            self._miss(kind, key, "absent")
             return None
         try:
             stored = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            self._miss(kind, key, "unreadable")
             return None
         if (
             stored.get("format") != _FORMAT
             or stored.get("kind") != kind
             or stored.get("key") != _roundtrip(key_payload)
         ):
-            self.misses += 1
+            self._miss(kind, key, "key-mismatch")
             return None
         self.hits += 1
+        incr("cache.hits")
+        _log.info("cache.hit", kind=kind, key=key)
         return stored["value"]
 
     def put(self, kind: str, key_payload: dict, value: dict) -> pathlib.Path:
         """Store ``value`` under ``key_payload``; returns the file path."""
-        path = self._path(kind, fingerprint(key_payload))
+        key = fingerprint(key_payload)
+        path = self._path(kind, key)
+        incr("cache.puts")
+        _log.info("cache.put", kind=kind, key=key)
         payload = {
             "format": _FORMAT,
             "kind": kind,

@@ -21,6 +21,26 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import observability
+from repro.observability.log import get_logger
+
+_log = get_logger("parallel.executor")
+
+
+def _observed_task(payload: tuple) -> tuple:
+    """Worker entry point wrapping a task with telemetry capture.
+
+    Runs the task inside a fresh per-task collection scope and returns
+    ``(result, telemetry_snapshot)`` so the parent can merge each
+    task's metrics and trace subtree back into its own collectors
+    (:func:`repro.observability.merge_worker`).  Only used when the
+    parent had observability enabled at fan-out time.
+    """
+    fn, task = payload
+    observability.worker_begin()
+    result = fn(task)
+    return result, observability.worker_snapshot()
+
 
 def spawn_seeds(seed: int, n: int) -> list[np.random.SeedSequence]:
     """``n`` statistically independent child seeds of ``seed``.
@@ -86,9 +106,29 @@ class ParallelExecutor:
         function, not a lambda or closure).
         """
         task_list: Sequence = list(tasks)
+        observability.incr("parallel.map_calls")
+        observability.incr("parallel.tasks", len(task_list))
         if self.is_serial or len(task_list) <= 1:
             return [fn(task) for task in task_list]
+        chunksize = self._chunksize(len(task_list))
+        _log.info(
+            "parallel.map",
+            tasks=len(task_list),
+            workers=self.workers,
+            chunksize=chunksize,
+        )
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(
-                pool.map(fn, task_list, chunksize=self._chunksize(len(task_list)))
+            if not observability.enabled():
+                return list(pool.map(fn, task_list, chunksize=chunksize))
+            # Telemetry round-trip: each task runs in its own collection
+            # scope and ships its snapshot home alongside its result.
+            results = []
+            pairs = pool.map(
+                _observed_task,
+                [(fn, task) for task in task_list],
+                chunksize=chunksize,
             )
+            for result, snap in pairs:
+                observability.merge_worker(snap)
+                results.append(result)
+            return results

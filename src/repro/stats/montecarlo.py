@@ -6,6 +6,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability.metrics import incr
+
 
 @dataclass(frozen=True)
 class MonteCarloResult:
@@ -48,6 +50,8 @@ def probability_of(
     n = indicator.size
     if n == 0:
         raise ValueError("cannot estimate a probability from zero samples")
+    incr("mc.estimates")
+    incr("mc.samples", n)
     if weights is None:
         p = float(np.mean(indicator))
         stderr = float(np.sqrt(max(p * (1.0 - p), 0.0) / n))

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability import _state
+from repro.observability.metrics import incr, observe
 from repro.sram.cell import TRANSISTORS, CellGeometry, cell_sigma_vt
 from repro.technology.parameters import TechnologyParameters
 
@@ -71,4 +73,13 @@ def importance_sample_dvt(
         z2_sum += np.square(x / sigma)
     d = len(TRANSISTORS)
     log_w = d * np.log(scale) - 0.5 * z2_sum * (1.0 - 1.0 / (scale * scale))
-    return ImportanceSample(dvt=dvt, weights=np.exp(log_w))
+    weights = np.exp(log_w)
+    if _state.enabled:
+        # Effective-sample-size fraction (Kish): the "acceptance rate"
+        # analogue for likelihood-ratio weighting — 1.0 means plain MC,
+        # small values mean the proposal wastes most of its draws.
+        incr("sampling.draws")
+        incr("sampling.cells", size)
+        ess = float(np.square(weights.sum()) / (np.square(weights).sum() * size))
+        observe("sampling.ess_fraction", ess)
+    return ImportanceSample(dvt=dvt, weights=weights)

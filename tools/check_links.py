@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve to real files.
+
+Scans every ``*.md`` under the repo root and ``docs/`` for inline
+links/images ``[text](target)`` and verifies each relative target
+exists (anchors are stripped; external ``http(s)``/``mailto`` targets
+are skipped).  Exits non-zero listing every broken link — run by the
+CI docs job and fine to run locally::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline markdown link/image: [text](target) — target captured lazily
+#: so titles ("target \"title\"") and anchors survive the split below.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files = sorted(root.glob("*.md"))
+    for sub in ("docs", ".github"):
+        files.extend(sorted((root / sub).rglob("*.md")))
+    return files
+
+
+def broken_links(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    bad = []
+    for match in LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            bad.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return bad
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parents[1]
+    failures: list[str] = []
+    files = markdown_files(root)
+    for path in files:
+        failures.extend(broken_links(path, root))
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"\n{len(failures)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The benchmark regression observatory.
+
+Turns the telemetry layer (:mod:`repro.observability`) into
+*longitudinal* performance data: a registry of representative
+workloads, a best-of-K runner that records wall-clock + the full
+``repro.telemetry/1`` snapshot + an environment fingerprint, an
+append-only ``BENCH_<workload>.json`` history at the repo root, and a
+noise-aware comparator that gates CI.
+
+The CLI is the main entry point::
+
+    python -m repro.bench run [--quick]       # measure + append records
+    python -m repro.bench compare             # exit 1 on regression
+    python -m repro.bench report              # markdown trajectory
+
+Workflow, record schema, and baseline-update etiquette are documented
+in ``docs/benchmarking.md``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import (
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+    CompareResult,
+    compare_all,
+    compare_records,
+)
+from repro.bench.history import (
+    append,
+    default_root,
+    history_path,
+    load,
+    stored_workloads,
+)
+from repro.bench.registry import (
+    FULL,
+    QUICK,
+    WORKLOADS,
+    BenchProfile,
+    Gate,
+    Workload,
+    profile_by_name,
+)
+from repro.bench.report import render_markdown
+from repro.bench.runner import RECORD_SCHEMA, run_workload
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WINDOW",
+    "FULL",
+    "QUICK",
+    "RECORD_SCHEMA",
+    "WORKLOADS",
+    "BenchProfile",
+    "CompareResult",
+    "Gate",
+    "Workload",
+    "append",
+    "compare_all",
+    "compare_records",
+    "default_root",
+    "history_path",
+    "load",
+    "profile_by_name",
+    "render_markdown",
+    "run_workload",
+    "stored_workloads",
+]

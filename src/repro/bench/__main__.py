@@ -1,0 +1,193 @@
+"""CLI of the benchmark observatory: ``python -m repro.bench``.
+
+Subcommands::
+
+    run      measure workloads (best-of-K) and append history records
+    compare  judge the latest records; exit 1 on regression/gate fail
+    report   render the stored trajectory as markdown
+    list     show registered workloads and their counter gates
+
+Typical loops:
+
+* CI smoke gate (the ``perf-smoke`` job)::
+
+      python -m repro.bench run --quick
+      python -m repro.bench compare --tolerance 0.35
+
+* local baseline work before and after an optimisation::
+
+      python -m repro.bench run                 # full sizing, appended
+      python -m repro.bench report              # did it move?
+
+History lives in ``BENCH_<workload>.json`` files at the repository
+root by default (``--history-dir`` overrides); the record schema and
+the baseline policy are documented in ``docs/benchmarking.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import compare as compare_mod
+from repro.bench import history, report
+from repro.bench.registry import WORKLOADS, profile_by_name
+from repro.bench.runner import run_workload
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--history-dir",
+        default=None,
+        metavar="DIR",
+        help="history location (default: the repository root)",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        choices=sorted(WORKLOADS),
+        help="restrict to one workload (repeatable; default: all)",
+    )
+
+
+def _root(args) -> object:
+    return args.history_dir if args.history_dir else history.default_root()
+
+
+def _workloads(args) -> list[str]:
+    return args.workload if args.workload else sorted(WORKLOADS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark observatory: measure, store, and gate "
+        "the stack's performance trajectory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="measure workloads and append history records"
+    )
+    _add_common(run_p)
+    run_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI sizing: seconds per workload instead of minutes",
+    )
+    run_p.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="K",
+        help="timed repetitions per workload (default: 2 quick, 3 full)",
+    )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan-out width inside the workloads (default 1 = serial)",
+    )
+
+    cmp_p = sub.add_parser(
+        "compare", help="judge the latest records against the baseline"
+    )
+    _add_common(cmp_p)
+    cmp_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=compare_mod.DEFAULT_TOLERANCE,
+        metavar="FRAC",
+        help="relative band on the baseline median "
+        f"(default {compare_mod.DEFAULT_TOLERANCE})",
+    )
+    cmp_p.add_argument(
+        "--window",
+        type=int,
+        default=compare_mod.DEFAULT_WINDOW,
+        metavar="N",
+        help="prior records the baseline median is taken over "
+        f"(default {compare_mod.DEFAULT_WINDOW})",
+    )
+
+    rep_p = sub.add_parser(
+        "report", help="render the stored trajectory as markdown"
+    )
+    _add_common(rep_p)
+    rep_p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the markdown to FILE instead of stdout",
+    )
+
+    sub.add_parser("list", help="show registered workloads and gates")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, spec in WORKLOADS.items():
+            print(f"{name:12s}  {spec.description}")
+            for gate in spec.gates:
+                print(f"{'':12s}  gate: {gate.counter} {gate.op} {gate.value:g}")
+        return 0
+
+    if args.command == "run":
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        profile = profile_by_name("quick" if args.quick else "full")
+        if args.workers != 1:
+            profile = profile._replace(workers=args.workers)
+        repeats = args.repeats
+        if repeats is None:
+            repeats = 2 if args.quick else 3
+        root = _root(args)
+        for name in _workloads(args):
+            print(f"[bench] {name} ({profile.name}, best of {repeats}) ...",
+                  flush=True)
+            record = run_workload(WORKLOADS[name], profile, repeats=repeats)
+            path = history.append(root, record)
+            print(
+                f"[bench] {name}: median {record['median_seconds']:.3f}s, "
+                f"best {record['best_seconds']:.3f}s -> {path}"
+            )
+        return 0
+
+    if args.command == "compare":
+        results = compare_mod.compare_all(
+            _root(args),
+            workloads=args.workload,
+            tolerance=args.tolerance,
+            window=args.window,
+        )
+        for result in results:
+            print(result.describe())
+        failed = [r for r in results if r.failed]
+        if failed:
+            print(
+                f"\nFAIL: {len(failed)} of {len(results)} workload(s) "
+                "regressed or broke a counter gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nok: {len(results)} workload(s) within tolerance")
+        return 0
+
+    if args.command == "report":
+        markdown = report.render_markdown(_root(args), workloads=args.workload)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(markdown)
+            print(f"wrote {args.out}")
+        else:
+            print(markdown, end="")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Noise-aware regression detection over the stored history.
+
+Two independent checks per workload, combined in :func:`compare_workload`:
+
+1. **Wall-clock band.**  The latest record's ``median_seconds`` (the
+   median of its best-of-K repeats — robust to one preempted repeat)
+   is compared against the *baseline median*: the median of the
+   previous ``window`` records' medians.  Median-of-medians means a
+   single anomalously slow or fast historical record cannot move the
+   baseline, and the relative ``tolerance`` band absorbs machine-level
+   noise.  Only ``current > baseline * (1 + tolerance)`` is a
+   regression; getting faster is reported, never failed.
+
+2. **Counter gates.**  The workload's semantic telemetry assertions
+   (e.g. a warm-cache run must show ``cache.misses == 0``) evaluated
+   on the latest record.  These catch the regressions wall-clock
+   can't: a cache silently disabled is a correctness-of-performance
+   bug even on a day the machine happens to be fast.
+
+A workload with a single record has no baseline yet: gates still run,
+the wall-clock check reports ``no-baseline`` and passes — so the very
+first ``run && compare`` on a clean checkout succeeds and *establishes*
+the baseline for every run after it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.bench import history
+from repro.bench.registry import WORKLOADS
+
+#: Default relative tolerance band (20 %) on the baseline median.
+DEFAULT_TOLERANCE = 0.20
+
+#: Default number of prior records the baseline median is taken over.
+DEFAULT_WINDOW = 5
+
+#: Verdicts that make ``repro.bench compare`` exit non-zero.
+FAILING = ("regression", "gate-failed", "no-data")
+
+
+@dataclass
+class CompareResult:
+    """Verdict for one workload."""
+
+    workload: str
+    status: str  # ok | improved | regression | gate-failed | no-baseline | no-data
+    current_median: float | None = None
+    baseline_median: float | None = None
+    ratio: float | None = None
+    messages: list[str] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+    def describe(self) -> str:
+        """One human-readable verdict line."""
+        parts = [f"{self.workload}: {self.status}"]
+        if self.current_median is not None and self.baseline_median is not None:
+            parts.append(
+                f"(median {self.current_median:.3f}s vs baseline "
+                f"{self.baseline_median:.3f}s, x{self.ratio:.2f})"
+            )
+        elif self.current_median is not None:
+            parts.append(f"(median {self.current_median:.3f}s)")
+        line = " ".join(parts)
+        for message in self.messages:
+            line += f"\n    {message}"
+        return line
+
+
+def compare_records(
+    records: list[dict],
+    gates=(),
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    workload: str = "?",
+) -> CompareResult:
+    """Judge the latest of ``records`` against its predecessors."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if not records:
+        return CompareResult(
+            workload,
+            "no-data",
+            messages=["no stored records — run `python -m repro.bench run`"],
+        )
+    current = records[-1]
+    result = CompareResult(workload, "ok", current_median=current["median_seconds"])
+
+    counters = current.get("telemetry", {}).get("metrics", {}).get("counters", {})
+    for gate in gates:
+        failure = gate.check(counters)
+        if failure is not None:
+            result.status = "gate-failed"
+            result.messages.append(failure)
+
+    # Baselines never mix sizings: a quick record must not be judged
+    # against full-profile history (or vice versa).
+    prior = [
+        r for r in records[:-1] if r.get("profile") == current.get("profile")
+    ][-window:]
+    if not prior:
+        if result.status == "ok":
+            result.status = "no-baseline"
+            result.messages.append(
+                "first record at this profile — baseline established"
+            )
+        return result
+    result.baseline_median = statistics.median(
+        r["median_seconds"] for r in prior
+    )
+    result.ratio = (
+        result.current_median / result.baseline_median
+        if result.baseline_median > 0
+        else float("inf")
+    )
+    if result.status == "gate-failed":
+        return result
+    if result.ratio > 1.0 + tolerance:
+        result.status = "regression"
+        result.messages.append(
+            f"median exceeded the ±{100 * tolerance:.0f}% band over the "
+            f"last {len(prior)} record(s)"
+        )
+    elif result.ratio < 1.0 - tolerance:
+        result.status = "improved"
+    return result
+
+
+def compare_all(
+    root,
+    workloads: list[str] | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+) -> list[CompareResult]:
+    """Compare every requested workload's history under ``root``.
+
+    ``workloads=None`` compares whatever has history on disk plus every
+    registered workload (so a registered workload that has *never* been
+    run shows up as ``no-data`` instead of silently passing).
+    """
+    if workloads is None:
+        names = sorted(set(history.stored_workloads(root)) | set(WORKLOADS))
+    else:
+        names = list(workloads)
+    results = []
+    for name in names:
+        records = history.load(root, name)
+        gates = WORKLOADS[name].gates if name in WORKLOADS else ()
+        results.append(
+            compare_records(
+                records,
+                gates=gates,
+                tolerance=tolerance,
+                window=window,
+                workload=name,
+            )
+        )
+    return results

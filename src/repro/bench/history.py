@@ -1,0 +1,105 @@
+"""Append-only performance history: ``BENCH_<workload>.json`` files.
+
+One file per workload, one JSON record per line (JSON Lines inside a
+``.json`` extension — greppable, mergeable, and genuinely append-only:
+adding a record is an ``O(1)`` file append, never a rewrite, so two
+concurrent runs can share a history directory without clobbering each
+other's records).  The full record schema is documented in
+``docs/benchmarking.md``.
+
+The default location is the repository root (found via ``git``,
+falling back to the working directory), so a clean checkout's first
+``python -m repro.bench run`` creates ``BENCH_table_sweep.json`` et
+al. right next to ``README.md`` — visible, versionable history.
+
+Loading is tolerant: blank or corrupt lines are skipped (counted and
+reported, not fatal), because one mangled line in a months-long
+history must not take down the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+
+#: History files are BENCH_<workload>.json at the history root.
+_FILE_RE = re.compile(r"^BENCH_([A-Za-z0-9_.-]+)\.json$")
+
+
+def default_root() -> pathlib.Path:
+    """The repository root, or the working directory outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return pathlib.Path(out.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return pathlib.Path(os.getcwd())
+
+
+def history_path(root: pathlib.Path | str, workload: str) -> pathlib.Path:
+    """The history file for ``workload`` under ``root``."""
+    return pathlib.Path(root) / f"BENCH_{workload}.json"
+
+
+def append(root: pathlib.Path | str, record: dict) -> pathlib.Path:
+    """Append one record to its workload's history file."""
+    path = history_path(root, record["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load(root: pathlib.Path | str, workload: str) -> list[dict]:
+    """All records for ``workload``, oldest first ([] when absent).
+
+    Skips lines that are blank or fail to parse — see module doc.
+    """
+    records, _ = load_with_errors(root, workload)
+    return records
+
+
+def load_with_errors(
+    root: pathlib.Path | str, workload: str
+) -> tuple[list[dict], int]:
+    """Like :func:`load`, also returning the skipped-line count."""
+    path = history_path(root, workload)
+    if not path.exists():
+        return [], 0
+    records: list[dict] = []
+    skipped = 0
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if isinstance(record, dict) and "workload" in record:
+            records.append(record)
+        else:
+            skipped += 1
+    return records, skipped
+
+
+def stored_workloads(root: pathlib.Path | str) -> list[str]:
+    """Workload names that have a history file under ``root``."""
+    root = pathlib.Path(root)
+    names = []
+    if root.is_dir():
+        for entry in sorted(root.iterdir()):
+            match = _FILE_RE.match(entry.name)
+            if match and entry.is_file():
+                names.append(match.group(1))
+    return names

@@ -1,0 +1,274 @@
+"""The benchmark observatory's workload registry.
+
+Each :class:`Workload` is a named, self-contained slice of the stack
+that the observatory re-measures on every ``python -m repro.bench run``:
+
+* ``table_sweep`` — the fig2c-style sweep (criteria calibration plus a
+  failure-probability table per body-bias level), the shape every
+  yield figure sits on;
+* ``mc_kernels`` — the raw Monte-Carlo / importance-sampling kernels
+  (sample generation, cell metrics, hold fixed point, leakage
+  decomposition) without any table machinery on top;
+* ``lot`` — the production-lot flow (monitor → repair → parametric
+  test → ASB calibration) over a small lot;
+* ``warm_cache`` — a rerun of the table sweep from a populated result
+  cache: must *load* everything, recompute nothing.
+
+A workload's ``run`` executes entirely inside the runner's timed,
+telemetry-collecting region, so its record carries the full
+``repro.telemetry/1`` snapshot of exactly that work.  ``prepare`` runs
+once, untimed, before the repeats (the warm-cache workload uses it to
+populate its cache directory); ``cleanup`` tears the state down.
+
+``gates`` are the *semantic* half of regression detection: assertions
+on the telemetry counters that must hold on every record regardless of
+wall-clock (a warm run with ``cache.misses > 0`` is broken even if it
+happens to be fast).  They are checked by ``repro.bench compare``.
+
+Sizing comes from a :class:`BenchProfile`: ``QUICK`` finishes in
+seconds for CI smoke runs, ``FULL`` is representative for local
+baseline work.  Both are fixed-seed, so records differ only by machine
+and code — never by luck of the RNG.
+"""
+
+from __future__ import annotations
+
+import operator
+import shutil
+import tempfile
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+
+class BenchProfile(NamedTuple):
+    """One sizing of the workload suite (fixed seeds throughout)."""
+
+    name: str
+    calibration_samples: int
+    analysis_samples: int
+    table_grid: int
+    vbody_levels: tuple[float, ...]
+    kernel_cells: int
+    is_samples: int
+    lot_dies: int
+    workers: int = 1
+
+
+#: CI-sized: the whole suite in well under a minute.
+QUICK = BenchProfile(
+    name="quick",
+    calibration_samples=2_500,
+    analysis_samples=1_200,
+    table_grid=5,
+    vbody_levels=(0.0, 0.3),
+    kernel_cells=5_000,
+    is_samples=20_000,
+    lot_dies=10,
+)
+
+#: Representative local sizing (minutes, matches benchmark_parallel).
+FULL = BenchProfile(
+    name="full",
+    calibration_samples=12_000,
+    analysis_samples=8_000,
+    table_grid=9,
+    vbody_levels=(-0.3, 0.0, 0.3),
+    kernel_cells=20_000,
+    is_samples=100_000,
+    lot_dies=60,
+)
+
+
+class Gate(NamedTuple):
+    """A hard check on one telemetry counter of a record."""
+
+    counter: str
+    op: str  # one of ==, !=, >, >=, <, <=
+    value: float
+
+    _OPS = {
+        "==": operator.eq,
+        "!=": operator.ne,
+        ">": operator.gt,
+        ">=": operator.ge,
+        "<": operator.lt,
+        "<=": operator.le,
+    }
+
+    def check(self, counters: dict) -> str | None:
+        """``None`` when satisfied, else a human-readable failure."""
+        actual = counters.get(self.counter, 0.0)
+        if Gate._OPS[self.op](actual, self.value):
+            return None
+        return (
+            f"counter gate failed: {self.counter} = {actual:g}, "
+            f"required {self.op} {self.value:g}"
+        )
+
+
+class Workload(NamedTuple):
+    """One registered benchmark workload."""
+
+    name: str
+    description: str
+    run: Callable[[BenchProfile, object], None]
+    prepare: Callable[[BenchProfile], object] | None = None
+    cleanup: Callable[[object], None] | None = None
+    gates: tuple[Gate, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Workload bodies (imports are deferred so `repro.bench compare` /
+# `report` never pay for — or require — the numerics stack's startup).
+# ----------------------------------------------------------------------
+def _sweep_context(profile: BenchProfile, cache_dir: str | None = None):
+    from repro.experiments.context import ExperimentContext
+
+    return ExperimentContext(
+        target=1e-4,
+        calibration_samples=profile.calibration_samples,
+        analysis_samples=profile.analysis_samples,
+        table_grid=profile.table_grid,
+        seed=11,
+        workers=profile.workers,
+        cache_dir=cache_dir,
+    )
+
+
+def _run_table_sweep(profile: BenchProfile, state) -> None:
+    ctx = _sweep_context(profile)
+    for vbody in profile.vbody_levels:
+        ctx.table(vbody)
+
+
+def _run_mc_kernels(profile: BenchProfile, state) -> None:
+    from repro.observability.tracing import trace
+    from repro.sram.cell import CellGeometry, SixTCell, sample_cell_dvt
+    from repro.sram.leakage import cell_leakage
+    from repro.sram.metrics import OperatingConditions, compute_cell_metrics
+    from repro.sram.solver import solve_hold_state
+    from repro.stats.sampling import importance_sample_dvt
+    from repro.technology import predictive_70nm
+    from repro.technology.corners import ProcessCorner
+
+    tech = predictive_70nm()
+    geometry = CellGeometry()
+    rng = np.random.default_rng(7)
+    with trace("kernel.importance_sample"):
+        sample = importance_sample_dvt(
+            tech, geometry, rng, profile.is_samples, 2.0
+        )
+        assert sample.n_samples == profile.is_samples
+    cells = SixTCell(
+        tech,
+        geometry,
+        ProcessCorner(0.0),
+        sample_cell_dvt(tech, geometry, rng, profile.kernel_cells),
+    )
+    with trace("kernel.cell_metrics"):
+        compute_cell_metrics(cells, OperatingConditions.nominal(tech))
+    with trace("kernel.hold_state"):
+        solve_hold_state(cells, 0.3)
+    with trace("kernel.leakage"):
+        cell_leakage(cells)
+
+
+def _run_lot(profile: BenchProfile, state) -> None:
+    from repro.core.body_bias import SelfRepairingSRAM
+    from repro.core.lot import LotSimulator
+    from repro.core.source_bias import SourceBiasDAC
+    from repro.experiments.asb import HoldProbabilityTable
+    from repro.sram.array import ArrayOrganization
+
+    ctx = _sweep_context(profile)
+    organization = ArrayOrganization.from_capacity(
+        2 * 1024, rows=64, redundancy_fraction=0.05
+    )
+    pipeline = SelfRepairingSRAM(
+        ctx.analyzer(),
+        organization,
+        table_provider=ctx.table,
+        leakage_samples=profile.analysis_samples,
+    )
+    hold_table = HoldProbabilityTable(
+        ctx,
+        corner_grid=np.linspace(-0.1, 0.1, 5),
+        vsb_grid=np.array([0.0, 0.3, 0.45, 0.55, 0.6, 0.635]),
+    )
+    simulator = LotSimulator(
+        pipeline, hold_table, dac=SourceBiasDAC(bits=5, full_scale=0.62)
+    )
+    report = simulator.run(
+        n_dies=profile.lot_dies, sigma_inter=0.04, seed=3
+    )
+    assert report.n_dies == profile.lot_dies
+
+
+def _prepare_warm_cache(profile: BenchProfile) -> str:
+    """Populate a throwaway cache directory with a cold sweep build."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-warm-")
+    ctx = _sweep_context(profile, cache_dir=cache_dir)
+    for vbody in profile.vbody_levels:
+        ctx.table(vbody)
+    return cache_dir
+
+
+def _run_warm_cache(profile: BenchProfile, cache_dir) -> None:
+    ctx = _sweep_context(profile, cache_dir=cache_dir)
+    for vbody in profile.vbody_levels:
+        ctx.table(vbody)
+
+
+def _cleanup_warm_cache(cache_dir) -> None:
+    shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+#: Workload name -> spec, in the order `run` executes them.
+WORKLOADS: dict[str, Workload] = {
+    "table_sweep": Workload(
+        name="table_sweep",
+        description="fig2c-style sweep: calibration + one failure "
+        "table per body-bias level",
+        run=_run_table_sweep,
+        gates=(
+            Gate("mc.samples", ">", 0),
+            Gate("mc.estimates", ">", 0),
+        ),
+    ),
+    "mc_kernels": Workload(
+        name="mc_kernels",
+        description="raw MC/IS kernels: sample generation, cell "
+        "metrics, hold fixed point, leakage",
+        run=_run_mc_kernels,
+    ),
+    "lot": Workload(
+        name="lot",
+        description="production-lot flow (monitor/repair/test/ASB) "
+        "over a small lot",
+        run=_run_lot,
+        gates=(Gate("lot.dies", ">", 0),),
+    ),
+    "warm_cache": Workload(
+        name="warm_cache",
+        description="table sweep rerun from a populated result cache "
+        "(must load everything)",
+        run=_run_warm_cache,
+        prepare=_prepare_warm_cache,
+        cleanup=_cleanup_warm_cache,
+        gates=(
+            # The semantic definition of "warm": nothing recomputed.
+            Gate("cache.misses", "==", 0),
+            Gate("cache.hits", ">", 0),
+            Gate("mc.samples", "==", 0),
+        ),
+    ),
+}
+
+
+def profile_by_name(name: str) -> BenchProfile:
+    """Look up a sizing profile (``quick`` or ``full``)."""
+    profiles = {p.name: p for p in (QUICK, FULL)}
+    if name not in profiles:
+        raise KeyError(f"unknown profile {name!r}; known: {sorted(profiles)}")
+    return profiles[name]

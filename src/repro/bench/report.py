@@ -1,0 +1,85 @@
+"""Render the stored history as markdown trajectory tables.
+
+``python -m repro.bench report`` prints one table per workload — the
+longitudinal view the observatory exists for: every stored record with
+its timestamp, short git SHA, sizing profile, repeat count, best and
+median wall-clock, and the step-to-step delta.  Paste the output into
+``docs/performance.md`` or read it in a terminal; it is plain GitHub
+markdown.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.bench import history
+from repro.bench.compare import DEFAULT_WINDOW
+
+
+def _when(timestamp: float | None) -> str:
+    if not timestamp:
+        return "?"
+    return datetime.datetime.fromtimestamp(
+        timestamp, tz=datetime.timezone.utc
+    ).strftime("%Y-%m-%d %H:%M")
+
+
+def _delta(current: float, previous: float | None) -> str:
+    if previous is None or previous <= 0:
+        return "—"
+    change = 100.0 * (current / previous - 1.0)
+    return f"{change:+.1f}%"
+
+
+def render_workload(records: list[dict], workload: str, limit: int = 20) -> str:
+    """One workload's trajectory as a markdown section."""
+    lines = [f"### `{workload}`", ""]
+    if not records:
+        lines.append("_no records yet — run `python -m repro.bench run`_")
+        return "\n".join(lines) + "\n"
+    shown = records[-limit:]
+    if len(records) > limit:
+        lines.append(
+            f"_showing the last {limit} of {len(records)} records_"
+        )
+        lines.append("")
+    lines += [
+        "| when (UTC) | git | profile | repeats | best [s] | median [s] | Δ median |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    previous_by_profile: dict[str, float] = {}
+    # Walk the full history so the first shown row's delta is correct.
+    first_shown = len(records) - len(shown)
+    for index, record in enumerate(records):
+        profile = str(record.get("profile", "?"))
+        median = record["median_seconds"]
+        delta = _delta(median, previous_by_profile.get(profile))
+        previous_by_profile[profile] = median
+        if index < first_shown:
+            continue
+        sha = (record.get("environment", {}).get("git_sha") or "?")[:10]
+        lines.append(
+            f"| {_when(record.get('timestamp'))} | `{sha}` | {profile} "
+            f"| {record.get('repeats', '?')} "
+            f"| {record['best_seconds']:.3f} "
+            f"| {median:.3f} | {delta} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown(root, workloads: list[str] | None = None) -> str:
+    """The whole observatory's trajectory, one section per workload."""
+    names = workloads if workloads is not None else history.stored_workloads(root)
+    lines = [
+        "## Benchmark trajectory",
+        "",
+        f"Baselines are the median of the last {DEFAULT_WINDOW} records "
+        "at the same profile (see `docs/benchmarking.md`).",
+        "",
+    ]
+    if not names:
+        lines.append("_no history yet — run `python -m repro.bench run`_")
+        return "\n".join(lines) + "\n"
+    for name in names:
+        lines.append(render_workload(history.load(root, name), name))
+    return "\n".join(lines)

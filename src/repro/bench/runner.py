@@ -1,0 +1,82 @@
+"""Measure one workload under telemetry, best-of-K.
+
+One :func:`run_workload` call produces one history record: it prepares
+the workload's state (untimed), then runs the body ``repeats`` times,
+each repeat inside a fresh telemetry collection scope, and keeps
+
+* every repeat's wall-clock (plus the derived best and median — the
+  comparator consumes the median, the noise-robust statistic; the best
+  approximates the machine's unloaded capability),
+* the full ``repro.telemetry/1`` snapshot of the *fastest* repeat
+  (least scheduler interference, and the semantic counters are
+  identical across repeats by the fixed-seed contract),
+* an environment fingerprint (git SHA, interpreter, numpy, platform,
+  core count, configured workers) so the record stays interpretable
+  long after the machine or checkout has moved on.
+
+The runner saves and restores the process-wide observability switch,
+so benchmarking never leaks collection state into the caller.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro import observability
+from repro.bench.registry import BenchProfile, Workload
+
+#: Record schema tag, bumped only on breaking shape changes.
+RECORD_SCHEMA = "repro.bench/1"
+
+
+def run_workload(
+    workload: Workload,
+    profile: BenchProfile,
+    repeats: int = 3,
+) -> dict:
+    """Measure ``workload`` at ``profile`` sizing; return the record.
+
+    Args:
+        workload: registry entry to measure.
+        profile: sizing (``QUICK``/``FULL`` or a custom
+            :class:`~repro.bench.registry.BenchProfile`).
+        repeats: timed repetitions (best-of-K; K >= 1).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    was_enabled = observability.enabled()
+    state = workload.prepare(profile) if workload.prepare else None
+    wall: list[float] = []
+    telemetry: dict = {}
+    try:
+        for _ in range(repeats):
+            observability.reset()
+            observability.enable()
+            start = time.perf_counter()
+            workload.run(profile, state)
+            elapsed = time.perf_counter() - start
+            if not wall or elapsed < min(wall):
+                telemetry = observability.snapshot()
+            wall.append(elapsed)
+    finally:
+        observability.reset()
+        if not was_enabled:
+            observability.disable()
+        if workload.cleanup:
+            workload.cleanup(state)
+    return {
+        "schema": RECORD_SCHEMA,
+        "workload": workload.name,
+        "profile": profile.name,
+        "timestamp": time.time(),
+        "repeats": repeats,
+        "wall_seconds": [round(s, 6) for s in wall],
+        "best_seconds": round(min(wall), 6),
+        "median_seconds": round(statistics.median(wall), 6),
+        "telemetry": telemetry,
+        "environment": {
+            **observability.environment_fingerprint(),
+            "workers": profile.workers,
+        },
+    }

@@ -18,7 +18,12 @@ Telemetry (see ``docs/observability.md``): ``-v``/``-vv`` streams
 structured progress events to stderr (``--log-json`` renders them as
 JSON lines), and ``--metrics-out FILE`` writes a machine-readable
 report — per-stage wall-time spans, Monte-Carlo sample counts, cache
-hit/miss counters — after the run.
+hit/miss counters, plus a ``meta`` block (git SHA, seed, workers,
+environment) that makes stored reports self-describing — after the
+run.  ``--profile-out FILE`` additionally runs the experiment under
+cProfile scoped to its trace span and writes a ``pstats``-loadable
+stats file, for localising a regression to a function (see
+``docs/benchmarking.md``).
 """
 
 from __future__ import annotations
@@ -103,6 +108,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write a JSON telemetry report (spans, counters) to FILE",
     )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="run under cProfile and write pstats-loadable stats to "
+        "FILE (inspect with `python -m pstats FILE`)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers < 1:
@@ -127,12 +139,17 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     # Telemetry: logs whenever -v/--log-json asks for them; metric and
-    # trace collection only when a report will consume it.
+    # trace collection only when a report or a profile will consume it.
     collect = args.metrics_out is not None
-    if args.verbose or args.log_json or collect:
+    profiling = args.profile_out is not None
+    if args.verbose or args.log_json or collect or profiling:
         observability.configure(
-            verbosity=args.verbose, json_lines=args.log_json, metrics=collect
+            verbosity=args.verbose,
+            json_lines=args.log_json,
+            metrics=collect or profiling,
         )
+    if profiling:
+        observability.enable_profiling()
 
     ctx = _fast_context() if args.fast else default_context()
     try:
@@ -143,7 +160,7 @@ def main(argv: list[str] | None = None) -> int:
     except NotADirectoryError as exc:
         parser.error(str(exc))
     start = time.time()
-    with observability.trace(args.figure):
+    with observability.profile(args.figure):
         result = run_experiment(args.figure, ctx)
     elapsed = time.time() - start
     print("\n".join(result.rows()))
@@ -159,10 +176,23 @@ def main(argv: list[str] | None = None) -> int:
             "workers": args.workers,
             "cache_dir": args.cache_dir,
         }
+        # Self-describing reports: where and how this was measured.
+        # Additive under schema repro.telemetry/1 — readers that only
+        # know metrics/trace keep working.
+        report["meta"] = {
+            **observability.environment_fingerprint(),
+            "seed": ctx.seed,
+            "workers": args.workers,
+        }
         with open(args.metrics_out, "w") as fh:
             json.dump(report, fh, indent=2)
         observability.get_logger("experiments.cli").info(
             "metrics.written", path=args.metrics_out
+        )
+    if profiling:
+        spans = observability.write_profile(args.profile_out)
+        observability.get_logger("experiments.cli").info(
+            "profile.written", path=args.profile_out, spans=len(spans)
         )
     return 0
 

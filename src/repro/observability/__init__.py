@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from repro.observability import _state
 from repro.observability import log
+from repro.observability.env import environment_fingerprint, git_sha
 from repro.observability.log import configure as configure_logging, get_logger
 from repro.observability.metrics import (
     Counter,
@@ -42,6 +43,15 @@ from repro.observability.metrics import (
     observe,
     registry,
     set_gauge,
+)
+from repro.observability.profiling import (
+    disable_profiling,
+    enable_profiling,
+    profile,
+    profile_names,
+    profiling_enabled,
+    reset_profiles,
+    write_profile,
 )
 from repro.observability.tracing import SpanNode, Tracer, trace, tracer
 
@@ -79,9 +89,10 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Drop all collected metrics and the trace tree."""
+    """Drop all collected metrics, the trace tree, and any profiles."""
     registry.reset()
     tracer.reset()
+    reset_profiles()
 
 
 def configure(
@@ -154,19 +165,28 @@ __all__ = [
     "configure",
     "configure_logging",
     "disable",
+    "disable_profiling",
     "enable",
+    "enable_profiling",
     "enabled",
+    "environment_fingerprint",
     "get_logger",
+    "git_sha",
     "incr",
     "log",
     "merge_worker",
     "observe",
+    "profile",
+    "profile_names",
+    "profiling_enabled",
     "registry",
     "reset",
+    "reset_profiles",
     "set_gauge",
     "snapshot",
     "trace",
     "tracer",
     "worker_begin",
     "worker_snapshot",
+    "write_profile",
 ]

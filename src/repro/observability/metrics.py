@@ -8,8 +8,13 @@ report:
 * :class:`Gauge` — a last-value-wins level (configured worker count,
   current effective-sample-size fraction);
 * :class:`Histogram` — a streaming summary (count / total / min / max /
-  mean) of a repeated measurement, with a :meth:`Histogram.time`
-  context manager for wall-clock observations.
+  mean plus reservoir-estimated p50/p95) of a repeated measurement,
+  with a :meth:`Histogram.time` context manager for wall-clock
+  observations.  Memory is bounded: per-value storage is a fixed-size
+  reservoir (:data:`Histogram.RESERVOIR_SIZE` samples, Vitter's
+  algorithm R with a per-name deterministic stream), so a week-long
+  sweep observing millions of values holds the same few KB as a short
+  one.
 
 A :class:`MetricsRegistry` owns instruments by name, snapshots them to
 a plain dict (JSON-ready), and can merge a snapshot produced by another
@@ -23,6 +28,7 @@ which are no-ops while collection is disabled.
 
 from __future__ import annotations
 
+import random
 import time
 from contextlib import contextmanager
 
@@ -59,9 +65,21 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming count/total/min/max summary of a measurement."""
+    """A bounded-memory summary of a repeated measurement.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Running count/total/min/max are exact at any volume; quantiles are
+    estimated from a fixed-size uniform reservoir (algorithm R), so the
+    instrument's footprint is constant no matter how many values a
+    long-running sweep observes.  The reservoir's replacement stream is
+    seeded from the histogram name, so two processes observing the same
+    sequence keep identical reservoirs — deterministic, like everything
+    else in the library.
+    """
+
+    #: Per-histogram cap on stored raw samples (~4 KB of floats).
+    RESERVOIR_SIZE = 512
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples", "_rng")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -69,6 +87,10 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: Uniform sample of everything observed, capped at
+        #: :data:`RESERVOIR_SIZE` entries.
+        self.samples: list[float] = []
+        self._rng = random.Random(name)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -78,11 +100,50 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self.samples) < self.RESERVOIR_SIZE:
+            self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self.samples[slot] = value
 
     @property
     def mean(self) -> float:
         """Mean of the observed values (0.0 before any observation)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Reservoir-estimated ``q``-quantile (``q`` in [0, 1]).
+
+        Exact while fewer than :data:`RESERVOIR_SIZE` values have been
+        observed; a uniform-subsample estimate beyond that.  ``None``
+        before any observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def merge_summary(self, summary: dict) -> None:
+        """Fold another histogram's snapshot dict into this one.
+
+        Exact fields accumulate exactly; the incoming reservoir (when
+        present) is re-observed through this reservoir's replacement
+        stream, keeping the merged sample approximately uniform over
+        both populations.
+        """
+        if not summary["count"]:
+            return
+        incoming = summary.get("reservoir", [])
+        self.count += summary["count"] - len(incoming)
+        self.total += summary["total"] - sum(incoming)
+        self.min = min(self.min, summary["min"])
+        self.max = max(self.max, summary["max"])
+        for value in incoming:
+            self.observe(value)
 
     @contextmanager
     def time(self):
@@ -135,7 +196,14 @@ class MetricsRegistry:
 
             {"counters":   {name: value},
              "gauges":     {name: value},
-             "histograms": {name: {count, total, min, max, mean}}}
+             "histograms": {name: {count, total, min, max, mean,
+                                   p50, p95, reservoir}}}
+
+        ``p50``/``p95`` are reservoir estimates (``None`` when empty)
+        and ``reservoir`` is the bounded raw-sample list — additive
+        fields under the unchanged ``repro.telemetry/1`` schema, and
+        how quantile information survives the cross-process
+        :meth:`merge`.
         """
         out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
         for name, inst in sorted(self._instruments.items()):
@@ -150,6 +218,9 @@ class MetricsRegistry:
                     "min": inst.min if inst.count else None,
                     "max": inst.max if inst.count else None,
                     "mean": inst.mean,
+                    "p50": inst.percentile(0.50),
+                    "p95": inst.percentile(0.95),
+                    "reservoir": list(inst.samples),
                 }
         return out
 
@@ -165,13 +236,7 @@ class MetricsRegistry:
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
         for name, summary in snapshot.get("histograms", {}).items():
-            hist = self.histogram(name)
-            if not summary["count"]:
-                continue
-            hist.count += summary["count"]
-            hist.total += summary["total"]
-            hist.min = min(hist.min, summary["min"])
-            hist.max = max(hist.max, summary["max"])
+            self.histogram(name).merge_summary(summary)
 
 
 #: The process-wide registry every guarded helper writes to.

@@ -90,7 +90,14 @@ class Tracer:
 
     @property
     def current(self) -> SpanNode:
-        return self._stack[-1]
+        """The innermost open span; the root when none is open.
+
+        Falls back to the root even if the stack was somehow emptied
+        (e.g. a :meth:`reset` racing an open span's exit), so callers
+        like :meth:`merge_at_current` can always graft somewhere
+        sensible instead of raising.
+        """
+        return self._stack[-1] if self._stack else self.root
 
     def push(self, name: str) -> SpanNode:
         node = self.current.child(name)
@@ -118,10 +125,13 @@ class Tracer:
         ``snapshot`` is a full tree from :meth:`snapshot` (typically a
         worker's); its root is discarded and its children merge into
         whatever span is currently open here, which places remote work
-        exactly where the fan-out happened.
+        exactly where the fan-out happened.  Outside any ``trace(...)``
+        block the open span is the root, so a snapshot merged from a
+        bare call site grafts at the top of the tree — it never raises.
         """
-        for child_snap in snapshot["children"]:
-            self.current.child(child_snap["name"]).merge(child_snap)
+        target = self.current
+        for child_snap in snapshot.get("children", ()):
+            target.child(child_snap["name"]).merge(child_snap)
 
 
 #: The process-wide tracer every span writes to.

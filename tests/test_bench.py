@@ -1,0 +1,345 @@
+"""Tests for ``repro.bench``: history, comparator, runner, CLI."""
+
+from __future__ import annotations
+
+import json
+import pstats
+
+import pytest
+
+from repro import observability
+from repro.bench import history
+from repro.bench.compare import CompareResult, compare_records
+from repro.bench.registry import (
+    QUICK,
+    WORKLOADS,
+    BenchProfile,
+    Gate,
+    Workload,
+)
+from repro.bench.runner import RECORD_SCHEMA, run_workload
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """The runner must not leak collection state; start/end clean."""
+    observability.disable()
+    observability.reset()
+    yield
+    observability.disable()
+    observability.reset()
+
+
+def record(
+    workload="w",
+    median=1.0,
+    profile="quick",
+    counters=None,
+    **extra,
+) -> dict:
+    """A minimal, valid history record for comparator tests."""
+    rec = {
+        "schema": RECORD_SCHEMA,
+        "workload": workload,
+        "profile": profile,
+        "timestamp": 1_700_000_000.0,
+        "repeats": 3,
+        "wall_seconds": [median, median, median],
+        "best_seconds": median,
+        "median_seconds": median,
+        "telemetry": {"metrics": {"counters": counters or {}}},
+        "environment": {"git_sha": "deadbeef"},
+    }
+    rec.update(extra)
+    return rec
+
+
+# ----------------------------------------------------------------------
+# History store
+# ----------------------------------------------------------------------
+class TestHistory:
+    def test_append_round_trip(self, tmp_path):
+        first = record(median=1.0)
+        second = record(median=2.0)
+        path = history.append(tmp_path, first)
+        history.append(tmp_path, second)
+        assert path == tmp_path / "BENCH_w.json"
+        loaded = history.load(tmp_path, "w")
+        assert [r["median_seconds"] for r in loaded] == [1.0, 2.0]
+        assert loaded[0] == first  # full round-trip, nothing dropped
+
+    def test_append_only_one_json_line_per_record(self, tmp_path):
+        history.append(tmp_path, record())
+        history.append(tmp_path, record())
+        lines = (tmp_path / "BENCH_w.json").read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["workload"] == "w" for line in lines)
+
+    def test_load_missing_is_empty(self, tmp_path):
+        assert history.load(tmp_path, "nothing") == []
+
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path):
+        history.append(tmp_path, record(median=1.0))
+        with open(tmp_path / "BENCH_w.json", "a") as fh:
+            fh.write("{not json\n\n")
+        history.append(tmp_path, record(median=3.0))
+        records, skipped = history.load_with_errors(tmp_path, "w")
+        assert [r["median_seconds"] for r in records] == [1.0, 3.0]
+        assert skipped == 1
+
+    def test_stored_workloads_discovery(self, tmp_path):
+        history.append(tmp_path, record(workload="alpha"))
+        history.append(tmp_path, record(workload="beta"))
+        (tmp_path / "NOT_BENCH.json").write_text("{}")
+        assert history.stored_workloads(tmp_path) == ["alpha", "beta"]
+
+
+# ----------------------------------------------------------------------
+# Comparator
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        records = [record(median=1.0), record(median=1.1)]
+        result = compare_records(records, tolerance=0.2, workload="w")
+        assert result.status == "ok"
+        assert not result.failed
+        assert result.baseline_median == 1.0
+        assert result.ratio == pytest.approx(1.1)
+
+    def test_regression_beyond_tolerance_fails(self):
+        records = [record(median=1.0)] * 3 + [record(median=1.5)]
+        result = compare_records(records, tolerance=0.2, workload="w")
+        assert result.status == "regression"
+        assert result.failed
+
+    def test_missing_baseline_passes_and_says_so(self):
+        result = compare_records([record(median=1.0)], workload="w")
+        assert result.status == "no-baseline"
+        assert not result.failed
+
+    def test_no_records_fails(self):
+        result = compare_records([], workload="w")
+        assert result.status == "no-data"
+        assert result.failed
+
+    def test_baseline_is_median_of_window(self):
+        # One slow outlier among the priors must not move the baseline.
+        records = [
+            record(median=1.0),
+            record(median=9.0),
+            record(median=1.0),
+            record(median=1.05),
+        ]
+        result = compare_records(records, tolerance=0.2, window=5)
+        assert result.baseline_median == 1.0
+        assert result.status == "ok"
+
+    def test_profiles_never_mix(self):
+        # A full-profile history is no baseline for a quick record.
+        records = [record(median=100.0, profile="full"),
+                   record(median=1.0, profile="quick")]
+        result = compare_records(records, workload="w")
+        assert result.status == "no-baseline"
+
+    def test_improvement_is_reported_not_failed(self):
+        records = [record(median=2.0), record(median=1.0)]
+        result = compare_records(records, tolerance=0.2)
+        assert result.status == "improved"
+        assert not result.failed
+
+    def test_counter_gate_failure_fails(self):
+        gates = (Gate("cache.misses", "==", 0),)
+        records = [record(counters={"cache.misses": 3.0})]
+        result = compare_records(records, gates=gates, workload="warm")
+        assert result.status == "gate-failed"
+        assert result.failed
+        assert "cache.misses" in result.messages[0]
+
+    def test_counter_gate_pass(self):
+        gates = (Gate("cache.misses", "==", 0), Gate("cache.hits", ">", 0))
+        records = [record(counters={"cache.misses": 0.0, "cache.hits": 4.0})]
+        assert compare_records(records, gates=gates).status == "no-baseline"
+
+    def test_gate_beats_wall_clock_verdict(self):
+        gates = (Gate("mc.samples", ">", 0),)
+        records = [record(median=1.0, counters={"mc.samples": 5.0}),
+                   record(median=9.0, counters={"mc.samples": 0.0})]
+        result = compare_records(records, gates=gates, tolerance=0.2)
+        assert result.status == "gate-failed"
+
+    def test_describe_is_readable(self):
+        result = CompareResult("w", "ok", 1.0, 1.0, 1.0)
+        assert "w: ok" in result.describe()
+
+
+# ----------------------------------------------------------------------
+# Runner (a tiny real workload, no numerics stack needed)
+# ----------------------------------------------------------------------
+def _toy_run(profile, state):
+    observability.incr("toy.calls")
+    with observability.trace("toy.stage"):
+        pass
+
+
+TOY = Workload(name="toy", description="test workload", run=_toy_run)
+
+
+class TestRunner:
+    def test_record_shape_and_fingerprint(self, tmp_path):
+        rec = run_workload(TOY, QUICK, repeats=3)
+        assert rec["schema"] == RECORD_SCHEMA
+        assert rec["workload"] == "toy"
+        assert rec["profile"] == "quick"
+        assert len(rec["wall_seconds"]) == 3
+        assert rec["best_seconds"] == min(rec["wall_seconds"])
+        # Telemetry is the full repro.telemetry/1 snapshot of a repeat.
+        assert rec["telemetry"]["schema"] == observability.SCHEMA
+        assert rec["telemetry"]["metrics"]["counters"]["toy.calls"] == 1.0
+        names = {c["name"] for c in rec["telemetry"]["trace"]["children"]}
+        assert "toy.stage" in names
+        env = rec["environment"]
+        for key in ("git_sha", "python", "numpy", "platform", "cpu_count",
+                    "workers"):
+            assert key in env
+        # Round-trips through the history store unchanged.
+        history.append(tmp_path, rec)
+        assert history.load(tmp_path, "toy")[0] == json.loads(json.dumps(rec))
+
+    def test_runner_restores_collection_state(self):
+        assert not observability.enabled()
+        run_workload(TOY, QUICK, repeats=1)
+        assert not observability.enabled()
+        assert observability.registry.snapshot()["counters"] == {}
+
+    def test_prepare_and_cleanup_run_outside_timing(self):
+        events = []
+        workload = Workload(
+            name="staged",
+            description="",
+            run=lambda p, s: events.append(("run", s)),
+            prepare=lambda p: events.append("prepared") or "state",
+            cleanup=lambda s: events.append(("cleaned", s)),
+        )
+        run_workload(workload, QUICK, repeats=2)
+        assert events == [
+            "prepared", ("run", "state"), ("run", "state"),
+            ("cleaned", "state"),
+        ]
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            run_workload(TOY, QUICK, repeats=0)
+
+
+# ----------------------------------------------------------------------
+# Registered workloads + CLI, end to end on a tiny profile
+# ----------------------------------------------------------------------
+TINY = BenchProfile(
+    name="quick",  # keep the profile label CI uses
+    calibration_samples=600,
+    analysis_samples=300,
+    table_grid=4,
+    vbody_levels=(0.0,),
+    kernel_cells=500,
+    is_samples=1_000,
+    lot_dies=2,
+)
+
+
+class TestWorkloadsAndCli:
+    def test_warm_cache_workload_satisfies_its_gates(self, tmp_path):
+        rec = run_workload(WORKLOADS["warm_cache"], TINY, repeats=1)
+        counters = rec["telemetry"]["metrics"]["counters"]
+        for gate in WORKLOADS["warm_cache"].gates:
+            assert gate.check(counters) is None, gate
+        result = compare_records(
+            [rec], gates=WORKLOADS["warm_cache"].gates, workload="warm_cache"
+        )
+        assert result.status == "no-baseline"
+
+    def test_cli_run_compare_report(self, tmp_path, monkeypatch, capsys):
+        import repro.bench.__main__ as cli
+        import repro.bench.registry as registry_mod
+
+        monkeypatch.setattr(
+            registry_mod, "QUICK", TINY
+        )
+        assert cli.main([
+            "run", "--quick", "--repeats", "1",
+            "--workload", "table_sweep",
+            "--history-dir", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "BENCH_table_sweep.json").exists()
+        assert cli.main([
+            "compare", "--workload", "table_sweep",
+            "--history-dir", str(tmp_path), "--tolerance", "0.35",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "table_sweep" in out
+        # A second run gives the compare a real baseline.
+        assert cli.main([
+            "run", "--quick", "--repeats", "1",
+            "--workload", "table_sweep",
+            "--history-dir", str(tmp_path),
+        ]) == 0
+        assert cli.main([
+            "compare", "--workload", "table_sweep",
+            "--history-dir", str(tmp_path), "--tolerance", "10.0",
+        ]) == 0
+        report_file = tmp_path / "trajectory.md"
+        assert cli.main([
+            "report", "--history-dir", str(tmp_path),
+            "--out", str(report_file),
+        ]) == 0
+        text = report_file.read_text()
+        assert "### `table_sweep`" in text
+        assert "| when (UTC) |" in text
+
+    def test_cli_compare_fails_on_fabricated_regression(self, tmp_path, capsys):
+        import repro.bench.__main__ as cli
+
+        ok_counters = {"mc.samples": 100.0, "mc.estimates": 4.0}
+        history.append(
+            tmp_path,
+            record(workload="table_sweep", median=1.0, counters=ok_counters),
+        )
+        history.append(
+            tmp_path,
+            record(workload="table_sweep", median=5.0, counters=ok_counters),
+        )
+        assert cli.main([
+            "compare", "--workload", "table_sweep",
+            "--history-dir", str(tmp_path), "--tolerance", "0.2",
+        ]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_cli_list(self, capsys):
+        import repro.bench.__main__ as cli
+
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+
+# ----------------------------------------------------------------------
+# profile(name) smoke: a stats file is produced and loads
+# ----------------------------------------------------------------------
+class TestProfileSmoke:
+    def test_profile_writes_loadable_stats(self, tmp_path):
+        observability.enable()
+        observability.enable_profiling()
+        try:
+            with observability.profile("zone"):
+                sum(i * i for i in range(20_000))
+            out = tmp_path / "zone.pstats"
+            assert observability.write_profile(str(out)) == ["zone"]
+            assert out.stat().st_size > 0
+            stats = pstats.Stats(str(out))
+            assert stats.total_calls > 0
+        finally:
+            observability.disable_profiling()
+
+    def test_write_without_data_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            observability.write_profile(str(tmp_path / "empty.pstats"))

@@ -23,9 +23,11 @@ from repro.parallel.executor import ParallelExecutor
 def clean_observability():
     """Every test starts and ends with collection off and empty."""
     observability.disable()
+    observability.disable_profiling()
     observability.reset()
     yield
     observability.disable()
+    observability.disable_profiling()
     observability.reset()
     # CLI tests raise the repro log level; drop it back to the default.
     observability.configure_logging(verbosity=0)
@@ -68,6 +70,61 @@ class TestMetrics:
             time.sleep(0.01)
         assert hist.count == 1
         assert hist.max >= 0.01
+
+    def test_histogram_memory_is_bounded(self):
+        """A week-long sweep cannot grow the instrument: fixed reservoir."""
+        hist = Histogram("h")
+        for value in range(10 * Histogram.RESERVOIR_SIZE):
+            hist.observe(float(value))
+        assert len(hist.samples) == Histogram.RESERVOIR_SIZE
+        # Exact streaming stats survive at any volume.
+        assert hist.count == 10 * Histogram.RESERVOIR_SIZE
+        assert hist.min == 0.0
+        assert hist.max == 10 * Histogram.RESERVOIR_SIZE - 1
+
+    def test_histogram_percentiles(self):
+        hist = Histogram("h")
+        for value in range(100):
+            hist.observe(float(value))
+        # Below the reservoir cap the quantiles are exact.
+        assert hist.percentile(0.0) == 0.0
+        assert hist.percentile(1.0) == 99.0
+        assert hist.percentile(0.5) == pytest.approx(50.0, abs=1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        assert Histogram("empty").percentile(0.5) is None
+
+    def test_histogram_reservoir_estimate_stays_sane(self):
+        """Past the cap the reservoir still tracks the distribution."""
+        hist = Histogram("h")
+        for value in range(10_000):
+            hist.observe(float(value))
+        assert hist.percentile(0.5) == pytest.approx(5_000, rel=0.15)
+        assert hist.percentile(0.95) == pytest.approx(9_500, rel=0.1)
+
+    def test_histogram_merge_carries_reservoir(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in range(50):
+            a.histogram("h").observe(float(value))
+        for value in range(50, 100):
+            b.histogram("h").observe(float(value))
+        a.merge(b.snapshot())
+        merged = a.histogram("h")
+        assert merged.count == 100
+        assert merged.mean == pytest.approx(49.5)
+        assert merged.percentile(0.5) == pytest.approx(50.0, abs=2.0)
+        snap = a.snapshot()["histograms"]["h"]
+        assert snap["p50"] is not None and snap["p95"] is not None
+
+    def test_histogram_merge_tolerates_reservoirless_summary(self):
+        """Snapshots from older writers (no reservoir key) still merge."""
+        hist = Histogram("h")
+        hist.merge_summary(
+            {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        )
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.samples == []
 
     def test_name_kind_conflict_rejected(self):
         registry = MetricsRegistry()
@@ -163,6 +220,43 @@ class TestTrace:
         assert task["name"] == "task"
         assert task["seconds"] == pytest.approx(1.5)
 
+    def test_merge_outside_any_span_grafts_at_root(self):
+        """A worker snapshot merged from a bare call site must not
+        raise — it lands at the top of the tree."""
+        observability.enable()
+        remote = Tracer()
+        remote.push("task")
+        remote.pop(0.5)
+        tracer.merge_at_current(remote.snapshot())  # no open trace(...)
+        (task,) = tracer.snapshot()["children"]
+        assert task["name"] == "task"
+        assert task["calls"] == 1
+
+    def test_merge_tolerates_childless_snapshot(self):
+        observability.enable()
+        tracer.merge_at_current({"name": "run", "calls": 0, "seconds": 0.0})
+        assert tracer.snapshot()["children"] == []
+
+    def test_exception_path_closes_span_then_merges_at_root(self):
+        """Regression: after an exception unwinds an open span, the
+        stack is back at the root and a worker merge grafts there, not
+        under the dead span."""
+        observability.enable()
+        with pytest.raises(ValueError):
+            with trace("doomed"):
+                raise ValueError("boom")
+        remote = Tracer()
+        remote.push("late.task")
+        remote.pop(0.25)
+        tracer.merge_at_current(remote.snapshot())
+        children = {c["name"]: c for c in tracer.snapshot()["children"]}
+        assert set(children) == {"doomed", "late.task"}
+        assert children["doomed"]["children"] == []  # nothing grafted inside
+
+    def test_pop_underflow_still_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().pop(0.1)
+
 
 # ----------------------------------------------------------------------
 # Cross-process merging through ParallelExecutor
@@ -215,12 +309,26 @@ class TestMetricsOut:
             ),
         )
         out_file = tmp_path / "metrics.json"
+        profile_file = tmp_path / "fig2a.pstats"
         assert main_ok(cli, ["fig2a", "--fast", "-v",
-                             "--metrics-out", str(out_file)])
+                             "--metrics-out", str(out_file),
+                             "--profile-out", str(profile_file)])
         report = json.loads(out_file.read_text())
         assert report["schema"] == observability.SCHEMA
         assert report["experiment"] == "fig2a"
         assert report["invocation"]["fast"] is True
+        # The meta block makes the stored report self-describing
+        # (additive under repro.telemetry/1).
+        meta = report["meta"]
+        assert meta["seed"] == 99
+        assert meta["workers"] == 1
+        for key in ("git_sha", "python", "numpy", "platform", "cpu_count"):
+            assert key in meta
+        # --profile-out produced a pstats-loadable per-span profile.
+        import pstats
+
+        stats = pstats.Stats(str(profile_file))
+        assert stats.total_calls > 0
         counters = report["metrics"]["counters"]
         # Monte-Carlo volume and cache counters are always present.
         assert counters["mc.samples"] > 0
@@ -294,9 +402,27 @@ class TestNoOpOverhead:
             with trace("hot.span"):
                 pass
         trace_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(10_000):
+            with observability.profile("hot.profile"):
+                pass
+        profile_elapsed = time.perf_counter() - start
         assert incr_elapsed < 1.0, f"disabled incr too slow: {incr_elapsed:.3f}s"
         assert trace_elapsed < 1.0, f"disabled trace too slow: {trace_elapsed:.3f}s"
+        assert profile_elapsed < 1.0, (
+            f"disabled profile too slow: {profile_elapsed:.3f}s"
+        )
         assert observability.registry.snapshot()["counters"] == {}
+        assert observability.profile_names() == []
+
+    def test_profile_without_arming_is_just_a_span(self):
+        """Telemetry on, profiling not armed: profile == trace."""
+        observability.enable()
+        with observability.profile("stage"):
+            pass
+        (node,) = observability.tracer.snapshot()["children"]
+        assert node["name"] == "stage"
+        assert observability.profile_names() == []
 
 
 # ----------------------------------------------------------------------

@@ -132,7 +132,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, spec in WORKLOADS.items():
             print(f"{name:12s}  {spec.description}")
             for gate in spec.gates:
-                print(f"{'':12s}  gate: {gate.counter} {gate.op} {gate.value:g}")
+                print(f"{'':12s}  gate: {gate.describe()}")
         return 0
 
     if args.command == "run":

@@ -11,11 +11,14 @@ Two independent checks per workload, combined in :func:`compare_workload`:
    noise.  Only ``current > baseline * (1 + tolerance)`` is a
    regression; getting faster is reported, never failed.
 
-2. **Counter gates.**  The workload's semantic telemetry assertions
-   (e.g. a warm-cache run must show ``cache.misses == 0``) evaluated
-   on the latest record.  These catch the regressions wall-clock
-   can't: a cache silently disabled is a correctness-of-performance
-   bug even on a day the machine happens to be fast.
+2. **Telemetry gates.**  The workload's semantic assertions evaluated
+   on the latest record — counter gates (a warm-cache run must show
+   ``cache.misses == 0``) and statistical-health gates over histogram
+   summaries (the ``mc_kernels`` importance-sampling ESS fraction must
+   stay above its floor).  These catch the regressions wall-clock
+   can't: a cache silently disabled, or a proposal whose weights have
+   collapsed, is a regression even on a day the machine happens to be
+   fast.
 
 A workload with a single record has no baseline yet: gates still run,
 the wall-clock check reports ``no-baseline`` and passes — so the very
@@ -93,9 +96,9 @@ def compare_records(
     current = records[-1]
     result = CompareResult(workload, "ok", current_median=current["median_seconds"])
 
-    counters = current.get("telemetry", {}).get("metrics", {}).get("counters", {})
+    metrics = current.get("telemetry", {}).get("metrics", {})
     for gate in gates:
-        failure = gate.check(counters)
+        failure = gate.check(metrics)
         if failure is not None:
             result.status = "gate-failed"
             result.messages.append(failure)

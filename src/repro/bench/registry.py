@@ -81,11 +81,21 @@ FULL = BenchProfile(
 
 
 class Gate(NamedTuple):
-    """A hard check on one telemetry counter of a record."""
+    """A hard check on one telemetry metric of a record.
 
-    counter: str
+    ``source`` selects the metrics section the gate reads: ``counters``
+    (default) and ``gauges`` are flat value maps; ``histograms`` reads
+    one summary ``field`` (``min``/``max``/``mean``/``p50``/``p95``) of
+    the named histogram — how statistical health (e.g. an ESS-ratio
+    floor on ``sampling.ess_fraction``) is gated alongside the
+    semantic counters.
+    """
+
+    metric: str
     op: str  # one of ==, !=, >, >=, <, <=
     value: float
+    source: str = "counters"  # counters | gauges | histograms
+    field: str = "min"  # histogram summary field (histograms only)
 
     _OPS = {
         "==": operator.eq,
@@ -96,13 +106,44 @@ class Gate(NamedTuple):
         "<=": operator.le,
     }
 
-    def check(self, counters: dict) -> str | None:
-        """``None`` when satisfied, else a human-readable failure."""
-        actual = counters.get(self.counter, 0.0)
+    @property
+    def _display_name(self) -> str:
+        if self.source == "histograms":
+            return f"{self.metric}.{self.field}"
+        return self.metric
+
+    def describe(self) -> str:
+        """The gate as one human-readable clause."""
+        return f"{self._display_name} {self.op} {self.value:g}"
+
+    def check(self, metrics: dict) -> str | None:
+        """``None`` when satisfied, else a human-readable failure.
+
+        ``metrics`` is a record's ``telemetry["metrics"]`` dict
+        (``{"counters": ..., "gauges": ..., "histograms": ...}``).
+        Counters and gauges default to 0 when absent (the baseline-
+        counter contract guarantees the interesting ones exist); a
+        missing histogram or a ``None`` field is itself a failure —
+        a statistical gate over data that was never observed proves
+        nothing.
+        """
+        if self.source in ("counters", "gauges"):
+            actual = metrics.get(self.source, {}).get(self.metric, 0.0)
+        elif self.source == "histograms":
+            summary = metrics.get("histograms", {}).get(self.metric)
+            actual = summary.get(self.field) if summary else None
+            if actual is None:
+                return (
+                    f"gate failed: histogram {self.metric!r} has no "
+                    f"{self.field!r} observation, required "
+                    f"{self.op} {self.value:g}"
+                )
+        else:
+            raise ValueError(f"unknown gate source {self.source!r}")
         if Gate._OPS[self.op](actual, self.value):
             return None
         return (
-            f"counter gate failed: {self.counter} = {actual:g}, "
+            f"gate failed: {self._display_name} = {actual:g}, "
             f"required {self.op} {self.value:g}"
         )
 
@@ -241,6 +282,20 @@ WORKLOADS: dict[str, Workload] = {
         description="raw MC/IS kernels: sample generation, cell "
         "metrics, hold fixed point, leakage",
         run=_run_mc_kernels,
+        gates=(
+            # Statistical-health floor: the sigma-2 proposal's Kish ESS
+            # fraction sits around 0.08 at quick sizing (heavy-tailed
+            # likelihood ratios pull the empirical ratio down slowly as
+            # n grows, so the floor must clear every sizing).  A
+            # proposal change that collapses the weights lands orders
+            # of magnitude lower — a regression in estimator quality
+            # even when it is faster in wall-clock.
+            Gate(
+                "sampling.ess_fraction", ">=", 0.05,
+                source="histograms", field="min",
+            ),
+            Gate("sampling.draws", ">", 0),
+        ),
     ),
     "lot": Workload(
         name="lot",

@@ -29,9 +29,11 @@ import numpy as np
 from repro.core.body_bias import SelfRepairingSRAM
 from repro.core.monitor import CornerBin
 from repro.core.source_bias import SourceBiasDAC
+from repro.observability import diagnostics
 from repro.observability.log import get_logger
 from repro.observability.metrics import incr
 from repro.observability.tracing import trace
+from repro.stats.montecarlo import MonteCarloResult
 from repro.power.standby import die_standby_power
 from repro.sram.metrics import OperatingConditions
 from repro.technology.corners import ProcessCorner
@@ -94,6 +96,16 @@ class LotReport:
             return 0.0
         return sum(d.shipped for d in self.dies) / self.n_dies
 
+    def yield_result(self) -> MonteCarloResult:
+        """The lot yield as a binomial estimate with its Wilson CI.
+
+        The lot is itself a Monte-Carlo experiment over dies; this is
+        its estimator-health view — with 10 dies a "90% yield" spans
+        roughly 60-98% at 95% confidence, and the report says so.
+        """
+        shipped = sum(d.shipped for d in self.dies)
+        return MonteCarloResult.from_binomial(shipped, self.n_dies)
+
     @property
     def repaired_fraction(self) -> float:
         """Shipped dies that needed a non-zero body bias."""
@@ -111,9 +123,11 @@ class LotReport:
     def rows(self) -> list[str]:
         """A lot-report summary table."""
         power = self.shipped_power()
+        ci = self.yield_result()
         lines = [
             f"lot size {self.n_dies}: yield {100 * self.yield_fraction:.1f}%"
-            f" ({100 * self.repaired_fraction:.0f}% of shipped parts"
+            f" (95% CI {100 * ci.ci_low:.1f}-{100 * ci.ci_high:.1f}%,"
+            f" {100 * self.repaired_fraction:.0f}% of shipped parts"
             " needed body-bias repair)",
         ]
         if power.size:
@@ -257,6 +271,7 @@ class LotSimulator:
             else:
                 records = executor.map(_die_task, tasks)
         report = LotReport(dies=list(records))
+        diagnostics.record("lot.yield", report.yield_result())
         _log.info(
             "lot.done",
             dies=n_dies,

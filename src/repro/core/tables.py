@@ -22,7 +22,10 @@ import numpy as np
 from scipy.interpolate import PchipInterpolator
 
 from repro.failures.analysis import MECHANISMS, CellFailureAnalyzer
+from repro.observability import diagnostics
+from repro.observability.diagnostics import BatchDiagnostics
 from repro.observability.log import get_logger
+from repro.observability.metrics import incr, observe
 from repro.observability.tracing import trace
 from repro.sram.metrics import OperatingConditions
 from repro.technology.corners import ProcessCorner
@@ -75,6 +78,11 @@ class FailureProbabilityTable:
         self._executor = executor
         self._cache = cache
         self._splines: dict[str, PchipInterpolator] = {}
+        #: Estimator health of the grid build (worst-cell CI half-width,
+        #: minimum ESS, unconverged-cell count over the union-mechanism
+        #: estimates); ``None`` only when reloaded from a cache entry
+        #: written before diagnostics existed.
+        self.diagnostics: BatchDiagnostics | None = None
         self._build()
 
     def _cache_key(self) -> dict:
@@ -102,6 +110,16 @@ class FailureProbabilityTable:
                     self._splines[name] = PchipInterpolator(
                         self.grid, np.array(values, dtype=float)
                     )
+                if stored.get("diagnostics") is not None:
+                    self.diagnostics = BatchDiagnostics.from_dict(
+                        stored["diagnostics"]
+                    )
+                    # A warm run still reports the health persisted at
+                    # build time, so its verdict matches the cold run.
+                    diagnostics.record_batch(
+                        f"table[vbody={self.conditions.vbody_n:+.3f}]",
+                        self.diagnostics,
+                    )
                 _log.info("table.build.cached", grid=self.grid.size)
                 return
         _log.info(
@@ -122,6 +140,7 @@ class FailureProbabilityTable:
                 log_p[name][i] = np.log10(min(p, 1.0))
         for name, values in log_p.items():
             self._splines[name] = PchipInterpolator(self.grid, values)
+        self._record_diagnostics(results)
         _log.info(
             "table.build.done",
             grid=self.grid.size,
@@ -135,8 +154,39 @@ class FailureProbabilityTable:
                     "log10_probability": {
                         name: [float(v) for v in values]
                         for name, values in log_p.items()
-                    }
+                    },
+                    "diagnostics": self.diagnostics.as_dict(),
                 },
+            )
+
+    def _record_diagnostics(self, results) -> None:
+        """Summarise and report the grid estimates' statistical health.
+
+        The per-cell headline number is the union (``any``) estimate,
+        so the table-level summary — worst-cell CI half-width, minimum
+        ESS, ``unconverged_cells`` — is taken over it; all mechanism
+        estimates additionally feed the per-scope recorder so a run
+        report can localise which mechanism is starved.
+        """
+        self.diagnostics = diagnostics.summarize(
+            [probs["any"] for probs in results]
+        )
+        scope = f"table[vbody={self.conditions.vbody_n:+.3f}]"
+        for probs in results:
+            for name in MECHANISMS + ("any",):
+                diagnostics.record(scope, probs[name])
+        incr("table.unconverged_cells", self.diagnostics.unconverged)
+        if self.diagnostics.worst_ci_halfwidth is not None:
+            observe(
+                "table.worst_ci_halfwidth",
+                self.diagnostics.worst_ci_halfwidth,
+            )
+        if self.diagnostics.unconverged:
+            _log.warning(
+                "table.build.unconverged",
+                cells=self.diagnostics.unconverged,
+                grid=self.grid.size,
+                min_ess=round(self.diagnostics.min_ess, 1),
             )
 
     def probability(

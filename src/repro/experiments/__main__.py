@@ -20,20 +20,32 @@ JSON lines), and ``--metrics-out FILE`` writes a machine-readable
 report — per-stage wall-time spans, Monte-Carlo sample counts, cache
 hit/miss counters, plus a ``meta`` block (git SHA, seed, workers,
 environment) that makes stored reports self-describing — after the
-run.  ``--profile-out FILE`` additionally runs the experiment under
-cProfile scoped to its trace span and writes a ``pstats``-loadable
-stats file, for localising a regression to a function (see
-``docs/benchmarking.md``).
+run.  An existing FILE is never silently overwritten: the report goes
+to a numbered sibling (``m.1.json``) with a warning unless
+``--metrics-overwrite`` is passed.  ``--profile-out FILE``
+additionally runs the experiment under cProfile scoped to its trace
+span and writes a ``pstats``-loadable stats file, for localising a
+regression to a function (see ``docs/benchmarking.md``).
+
+Estimator health: ``--diagnostics`` prints a per-scope convergence
+summary (effective sample sizes, CI half-widths) after the run and
+includes the ``diagnostics`` block in the ``--metrics-out`` report;
+``--min-ess`` / ``--max-ci-halfwidth`` set what "converged" means, and
+``--strict-diagnostics`` exits with status 3 when any estimate fails
+them — so a pipeline cannot silently ship a yield number whose CI is
+wider than the effect it claims.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from repro import observability
+from repro.observability.diagnostics import DiagnosticThresholds
 from repro.experiments.context import ExperimentContext, default_context
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -50,6 +62,64 @@ def _fast_context() -> ExperimentContext:
         analysis_samples=8_000,
         table_grid=9,
     )
+
+
+#: Exit status of a ``--strict-diagnostics`` convergence failure
+#: (distinct from argparse's 2 and success's 0).
+EXIT_UNCONVERGED = 3
+
+
+def _resolve_metrics_path(path: str, overwrite: bool, logger) -> str:
+    """Where the telemetry report may actually be written.
+
+    An existing file is never silently clobbered: unless ``overwrite``
+    was requested, the report is diverted to the first free numbered
+    sibling (``report.json`` -> ``report.1.json``) and a structured
+    warning says so.
+    """
+    if overwrite or not os.path.exists(path):
+        return path
+    stem, ext = os.path.splitext(path)
+    counter = 1
+    while os.path.exists(f"{stem}.{counter}{ext}"):
+        counter += 1
+    resolved = f"{stem}.{counter}{ext}"
+    logger.warning(
+        "metrics.exists",
+        path=path,
+        wrote=resolved,
+        hint="pass --metrics-overwrite to replace the existing file",
+    )
+    return resolved
+
+
+def _print_diagnostics_summary(recorder) -> dict:
+    """Render the estimator-health verdict; return the failing scopes."""
+    snapshot = recorder.snapshot()
+    failing = recorder.unconverged()
+    print("\nestimator-health diagnostics "
+          f"(min ESS {recorder.thresholds.min_ess:g}"
+          + (f", max CI half-width {recorder.thresholds.max_ci_halfwidth:g}"
+             if recorder.thresholds.max_ci_halfwidth is not None else "")
+          + "):")
+    scopes = snapshot["scopes"]
+    if not scopes:
+        print("  (no estimates recorded)")
+        return failing
+    for name, scope in scopes.items():
+        verdict = "ok" if scope["converged"] else "UNCONVERGED"
+        line = (
+            f"  {name:28s} {verdict:12s}"
+            f" estimates={scope['n_estimates']}"
+        )
+        if scope["min_ess"] is not None:
+            line += f" min_ess={scope['min_ess']:.1f}"
+        if scope["max_ci_halfwidth"] is not None:
+            line += f" worst_ci_halfwidth={scope['max_ci_halfwidth']:.3g}"
+        print(line)
+    for name, reasons in failing.items():
+        print(f"  !! {name}: {'; '.join(reasons)}")
+    return failing
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -106,7 +176,51 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics-out",
         default=None,
         metavar="FILE",
-        help="write a JSON telemetry report (spans, counters) to FILE",
+        help="write a JSON telemetry report (spans, counters) to FILE; "
+        "an existing FILE diverts to a numbered sibling unless "
+        "--metrics-overwrite is passed",
+    )
+    parser.add_argument(
+        "--metrics-overwrite",
+        action="store_true",
+        help="allow --metrics-out to replace an existing file",
+    )
+    parser.add_argument(
+        "--diagnostics",
+        action="store_true",
+        help="collect estimator-health diagnostics (CIs, effective "
+        "sample sizes) and print a convergence summary after the run",
+    )
+    parser.add_argument(
+        "--strict-diagnostics",
+        action="store_true",
+        help=f"like --diagnostics, but exit {EXIT_UNCONVERGED} when any "
+        "estimate fails the convergence thresholds",
+    )
+    parser.add_argument(
+        "--min-ess",
+        type=float,
+        default=None,
+        metavar="N",
+        help="effective-sample-size floor per estimate (default "
+        f"{DiagnosticThresholds.min_ess})",
+    )
+    parser.add_argument(
+        "--max-ci-halfwidth",
+        type=float,
+        default=None,
+        metavar="W",
+        help="ceiling on the 95%% CI half-width per estimate "
+        "(default: not checked)",
+    )
+    parser.add_argument(
+        "--analysis-samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the context's weighted samples per failure "
+        "estimate (deliberately small values exercise the "
+        "diagnostics gate)",
     )
     parser.add_argument(
         "--profile-out",
@@ -139,15 +253,34 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     # Telemetry: logs whenever -v/--log-json asks for them; metric and
-    # trace collection only when a report or a profile will consume it.
+    # trace collection only when a report, a profile, or the
+    # estimator-health gate will consume it.
+    diagnose = args.diagnostics or args.strict_diagnostics
+    if (args.min_ess is not None or args.max_ci_halfwidth is not None) and (
+        not diagnose and args.metrics_out is None
+    ):
+        parser.error(
+            "--min-ess/--max-ci-halfwidth need --diagnostics, "
+            "--strict-diagnostics, or --metrics-out"
+        )
     collect = args.metrics_out is not None
     profiling = args.profile_out is not None
-    if args.verbose or args.log_json or collect or profiling:
+    if args.verbose or args.log_json or collect or profiling or diagnose:
         observability.configure(
             verbosity=args.verbose,
             json_lines=args.log_json,
-            metrics=collect or profiling,
+            metrics=collect or profiling or diagnose,
         )
+    observability.diagnostics.recorder.configure(
+        DiagnosticThresholds(
+            min_ess=(
+                args.min_ess
+                if args.min_ess is not None
+                else DiagnosticThresholds.min_ess
+            ),
+            max_ci_halfwidth=args.max_ci_halfwidth,
+        )
+    )
     if profiling:
         observability.enable_profiling()
 
@@ -159,6 +292,12 @@ def main(argv: list[str] | None = None) -> int:
         )
     except NotADirectoryError as exc:
         parser.error(str(exc))
+    if args.analysis_samples is not None:
+        if args.analysis_samples < 1:
+            parser.error(
+                f"--analysis-samples must be >= 1, got {args.analysis_samples}"
+            )
+        ctx.analysis_samples = args.analysis_samples
     start = time.time()
     with observability.profile(args.figure):
         result = run_experiment(args.figure, ctx)
@@ -184,16 +323,35 @@ def main(argv: list[str] | None = None) -> int:
             "seed": ctx.seed,
             "workers": args.workers,
         }
-        with open(args.metrics_out, "w") as fh:
-            json.dump(report, fh, indent=2)
-        observability.get_logger("experiments.cli").info(
-            "metrics.written", path=args.metrics_out
+        logger = observability.get_logger("experiments.cli")
+        metrics_path = _resolve_metrics_path(
+            args.metrics_out, args.metrics_overwrite, logger
         )
+        with open(metrics_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+        logger.info("metrics.written", path=metrics_path)
     if profiling:
         spans = observability.write_profile(args.profile_out)
         observability.get_logger("experiments.cli").info(
             "profile.written", path=args.profile_out, spans=len(spans)
         )
+    if diagnose:
+        logger = observability.get_logger("experiments.cli")
+        failing = _print_diagnostics_summary(
+            observability.diagnostics.recorder
+        )
+        for scope, reasons in failing.items():
+            logger.warning(
+                "diagnostics.unconverged", scope=scope,
+                reasons="; ".join(reasons),
+            )
+        if failing and args.strict_diagnostics:
+            print(
+                f"FAIL: {len(failing)} scope(s) unconverged under "
+                "--strict-diagnostics",
+                file=sys.stderr,
+            )
+            return EXIT_UNCONVERGED
     return 0
 
 

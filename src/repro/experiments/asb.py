@@ -27,8 +27,10 @@ from repro.core.source_bias import (
 )
 from repro.experiments.context import ExperimentContext, default_context
 from repro.failures.memory import memory_failure_probability
+from repro.observability import diagnostics
+from repro.observability.diagnostics import BatchDiagnostics
 from repro.observability.log import get_logger
-from repro.observability.metrics import incr
+from repro.observability.metrics import incr, observe
 from repro.observability.tracing import trace
 from repro.power.standby import die_standby_power
 from repro.sram.array import ArrayOrganization, FunctionalMemoryArray
@@ -76,6 +78,10 @@ class HoldProbabilityTable:
             else np.array([0.0, 0.2, 0.3, 0.4, 0.45, 0.5, 0.525,
                            0.55, 0.575, 0.6, 0.63])
         )
+        #: Estimator health of the surface build (worst-node CI
+        #: half-width, minimum ESS, unconverged node count); ``None``
+        #: only for cache entries written before diagnostics existed.
+        self.diagnostics: BatchDiagnostics | None = None
         log_p = self._grid_log_probabilities(ctx)
         self._interp = RegularGridInterpolator(
             (self.corner_grid, self.vsb_grid), log_p,
@@ -107,6 +113,12 @@ class HoldProbabilityTable:
             }
             stored = ctx.result_cache.get("hold-table", key)
             if stored is not None:
+                if stored.get("diagnostics") is not None:
+                    self.diagnostics = BatchDiagnostics.from_dict(
+                        stored["diagnostics"]
+                    )
+                    # Warm reloads keep reporting build-time health.
+                    diagnostics.record_batch("hold_table", self.diagnostics)
                 _log.info(
                     "hold_table.build.cached",
                     corners=self.corner_grid.size,
@@ -128,6 +140,22 @@ class HoldProbabilityTable:
         results = analyzer.hold_failure_probability_batch(
             corners, conditions, executor=ctx.executor
         )
+        self.diagnostics = diagnostics.summarize(results)
+        for result in results:
+            diagnostics.record("hold_table", result)
+        incr("hold_table.unconverged_cells", self.diagnostics.unconverged)
+        if self.diagnostics.worst_ci_halfwidth is not None:
+            observe(
+                "hold_table.worst_ci_halfwidth",
+                self.diagnostics.worst_ci_halfwidth,
+            )
+        if self.diagnostics.unconverged:
+            _log.warning(
+                "hold_table.build.unconverged",
+                nodes=self.diagnostics.unconverged,
+                points=len(results),
+                min_ess=round(self.diagnostics.min_ess, 1),
+            )
         log_p = np.array(
             [np.log10(min(max(r.estimate, _P_FLOOR), 1.0)) for r in results]
         ).reshape(self.corner_grid.size, self.vsb_grid.size)
@@ -141,7 +169,12 @@ class HoldProbabilityTable:
             ctx.result_cache.put(
                 "hold-table",
                 key,
-                {"log10_probability": [[float(v) for v in row] for row in log_p]},
+                {
+                    "log10_probability": [
+                        [float(v) for v in row] for row in log_p
+                    ],
+                    "diagnostics": self.diagnostics.as_dict(),
+                },
             )
         return log_p
 

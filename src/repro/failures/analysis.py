@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.failures.criteria import FailureCriteria
+from repro.observability import diagnostics
 from repro.observability.tracing import trace
 from repro.sram.cell import CellGeometry, SixTCell
 from repro.sram.metrics import OperatingConditions, compute_cell_metrics
@@ -169,6 +170,8 @@ class CellFailureAnalyzer:
                 name: probability_of(indicator, sample.weights)
                 for name, indicator in fails.items()
             }
+            for name, result in results.items():
+                diagnostics.record(f"analysis.{name}", result)
             return FailureProbabilities(**results)
 
     def failure_probabilities_batch(
@@ -251,4 +254,6 @@ class CellFailureAnalyzer:
                 margin = compute_hold_margin(cell, conditions)
             rail = conditions.vdd_standby - conditions.vsb
             threshold = self.criteria.hold_fraction_min * rail
-            return probability_of(margin < threshold, sample.weights)
+            result = probability_of(margin < threshold, sample.weights)
+            diagnostics.record("analysis.hold", result)
+            return result

@@ -31,7 +31,16 @@ schema and a worked walkthrough live in ``docs/observability.md``.
 from __future__ import annotations
 
 from repro.observability import _state
+from repro.observability import diagnostics
 from repro.observability import log
+from repro.observability.diagnostics import (
+    BatchDiagnostics,
+    DiagnosticThresholds,
+    WeightDiagnostics,
+    clopper_pearson_interval,
+    weight_diagnostics,
+    wilson_interval,
+)
 from repro.observability.env import environment_fingerprint, git_sha
 from repro.observability.log import configure as configure_logging, get_logger
 from repro.observability.metrics import (
@@ -89,9 +98,10 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Drop all collected metrics, the trace tree, and any profiles."""
+    """Drop all collected metrics, traces, diagnostics, and profiles."""
     registry.reset()
     tracer.reset()
+    diagnostics.recorder.reset()
     reset_profiles()
 
 
@@ -115,11 +125,17 @@ def configure(
 
 
 def snapshot() -> dict:
-    """Everything collected so far, as a JSON-serialisable dict."""
+    """Everything collected so far, as a JSON-serialisable dict.
+
+    ``diagnostics`` (per-scope estimator health — CI half-widths,
+    effective sample sizes, convergence verdicts) is an additive block
+    under the unchanged ``repro.telemetry/1`` schema.
+    """
     return {
         "schema": SCHEMA,
         "metrics": registry.snapshot(),
         "trace": tracer.snapshot(),
+        "diagnostics": diagnostics.recorder.snapshot(),
     }
 
 
@@ -139,7 +155,11 @@ def worker_begin() -> None:
 
 def worker_snapshot() -> dict:
     """The worker-side telemetry delta to ship back to the parent."""
-    return {"metrics": registry.snapshot(), "trace": tracer.snapshot()}
+    return {
+        "metrics": registry.snapshot(),
+        "trace": tracer.snapshot(),
+        "diagnostics": diagnostics.recorder.snapshot(),
+    }
 
 
 def merge_worker(snapshot_dict: dict) -> None:
@@ -152,18 +172,25 @@ def merge_worker(snapshot_dict: dict) -> None:
     """
     registry.merge(snapshot_dict["metrics"])
     tracer.merge_at_current(snapshot_dict["trace"])
+    # Additive key: snapshots from older workers simply lack it.
+    diagnostics.recorder.merge(snapshot_dict.get("diagnostics", {}))
 
 
 __all__ = [
     "SCHEMA",
+    "BatchDiagnostics",
     "Counter",
+    "DiagnosticThresholds",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "SpanNode",
     "Tracer",
+    "WeightDiagnostics",
+    "clopper_pearson_interval",
     "configure",
     "configure_logging",
+    "diagnostics",
     "disable",
     "disable_profiling",
     "enable",
@@ -186,6 +213,8 @@ __all__ = [
     "snapshot",
     "trace",
     "tracer",
+    "weight_diagnostics",
+    "wilson_interval",
     "worker_begin",
     "worker_snapshot",
     "write_profile",

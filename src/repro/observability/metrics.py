@@ -116,13 +116,17 @@ class Histogram:
         """Reservoir-estimated ``q``-quantile (``q`` in [0, 1]).
 
         Exact while fewer than :data:`RESERVOIR_SIZE` values have been
-        observed; a uniform-subsample estimate beyond that.  ``None``
-        before any observation.
+        observed; a uniform-subsample estimate beyond that.  Degenerate
+        reservoirs are guarded, never raise: ``None`` before any
+        observation, and the sample itself when only one has been seen
+        (every quantile of a single observation is that observation).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
         if not self.samples:
             return None
+        if len(self.samples) == 1:
+            return self.samples[0]
         ordered = sorted(self.samples)
         index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
         return ordered[index]

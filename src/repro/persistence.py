@@ -102,6 +102,11 @@ def save_table(
         "log10_probability": curves,
         "conditions": dataclasses.asdict(table.conditions),
     }
+    diagnostics = getattr(table, "diagnostics", None)
+    if diagnostics is not None:
+        # Estimator health travels with the numbers it qualifies, so a
+        # table loaded years later still reports how converged it was.
+        payload["diagnostics"] = diagnostics.as_dict()
     pathlib.Path(path).write_text(json.dumps(payload, indent=2))
 
 
@@ -125,6 +130,8 @@ def load_table(
             f"table in {path} was built against a different technology "
             f"card (stored fingerprint {payload['fingerprint']})"
         )
+    from repro.observability.diagnostics import BatchDiagnostics
+
     table = FailureProbabilityTable.__new__(FailureProbabilityTable)
     table.analyzer = None  # detached from any analyzer
     table.conditions = OperatingConditions(**payload["conditions"])
@@ -133,4 +140,9 @@ def load_table(
         name: PchipInterpolator(table.grid, np.array(values, dtype=float))
         for name, values in payload["log10_probability"].items()
     }
+    table.diagnostics = (
+        BatchDiagnostics.from_dict(payload["diagnostics"])
+        if payload.get("diagnostics") is not None
+        else None
+    )
     return table

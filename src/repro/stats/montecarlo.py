@@ -6,6 +6,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability.diagnostics import (
+    DEFAULT_Z,
+    weight_diagnostics,
+    wilson_interval,
+)
 from repro.observability.metrics import incr
 
 
@@ -17,11 +22,25 @@ class MonteCarloResult:
         estimate: the point estimate.
         stderr: standard error of the estimate.
         n_samples: samples used.
+        ess: effective sample size behind the estimate — ``n_samples``
+            for plain MC, the Kish ESS for weighted (importance-
+            sampled) estimates; ``None`` on results built before the
+            diagnostics layer (old pickles, hand-made instances).
+        ci_low / ci_high: 95% Wilson confidence bounds on the
+            probability, evaluated at the effective sample size so a
+            degenerate weight vector yields the honest ``[0, 1]``.
+        max_weight_fraction: largest single weight's share of the
+            total (``1 / n`` for plain MC; near 1.0 flags an estimate
+            dominated by one importance sample).
     """
 
     estimate: float
     stderr: float
     n_samples: int
+    ess: float | None = None
+    ci_low: float | None = None
+    ci_high: float | None = None
+    max_weight_fraction: float | None = None
 
     @property
     def relative_error(self) -> float:
@@ -30,10 +49,52 @@ class MonteCarloResult:
             return float("inf")
         return self.stderr / self.estimate
 
+    @property
+    def ci_halfwidth(self) -> float | None:
+        """Half the 95% CI span (``None`` when no CI was attached)."""
+        if self.ci_low is None or self.ci_high is None:
+            return None
+        return 0.5 * (self.ci_high - self.ci_low)
+
+    @property
+    def ess_ratio(self) -> float | None:
+        """``ess / n_samples`` (1.0 = plain MC; ``None`` when unknown)."""
+        if self.ess is None or self.n_samples == 0:
+            return None
+        return self.ess / self.n_samples
+
     def within(self, other: "MonteCarloResult", n_sigma: float = 3.0) -> bool:
         """True when two estimates agree within combined n-sigma error."""
         combined = np.hypot(self.stderr, other.stderr)
         return abs(self.estimate - other.estimate) <= n_sigma * combined
+
+    @classmethod
+    def from_binomial(
+        cls, successes: float, n: int, z: float = DEFAULT_Z
+    ) -> "MonteCarloResult":
+        """An exact-count binomial estimate with Wilson CI attached.
+
+        For probabilities observed as a plain count over ``n`` trials
+        (e.g. a lot's shipped-die yield) without going through
+        :func:`probability_of` — no telemetry counters are touched.
+        ``n = 0`` is well-defined: estimate 0, ESS 0, CI ``[0, 1]``.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return cls(0.0, float("inf"), 0, ess=0.0, ci_low=0.0, ci_high=1.0)
+        p = float(successes) / n
+        low, high = wilson_interval(float(successes), float(n), z)
+        stderr = float(np.sqrt(max(p * (1.0 - p), 0.0) / n))
+        return cls(
+            p,
+            stderr,
+            n,
+            ess=float(n),
+            ci_low=low,
+            ci_high=high,
+            max_weight_fraction=1.0 / n,
+        )
 
 
 def probability_of(
@@ -45,6 +106,11 @@ def probability_of(
     estimator ``sum(w * 1) / n`` where the weights are true likelihood
     ratios (mean weight ~ 1), and the standard error is that of the
     weighted mean.
+
+    Every result carries estimator-health diagnostics: a 95% Wilson
+    interval evaluated at the effective sample size (so a collapsed
+    weight vector honestly reports ``[0, 1]``), the ESS itself, and the
+    max-weight fraction — see :mod:`repro.observability.diagnostics`.
     """
     indicator = np.asarray(indicator, dtype=bool)
     n = indicator.size
@@ -53,16 +119,42 @@ def probability_of(
     incr("mc.estimates")
     incr("mc.samples", n)
     if weights is None:
-        p = float(np.mean(indicator))
+        k = float(np.count_nonzero(indicator))
+        p = k / n
         stderr = float(np.sqrt(max(p * (1.0 - p), 0.0) / n))
-        return MonteCarloResult(p, stderr, n)
+        low, high = wilson_interval(k, float(n))
+        return MonteCarloResult(
+            p,
+            stderr,
+            n,
+            ess=float(n),
+            ci_low=low,
+            ci_high=high,
+            max_weight_fraction=1.0 / n,
+        )
     weights = np.asarray(weights, dtype=float)
     if weights.shape != indicator.shape:
         raise ValueError("weights must match the indicator shape")
     values = weights * indicator
     p = float(np.mean(values))
     stderr = float(np.std(values, ddof=1) / np.sqrt(n)) if n > 1 else float("inf")
-    return MonteCarloResult(p, stderr, n)
+    health = weight_diagnostics(weights)
+    # The Wilson interval at n_eff = ESS: the weighted estimator carries
+    # the information of ~ESS unweighted samples, so this stays inside
+    # [0, 1], widens honestly as the weights degenerate, and collapses
+    # to the uninformative [0, 1] when every weight is zero.
+    low, high = wilson_interval(
+        min(max(p, 0.0), 1.0) * health.ess, health.ess
+    )
+    return MonteCarloResult(
+        p,
+        stderr,
+        n,
+        ess=health.ess,
+        ci_low=low,
+        ci_high=high,
+        max_weight_fraction=health.max_weight_fraction,
+    )
 
 
 def weighted_quantile(

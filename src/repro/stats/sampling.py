@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.observability import _state
+from repro.observability.diagnostics import weight_diagnostics
 from repro.observability.metrics import incr, observe
 from repro.sram.cell import TRANSISTORS, CellGeometry, cell_sigma_vt
 from repro.technology.parameters import TechnologyParameters
@@ -77,9 +78,12 @@ def importance_sample_dvt(
     if _state.enabled:
         # Effective-sample-size fraction (Kish): the "acceptance rate"
         # analogue for likelihood-ratio weighting — 1.0 means plain MC,
-        # small values mean the proposal wastes most of its draws.
+        # small values mean the proposal wastes most of its draws.  The
+        # max-weight fraction is the complementary degeneracy signal:
+        # near 1.0 means a single draw carries the whole estimate.
         incr("sampling.draws")
         incr("sampling.cells", size)
-        ess = float(np.square(weights.sum()) / (np.square(weights).sum() * size))
-        observe("sampling.ess_fraction", ess)
+        health = weight_diagnostics(weights)
+        observe("sampling.ess_fraction", health.ess_ratio)
+        observe("sampling.max_weight_fraction", health.max_weight_fraction)
     return ImportanceSample(dvt=dvt, weights=weights)

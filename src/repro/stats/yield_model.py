@@ -15,10 +15,34 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.observability.metrics import incr
 from repro.stats.distributions import NormalDistribution
 from repro.stats.integration import expect_over_corners
 from repro.technology.corners import ProcessCorner
 from repro.technology.variation import InterDieDistribution
+
+
+def _checked(
+    pass_probability: Callable[[ProcessCorner], float], scope: str
+) -> Callable[[ProcessCorner], float]:
+    """Wrap a quadrature integrand with estimator-health accounting.
+
+    Purely observational — the value passes through untouched (no
+    clamping, so yields are bit-identical with telemetry on or off),
+    but every evaluation is counted and any value outside the [0, 1]
+    probability range is flagged (``yield.out_of_range``): an
+    out-of-range integrand means an upstream estimator, not the
+    quadrature, has gone wrong.
+    """
+
+    def integrand(corner: ProcessCorner) -> float:
+        value = pass_probability(corner)
+        incr(f"{scope}.evaluations")
+        if not 0.0 <= value <= 1.0:
+            incr(f"{scope}.out_of_range")
+        return value
+
+    return integrand
 
 
 def leakage_yield(
@@ -42,7 +66,9 @@ def leakage_yield(
     def pass_probability(corner: ProcessCorner) -> float:
         return float(array_leakage_at(corner).cdf(l_max))
 
-    return expect_over_corners(distribution, pass_probability, order)
+    return expect_over_corners(
+        distribution, _checked(pass_probability, "yield.leakage"), order
+    )
 
 
 def parametric_yield_from_pfail(
@@ -55,4 +81,6 @@ def parametric_yield_from_pfail(
     def pass_probability(corner: ProcessCorner) -> float:
         return 1.0 - float(memory_fail_at(corner))
 
-    return expect_over_corners(distribution, pass_probability, order)
+    return expect_over_corners(
+        distribution, _checked(pass_probability, "yield.parametric"), order
+    )

@@ -35,6 +35,7 @@ def record(
     median=1.0,
     profile="quick",
     counters=None,
+    histograms=None,
     **extra,
 ) -> dict:
     """A minimal, valid history record for comparator tests."""
@@ -47,7 +48,12 @@ def record(
         "wall_seconds": [median, median, median],
         "best_seconds": median,
         "median_seconds": median,
-        "telemetry": {"metrics": {"counters": counters or {}}},
+        "telemetry": {
+            "metrics": {
+                "counters": counters or {},
+                "histograms": histograms or {},
+            }
+        },
         "environment": {"git_sha": "deadbeef"},
     }
     rec.update(extra)
@@ -171,6 +177,43 @@ class TestCompare:
         result = CompareResult("w", "ok", 1.0, 1.0, 1.0)
         assert "w: ok" in result.describe()
 
+    def test_histogram_gate_reads_summary_field(self):
+        gates = (Gate("sampling.ess_fraction", ">=", 0.10,
+                      source="histograms", field="min"),)
+        good = [record(histograms={
+            "sampling.ess_fraction": {"count": 3, "min": 0.4, "max": 0.6},
+        })]
+        assert compare_records(good, gates=gates).status == "no-baseline"
+        bad = [record(histograms={
+            "sampling.ess_fraction": {"count": 3, "min": 0.02, "max": 0.6},
+        })]
+        result = compare_records(bad, gates=gates)
+        assert result.status == "gate-failed"
+        assert "sampling.ess_fraction.min" in result.messages[0]
+
+    def test_histogram_gate_fails_when_never_observed(self):
+        # A statistical gate over data that was never collected must
+        # fail, not vacuously pass.
+        gates = (Gate("sampling.ess_fraction", ">=", 0.10,
+                      source="histograms", field="min"),)
+        for histograms in ({}, {"sampling.ess_fraction": {"count": 0,
+                                                          "min": None}}):
+            result = compare_records(
+                [record(histograms=histograms)], gates=gates
+            )
+            assert result.status == "gate-failed"
+            assert "no 'min' observation" in result.messages[0]
+
+    def test_gate_unknown_source_raises(self):
+        with pytest.raises(ValueError):
+            Gate("x", ">", 0, source="spans").check({})
+
+    def test_gate_describe_names_the_field(self):
+        gate = Gate("sampling.ess_fraction", ">=", 0.10,
+                    source="histograms", field="min")
+        assert gate.describe() == "sampling.ess_fraction.min >= 0.1"
+        assert Gate("cache.misses", "==", 0).describe() == "cache.misses == 0"
+
 
 # ----------------------------------------------------------------------
 # Runner (a tiny real workload, no numerics stack needed)
@@ -249,13 +292,21 @@ TINY = BenchProfile(
 class TestWorkloadsAndCli:
     def test_warm_cache_workload_satisfies_its_gates(self, tmp_path):
         rec = run_workload(WORKLOADS["warm_cache"], TINY, repeats=1)
-        counters = rec["telemetry"]["metrics"]["counters"]
+        metrics = rec["telemetry"]["metrics"]
         for gate in WORKLOADS["warm_cache"].gates:
-            assert gate.check(counters) is None, gate
+            assert gate.check(metrics) is None, gate
         result = compare_records(
             [rec], gates=WORKLOADS["warm_cache"].gates, workload="warm_cache"
         )
         assert result.status == "no-baseline"
+
+    def test_mc_kernels_workload_satisfies_ess_gate(self):
+        rec = run_workload(WORKLOADS["mc_kernels"], TINY, repeats=1)
+        metrics = rec["telemetry"]["metrics"]
+        summary = metrics["histograms"]["sampling.ess_fraction"]
+        assert summary["count"] > 0
+        for gate in WORKLOADS["mc_kernels"].gates:
+            assert gate.check(metrics) is None, gate
 
     def test_cli_run_compare_report(self, tmp_path, monkeypatch, capsys):
         import repro.bench.__main__ as cli

@@ -1,8 +1,36 @@
 """Tests for the ``python -m repro.experiments`` CLI."""
 
+import json
+
 import pytest
 
-from repro.experiments.__main__ import main
+from repro import observability
+from repro.experiments.__main__ import EXIT_UNCONVERGED, main
+from repro.observability.diagnostics import DiagnosticThresholds
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """CLI runs flip module-level telemetry state; leave it clean."""
+    yield
+    observability.disable()
+    observability.reset()
+    observability.diagnostics.recorder.configure(DiagnosticThresholds())
+
+
+@pytest.fixture
+def cheap_fast_context(monkeypatch):
+    """A seconds-scale context behind the CLI's ``--fast`` flag."""
+    import repro.experiments.__main__ as cli
+    from repro.experiments.context import ExperimentContext
+
+    monkeypatch.setattr(
+        cli, "_fast_context",
+        lambda: ExperimentContext(
+            target=1e-2, calibration_samples=2_000, analysis_samples=1_000,
+            table_grid=5, seed=99,
+        ),
+    )
 
 
 def test_list_option(capsys):
@@ -38,3 +66,87 @@ def test_runs_a_cheap_figure(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "vbody" in out
     assert "regenerated" in out
+
+
+def test_diagnostics_summary_and_report_block(
+    tmp_path, capsys, cheap_fast_context
+):
+    # 1000 weighted samples leave a Kish ESS around 75 on this card;
+    # a floor of 50 is what "converged" honestly means at this sizing.
+    out_file = tmp_path / "metrics.json"
+    assert main(["fig2a", "--fast", "--diagnostics", "--min-ess", "50",
+                 "--metrics-out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "estimator-health diagnostics" in out
+    assert " ok " in out
+
+    report = json.loads(out_file.read_text())
+    block = report["diagnostics"]
+    assert block["thresholds"]["min_ess"] == 50.0
+    tables = [name for name in block["scopes"] if name.startswith("table[")]
+    assert tables, f"no per-table scope in {sorted(block['scopes'])}"
+    for name in tables:
+        scope = block["scopes"][name]
+        assert scope["min_ess"] is not None
+        assert scope["max_ci_halfwidth"] is not None
+    assert block["unconverged_scopes"] == []
+
+
+def test_strict_diagnostics_rejects_undersampled_run(
+    capsys, cheap_fast_context
+):
+    # 100 weighted samples leave the Kish ESS far below the 200 floor:
+    # the strict gate must refuse to bless the run.
+    code = main(["fig2a", "--fast", "--analysis-samples", "100",
+                 "--strict-diagnostics"])
+    assert code == EXIT_UNCONVERGED
+    captured = capsys.readouterr()
+    assert "UNCONVERGED" in captured.out
+    assert "unconverged" in captured.err
+
+
+def test_strict_diagnostics_passes_converged_run(cheap_fast_context):
+    assert main(["fig2a", "--fast", "--strict-diagnostics",
+                 "--min-ess", "50"]) == 0
+
+
+def test_min_ess_flag_tightens_the_gate(cheap_fast_context):
+    # The same run that passes the default floor fails an absurd one.
+    assert main(["fig2a", "--fast", "--strict-diagnostics",
+                 "--min-ess", "1e9"]) == EXIT_UNCONVERGED
+
+
+def test_threshold_flags_require_a_consumer():
+    with pytest.raises(SystemExit):
+        main(["fig5a", "--fast", "--min-ess", "100"])
+    with pytest.raises(SystemExit):
+        main(["fig5a", "--fast", "--max-ci-halfwidth", "0.1"])
+
+
+def test_analysis_samples_validated():
+    with pytest.raises(SystemExit):
+        main(["fig5a", "--fast", "--analysis-samples", "0"])
+
+
+def test_metrics_out_never_silently_overwrites(tmp_path, cheap_fast_context):
+    out_file = tmp_path / "report.json"
+    out_file.write_text('{"precious": true}')
+    assert main(["fig5a", "--fast", "--metrics-out", str(out_file)]) == 0
+    # The pre-existing file is untouched; the report went to a sibling.
+    assert json.loads(out_file.read_text()) == {"precious": True}
+    diverted = tmp_path / "report.1.json"
+    assert diverted.exists()
+    assert json.loads(diverted.read_text())["schema"] == observability.SCHEMA
+    # A second refusal picks the next free suffix.
+    observability.reset()
+    assert main(["fig5a", "--fast", "--metrics-out", str(out_file)]) == 0
+    assert (tmp_path / "report.2.json").exists()
+
+
+def test_metrics_overwrite_flag_replaces(tmp_path, cheap_fast_context):
+    out_file = tmp_path / "report.json"
+    out_file.write_text('{"precious": true}')
+    assert main(["fig5a", "--fast", "--metrics-out", str(out_file),
+                 "--metrics-overwrite"]) == 0
+    assert json.loads(out_file.read_text())["schema"] == observability.SCHEMA
+    assert not (tmp_path / "report.1.json").exists()

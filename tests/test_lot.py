@@ -46,6 +46,12 @@ def test_lot_report_statistics(simulator):
     rows = report.rows()
     assert any("yield" in row for row in rows)
     assert any("corner bins" in row for row in rows)
+    # The lot is itself a Monte-Carlo experiment over dies: the
+    # headline yield carries its binomial CI, in the report too.
+    ci = report.yield_result()
+    assert ci.n_samples == 60
+    assert ci.ci_low <= report.yield_fraction <= ci.ci_high
+    assert any("95% CI" in row for row in rows)
 
 
 def test_extreme_dies_are_repaired_or_scrapped(simulator):

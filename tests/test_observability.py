@@ -94,6 +94,18 @@ class TestMetrics:
             hist.percentile(1.5)
         assert Histogram("empty").percentile(0.5) is None
 
+    def test_histogram_percentile_degenerate_reservoirs(self):
+        # Empty and single-sample reservoirs are explicit guards, not
+        # accidents of the interpolation: None before any observation,
+        # the lone sample at every q after exactly one.
+        empty = Histogram("empty")
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert empty.percentile(q) is None
+        single = Histogram("single")
+        single.observe(3.25)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert single.percentile(q) == 3.25
+
     def test_histogram_reservoir_estimate_stays_sane(self):
         """Past the cap the reservoir still tracks the distribution."""
         hist = Histogram("h")

@@ -72,6 +72,17 @@ def test_bathtub_shape_preserved(table):
     assert table.probability(0.1, "any") > table.probability(0.0, "any")
 
 
+def test_build_attaches_batch_diagnostics(table):
+    diag = table.diagnostics
+    assert diag is not None
+    assert diag.n_estimates == table.grid.size
+    assert diag.min_ess is not None and diag.min_ess > 0
+    assert 0 < diag.min_ess_ratio <= 1.0
+    assert diag.worst_ci_halfwidth is not None
+    assert 0 < diag.worst_ci_halfwidth < 1.0
+    assert 0 <= diag.unconverged <= diag.n_estimates
+
+
 def test_constructor_validation():
     from repro.experiments.context import ExperimentContext
 

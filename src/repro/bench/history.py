@@ -15,6 +15,13 @@ al. right next to ``README.md`` — visible, versionable history.
 Loading is tolerant: blank or corrupt lines are skipped (counted and
 reported, not fatal), because one mangled line in a months-long
 history must not take down the CI gate.
+
+Integrity: every appended record carries an embedded SHA-256 digest of
+its own body (:mod:`repro.durable`), so a record whose *line* parses
+but whose *content* was damaged (a torn append, a hand-edit) is
+detected and skipped like any other corrupt line.  Records written
+before the digest existed have no ``sha256`` field and are accepted
+unverified — old baselines keep gating.
 """
 
 from __future__ import annotations
@@ -24,6 +31,8 @@ import os
 import pathlib
 import re
 import subprocess
+
+from repro import durable
 
 #: History files are BENCH_<workload>.json at the history root.
 _FILE_RE = re.compile(r"^BENCH_([A-Za-z0-9_.-]+)\.json$")
@@ -51,11 +60,11 @@ def history_path(root: pathlib.Path | str, workload: str) -> pathlib.Path:
 
 
 def append(root: pathlib.Path | str, record: dict) -> pathlib.Path:
-    """Append one record to its workload's history file."""
+    """Append one record (sealed with an embedded SHA-256 digest)."""
     path = history_path(root, record["workload"])
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "a") as fh:
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.write(json.dumps(durable.seal(record), sort_keys=True) + "\n")
     return path
 
 
@@ -86,10 +95,18 @@ def load_with_errors(
         except json.JSONDecodeError:
             skipped += 1
             continue
-        if isinstance(record, dict) and "workload" in record:
-            records.append(record)
-        else:
+        if not (isinstance(record, dict) and "workload" in record):
             skipped += 1
+            continue
+        if durable.SHA_FIELD in record:
+            try:
+                durable.verify(record)
+            except durable.CorruptStateError:
+                skipped += 1
+                continue
+            # The digest is transport armour, not record content.
+            del record[durable.SHA_FIELD]
+        records.append(record)
     return records, skipped
 
 

@@ -275,6 +275,10 @@ WORKLOADS: dict[str, Workload] = {
         gates=(
             Gate("mc.samples", ">", 0),
             Gate("mc.estimates", ">", 0),
+            # Chaos gate: a healthy (no-fault-plan) run must never burn
+            # a task's whole retry budget — exhausted retries on clean
+            # hardware mean the fault-tolerance layer itself regressed.
+            Gate("executor.task_failures", "==", 0),
         ),
     ),
     "mc_kernels": Workload(
@@ -302,7 +306,11 @@ WORKLOADS: dict[str, Workload] = {
         description="production-lot flow (monitor/repair/test/ASB) "
         "over a small lot",
         run=_run_lot,
-        gates=(Gate("lot.dies", ">", 0),),
+        gates=(
+            Gate("lot.dies", ">", 0),
+            # Chaos gate (see table_sweep).
+            Gate("executor.task_failures", "==", 0),
+        ),
     ),
     "warm_cache": Workload(
         name="warm_cache",
@@ -316,6 +324,10 @@ WORKLOADS: dict[str, Workload] = {
             Gate("cache.misses", "==", 0),
             Gate("cache.hits", ">", 0),
             Gate("mc.samples", "==", 0),
+            # Chaos gate: a warm run over entries the prepare step just
+            # wrote must quarantine nothing — a nonzero count means the
+            # durable-envelope write path corrupts its own files.
+            Gate("cache.quarantined", "==", 0),
         ),
     ),
 }

@@ -1,0 +1,170 @@
+"""Checkpoint/resume for long grid builds and lot simulations.
+
+A :class:`CheckpointStore` persists *partially completed* index->result
+maps, keyed by the same kind of content fingerprint the result cache
+uses — so a killed fig10 sweep or lot-scale Monte-Carlo campaign
+re-run with the same parameters resumes from the last flush instead of
+starting over, and a re-run with *different* parameters can never pick
+up stale cells (the fingerprint differs, the checkpoint is ignored).
+
+The store piggybacks on :mod:`repro.durable`: every checkpoint file is
+an atomic, checksummed envelope, and a corrupt or truncated checkpoint
+(e.g. the process died *during* a flush — impossible under the atomic
+rename, but a torn disk is not) is quarantined and treated as absent,
+never raised.
+
+Because every task in this stack derives its randomness from its own
+key (die seed, (corner, bias) seed), computing only the missing indices
+yields bit-identical results to a fresh full run — resume is exact,
+not approximate.  :meth:`CheckpointStore.resumable_map` packages the
+whole protocol: load, compute missing in flush-sized slices, clear on
+completion.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Sequence
+
+from repro import durable
+from repro.observability.log import get_logger
+from repro.observability.metrics import incr
+
+_log = get_logger("checkpoint")
+
+#: Schema tag written into every checkpoint envelope.
+_FORMAT = 1
+
+
+class CheckpointStore:
+    """Fingerprint-keyed partial-result files under one directory.
+
+    Args:
+        directory: where checkpoint files live (created if missing).
+        every: flush cadence — completed results are persisted after
+            every ``every`` new completions (and once at the end of
+            each :meth:`resumable_map` slice).
+    """
+
+    def __init__(self, directory: str | pathlib.Path, every: int = 8) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.directory = pathlib.Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            raise NotADirectoryError(
+                f"checkpoint dir {self.directory} exists and is not a "
+                "directory"
+            ) from None
+        self.every = int(every)
+
+    def path(self, kind: str, fingerprint: str) -> pathlib.Path:
+        """The checkpoint file for one (kind, fingerprint) build."""
+        return self.directory / f"{kind}-{fingerprint}.ckpt.json"
+
+    def load(self, kind: str, fingerprint: str) -> dict[int, object]:
+        """Completed ``index -> encoded-result`` entries, or ``{}``.
+
+        A corrupt, truncated, or wrong-fingerprint file is quarantined
+        (``<name>.corrupt-N``) and reported as empty — a bad checkpoint
+        costs a recompute, never an exception or a wrong result.
+        """
+        path = self.path(kind, fingerprint)
+        if not path.exists():
+            return {}
+        try:
+            payload = durable.read_sealed(path)
+        except durable.CorruptStateError as exc:
+            incr("checkpoint.quarantined")
+            _log.warning(
+                "checkpoint.corrupt", path=str(path), reason=str(exc)
+            )
+            durable.quarantine(path)
+            return {}
+        if (
+            payload.get("format") != _FORMAT
+            or payload.get("kind") != kind
+            or payload.get("fingerprint") != fingerprint
+            or not isinstance(payload.get("completed"), dict)
+        ):
+            incr("checkpoint.quarantined")
+            _log.warning("checkpoint.mismatch", path=str(path))
+            durable.quarantine(path)
+            return {}
+        completed = {
+            int(index): value
+            for index, value in payload["completed"].items()
+        }
+        incr("checkpoint.resumed_cells", len(completed))
+        _log.info(
+            "checkpoint.resumed",
+            kind=kind,
+            path=str(path),
+            completed=len(completed),
+        )
+        return completed
+
+    def save(
+        self, kind: str, fingerprint: str, completed: dict[int, object]
+    ) -> pathlib.Path:
+        """Atomically persist the completed map (full rewrite)."""
+        incr("checkpoint.flushes")
+        return durable.write_sealed(
+            self.path(kind, fingerprint),
+            {
+                "format": _FORMAT,
+                "kind": kind,
+                "fingerprint": fingerprint,
+                "completed": {str(i): v for i, v in completed.items()},
+            },
+        )
+
+    def clear(self, kind: str, fingerprint: str) -> None:
+        """Remove the checkpoint (the build it served is complete)."""
+        try:
+            self.path(kind, fingerprint).unlink()
+        except FileNotFoundError:
+            pass
+
+    def resumable_map(
+        self,
+        kind: str,
+        fingerprint: str,
+        n: int,
+        compute: Callable[[Sequence[int]], Sequence[object]],
+        encode: Callable[[object], object],
+        decode: Callable[[object], object],
+    ) -> list:
+        """Compute ``n`` indexed results with periodic flushes.
+
+        Args:
+            kind: artifact family (namespaces the checkpoint file).
+            fingerprint: content fingerprint of the full build payload.
+            n: total result count.
+            compute: maps a list of missing indices to their results
+                (the caller fans this out however it likes); must be a
+                pure function of the indices for resume to be exact.
+            encode / decode: JSON-serialisable round-trip for one
+                result.
+
+        Completed entries from a previous run are decoded instead of
+        recomputed; the rest are computed in slices of :attr:`every`
+        with a flush after each slice; the checkpoint is cleared once
+        every index is present.
+        """
+        completed = self.load(kind, fingerprint)
+        results: list = [None] * n
+        for index, raw in completed.items():
+            if 0 <= index < n:
+                results[index] = decode(raw)
+        missing = [i for i in range(n) if results[i] is None]
+        for start in range(0, len(missing), self.every):
+            chunk = missing[start : start + self.every]
+            for index, value in zip(chunk, compute(chunk)):
+                results[index] = value
+                completed[index] = encode(value)
+            incr("checkpoint.completed_cells", len(chunk))
+            self.save(kind, fingerprint, completed)
+        self.clear(kind, fingerprint)
+        return results

@@ -39,7 +39,8 @@ from repro.sram.metrics import OperatingConditions
 from repro.technology.corners import ProcessCorner
 from repro.technology.variation import InterDieDistribution
 
-if TYPE_CHECKING:  # pragma: no cover - hint-only import
+if TYPE_CHECKING:  # pragma: no cover - hint-only imports
+    from repro.checkpoint import CheckpointStore
     from repro.parallel.executor import ParallelExecutor
 
 _log = get_logger("core.lot")
@@ -77,6 +78,32 @@ class DieRecord:
     p_memory: float
     shipped: bool
     standby_power: float
+
+
+def _encode_die(record: DieRecord) -> dict:
+    """A :class:`DieRecord` as a JSON-serialisable checkpoint entry."""
+    return {
+        "corner": record.corner,
+        "bin": record.bin.value,
+        "vbody": record.vbody,
+        "vsb": record.vsb,
+        "p_memory": record.p_memory,
+        "shipped": record.shipped,
+        "standby_power": record.standby_power,
+    }
+
+
+def _decode_die(raw: dict) -> DieRecord:
+    """Rebuild a :class:`DieRecord` from its checkpoint entry."""
+    return DieRecord(
+        corner=float(raw["corner"]),
+        bin=CornerBin(raw["bin"]),
+        vbody=float(raw["vbody"]),
+        vsb=float(raw["vsb"]),
+        p_memory=float(raw["p_memory"]),
+        shipped=bool(raw["shipped"]),
+        standby_power=float(raw["standby_power"]),
+    )
 
 
 @dataclass
@@ -234,12 +261,34 @@ class LotSimulator:
             standby_power=power,
         )
 
+    def _lot_fingerprint(
+        self, n_dies: int, sigma_inter: float, seed: int
+    ) -> str:
+        """Content fingerprint of everything one lot run depends on."""
+        import dataclasses as _dc
+
+        from repro.parallel.cache import fingerprint
+
+        return fingerprint(
+            {
+                "technology": _dc.asdict(self.pipeline.tech),
+                "geometry": _dc.asdict(self.pipeline.geometry),
+                "organization": _dc.asdict(self.pipeline.organization),
+                "asb_conditions": _dc.asdict(self.asb_conditions),
+                "p_memory_limit": self.p_memory_limit,
+                "n_dies": n_dies,
+                "sigma_inter": sigma_inter,
+                "seed": seed,
+            }
+        )
+
     def run(
         self,
         n_dies: int,
         sigma_inter: float,
         seed: int = 0,
         executor: "ParallelExecutor | None" = None,
+        checkpoint: "CheckpointStore | None" = None,
     ) -> LotReport:
         """Simulate a lot of ``n_dies`` from a ``sigma_inter`` process.
 
@@ -247,6 +296,12 @@ class LotSimulator:
         :meth:`numpy.random.SeedSequence.spawn`), so the lot report is
         bit-identical whether the dies run inline (``executor=None``)
         or fanned out across any number of workers.
+
+        With ``checkpoint`` set, completed dies are flushed to a
+        checkpoint keyed by a fingerprint of the full run payload; a
+        killed run re-invoked with the same parameters resumes from the
+        last flush, and — since each die's RNG stream comes from its
+        own spawned seed — produces a bit-identical report.
         """
         if n_dies <= 0:
             raise ValueError(f"n_dies must be positive, got {n_dies}")
@@ -259,8 +314,24 @@ class LotSimulator:
             for shift, die_seed in zip(shifts, die_root.spawn(n_dies))
         ]
         _log.info("lot.start", dies=n_dies, sigma_inter=sigma_inter)
+
+        def compute(indices) -> list:
+            chunk = [tasks[i] for i in indices]
+            if executor is not None:
+                return executor.map(_die_task, chunk)
+            return [_die_task(task) for task in chunk]
+
         with trace("lot.run"):
-            if executor is None:
+            if checkpoint is not None:
+                records = checkpoint.resumable_map(
+                    "lot",
+                    self._lot_fingerprint(n_dies, sigma_inter, seed),
+                    n_dies,
+                    compute,
+                    _encode_die,
+                    _decode_die,
+                )
+            elif executor is None:
                 # Inline path: cheap per-die progress (every ~10%).
                 stride = max(1, n_dies // 10)
                 records = []

@@ -31,6 +31,7 @@ from repro.sram.metrics import OperatingConditions
 from repro.technology.corners import ProcessCorner
 
 if TYPE_CHECKING:  # pragma: no cover - hint-only imports
+    from repro.checkpoint import CheckpointStore
     from repro.parallel.cache import ResultCache
     from repro.parallel.executor import ParallelExecutor
 
@@ -54,6 +55,12 @@ class FailureProbabilityTable:
         cache: disk-backed result cache; when set, the build first
             looks up the full (technology, criteria, sampling, grid)
             fingerprint and only runs Monte Carlo on a miss.
+        checkpoint: checkpoint store; when set, completed grid cells
+            are flushed periodically during the build and a re-run with
+            the *same* fingerprint resumes from the last flush.  Resume
+            is exact: each cell derives its RNG stream from its own
+            (corner, bias) key, so recomputing only the missing cells
+            is bit-identical to a fresh full build.
     """
 
     def __init__(
@@ -65,6 +72,7 @@ class FailureProbabilityTable:
         n_grid: int = 21,
         executor: "ParallelExecutor | None" = None,
         cache: "ResultCache | None" = None,
+        checkpoint: "CheckpointStore | None" = None,
     ) -> None:
         if n_grid < 4:
             raise ValueError("n_grid must be at least 4 for PCHIP")
@@ -77,6 +85,7 @@ class FailureProbabilityTable:
         self.grid = np.linspace(corner_min, corner_max, n_grid)
         self._executor = executor
         self._cache = cache
+        self._checkpoint = checkpoint
         self._splines: dict[str, PchipInterpolator] = {}
         #: Estimator health of the grid build (worst-cell CI half-width,
         #: minimum ESS, unconverged-cell count over the union-mechanism
@@ -128,11 +137,7 @@ class FailureProbabilityTable:
             n_samples=self.analyzer.n_samples,
             vbody=self.conditions.vbody_n,
         )
-        results = self.analyzer.failure_probabilities_batch(
-            [ProcessCorner(float(dvt)) for dvt in self.grid],
-            [self.conditions] * self.grid.size,
-            executor=self._executor,
-        )
+        results = self._compute_grid()
         log_p = {name: np.empty(self.grid.size) for name in MECHANISMS + ("any",)}
         for i, probs in enumerate(results):
             for name in MECHANISMS + ("any",):
@@ -158,6 +163,52 @@ class FailureProbabilityTable:
                     "diagnostics": self.diagnostics.as_dict(),
                 },
             )
+
+    def _compute_grid(self) -> list:
+        """Per-grid-cell failure estimates, checkpointed when enabled.
+
+        Without a checkpoint store this is one batch call.  With one,
+        missing cells are computed in flush-sized slices keyed by the
+        same fingerprint payload the cache uses, so a killed build
+        resumes — and because every cell seeds its own RNG stream from
+        its (corner, bias) key, the resumed table is bit-identical.
+        """
+
+        def compute(indices) -> list:
+            return self.analyzer.failure_probabilities_batch(
+                [ProcessCorner(float(self.grid[i])) for i in indices],
+                [self.conditions] * len(indices),
+                executor=self._executor,
+            )
+
+        if self._checkpoint is None:
+            return compute(range(self.grid.size))
+        from repro.failures.analysis import FailureProbabilities
+        from repro.parallel.cache import fingerprint
+        from repro.stats.montecarlo import MonteCarloResult
+
+        def encode(probs) -> dict:
+            return {
+                name: dataclasses.asdict(probs[name])
+                for name in MECHANISMS + ("any",)
+            }
+
+        def decode(raw) -> FailureProbabilities:
+            return FailureProbabilities(
+                **{
+                    name: MonteCarloResult(**raw[name])
+                    for name in MECHANISMS + ("any",)
+                }
+            )
+
+        return self._checkpoint.resumable_map(
+            "failure-table",
+            fingerprint(self._cache_key()),
+            self.grid.size,
+            compute,
+            encode,
+            decode,
+        )
 
     def _record_diagnostics(self, results) -> None:
         """Summarise and report the grid estimates' statistical health.

@@ -27,6 +27,14 @@ additionally runs the experiment under cProfile scoped to its trace
 span and writes a ``pstats``-loadable stats file, for localising a
 regression to a function (see ``docs/benchmarking.md``).
 
+Robustness (see ``docs/robustness.md``): ``--checkpoint-dir DIR``
+flushes completed grid cells / dies during long builds so a killed run
+resumes exactly (``--checkpoint-every N`` sets the cadence), and the
+``REPRO_FAULT_PLAN`` environment variable (inline JSON or
+``@/path/to/plan.json``) arms the chaos-injection harness used by the
+CI ``chaos-smoke`` job.  A task that exhausts its retry budget exits
+with status 4 and a clear message instead of a partial result.
+
 Estimator health: ``--diagnostics`` prints a per-scope convergence
 summary (effective sample sizes, CI half-widths) after the run and
 includes the ``diagnostics`` block in the ``--metrics-out`` report;
@@ -44,8 +52,9 @@ import os
 import sys
 import time
 
-from repro import observability
+from repro import faults, observability
 from repro.observability.diagnostics import DiagnosticThresholds
+from repro.parallel.executor import TaskError
 from repro.experiments.context import ExperimentContext, default_context
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -68,12 +77,18 @@ def _fast_context() -> ExperimentContext:
 #: (distinct from argparse's 2 and success's 0).
 EXIT_UNCONVERGED = 3
 
+#: Exit status when a task exhausts its retry budget (the run could
+#: not produce a trustworthy result; partial output is never printed).
+EXIT_TASK_FAILURE = 4
 
-def _resolve_metrics_path(path: str, overwrite: bool, logger) -> str:
-    """Where the telemetry report may actually be written.
+
+def _resolve_out_path(
+    path: str, overwrite: bool, logger, kind: str, overwrite_flag: str
+) -> str:
+    """Where an output artifact (report, profile) may actually go.
 
     An existing file is never silently clobbered: unless ``overwrite``
-    was requested, the report is diverted to the first free numbered
+    was requested, the write is diverted to the first free numbered
     sibling (``report.json`` -> ``report.1.json``) and a structured
     warning says so.
     """
@@ -85,12 +100,19 @@ def _resolve_metrics_path(path: str, overwrite: bool, logger) -> str:
         counter += 1
     resolved = f"{stem}.{counter}{ext}"
     logger.warning(
-        "metrics.exists",
+        f"{kind}.exists",
         path=path,
         wrote=resolved,
-        hint="pass --metrics-overwrite to replace the existing file",
+        hint=f"pass {overwrite_flag} to replace the existing file",
     )
     return resolved
+
+
+def _resolve_metrics_path(path: str, overwrite: bool, logger) -> str:
+    """Backward-compatible alias for the telemetry-report path."""
+    return _resolve_out_path(
+        path, overwrite, logger, "metrics", "--metrics-overwrite"
+    )
 
 
 def _print_diagnostics_summary(recorder) -> dict:
@@ -227,12 +249,38 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="FILE",
         help="run under cProfile and write pstats-loadable stats to "
-        "FILE (inspect with `python -m pstats FILE`)",
+        "FILE (inspect with `python -m pstats FILE`); an existing FILE "
+        "diverts to a numbered sibling unless --profile-overwrite is "
+        "passed",
+    )
+    parser.add_argument(
+        "--profile-overwrite",
+        action="store_true",
+        help="allow --profile-out to replace an existing file",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="flush completed grid cells / dies to DIR during long "
+        "builds; a killed run re-invoked with the same parameters "
+        "resumes from the last flush (bit-identical results)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="completed cells per checkpoint flush (default 8)",
     )
     args = parser.parse_args(argv)
 
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.checkpoint_every < 1:
+        parser.error(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
 
     if args.doc:
         print(render_markdown(), end="")
@@ -284,11 +332,22 @@ def main(argv: list[str] | None = None) -> int:
     if profiling:
         observability.enable_profiling()
 
+    # Chaos harness: the REPRO_FAULT_PLAN environment hook arms a fault
+    # plan (inline JSON or @/path/to/plan.json) for this run.  A
+    # malformed plan is a loud configuration error, never ignored.
+    try:
+        fault_plan = faults.plan_from_env()
+    except ValueError as exc:
+        parser.error(str(exc))
+
     ctx = _fast_context() if args.fast else default_context()
     try:
         ctx.configure_execution(
             workers=args.workers if args.workers != 1 else None,
             cache_dir=args.cache_dir,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            fault_plan=fault_plan,
         )
     except NotADirectoryError as exc:
         parser.error(str(exc))
@@ -299,8 +358,19 @@ def main(argv: list[str] | None = None) -> int:
             )
         ctx.analysis_samples = args.analysis_samples
     start = time.time()
-    with observability.profile(args.figure):
-        result = run_experiment(args.figure, ctx)
+    try:
+        with observability.profile(args.figure):
+            result = run_experiment(args.figure, ctx)
+    except TaskError as exc:
+        # Exhausted retries: the run cannot produce a trustworthy
+        # result, so print nothing that looks like one.
+        print(
+            f"ERROR: {args.figure} aborted — {exc}\n"
+            "(every retry attempt was exhausted; see docs/robustness.md; "
+            "partial progress is preserved when --checkpoint-dir is set)",
+            file=sys.stderr,
+        )
+        return EXIT_TASK_FAILURE
     elapsed = time.time() - start
     print("\n".join(result.rows()))
     print(f"\n[{args.figure} regenerated in {elapsed:.1f}s"
@@ -314,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
             "fast": args.fast,
             "workers": args.workers,
             "cache_dir": args.cache_dir,
+            "checkpoint_dir": args.checkpoint_dir,
         }
         # Self-describing reports: where and how this was measured.
         # Additive under schema repro.telemetry/1 — readers that only
@@ -331,9 +402,14 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fh, indent=2)
         logger.info("metrics.written", path=metrics_path)
     if profiling:
-        spans = observability.write_profile(args.profile_out)
-        observability.get_logger("experiments.cli").info(
-            "profile.written", path=args.profile_out, spans=len(spans)
+        logger = observability.get_logger("experiments.cli")
+        profile_path = _resolve_out_path(
+            args.profile_out, args.profile_overwrite, logger,
+            "profile", "--profile-overwrite",
+        )
+        spans = observability.write_profile(profile_path)
+        logger.info(
+            "profile.written", path=profile_path, spans=len(spans)
         )
     if diagnose:
         logger = observability.get_logger("experiments.cli")

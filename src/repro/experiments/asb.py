@@ -99,18 +99,17 @@ class HoldProbabilityTable:
         full analyzer + grid payload.
         """
         analyzer = ctx.analyzer()
-        key = None
+        key = {
+            "technology": dataclasses.asdict(ctx.tech),
+            "criteria": dataclasses.asdict(analyzer.criteria),
+            "geometry": dataclasses.asdict(ctx.geometry),
+            "n_samples": analyzer.n_samples,
+            "scale": analyzer.scale,
+            "seed": analyzer.seed,
+            "corner_grid": [float(x) for x in self.corner_grid],
+            "vsb_grid": [float(x) for x in self.vsb_grid],
+        }
         if ctx.result_cache is not None:
-            key = {
-                "technology": dataclasses.asdict(ctx.tech),
-                "criteria": dataclasses.asdict(analyzer.criteria),
-                "geometry": dataclasses.asdict(ctx.geometry),
-                "n_samples": analyzer.n_samples,
-                "scale": analyzer.scale,
-                "seed": analyzer.seed,
-                "corner_grid": [float(x) for x in self.corner_grid],
-                "vsb_grid": [float(x) for x in self.vsb_grid],
-            }
             stored = ctx.result_cache.get("hold-table", key)
             if stored is not None:
                 if stored.get("diagnostics") is not None:
@@ -137,9 +136,30 @@ class HoldProbabilityTable:
             for vsb in self.vsb_grid:
                 corners.append(ProcessCorner(float(dvt)))
                 conditions.append(ctx.asb_conditions(float(vsb)))
-        results = analyzer.hold_failure_probability_batch(
-            corners, conditions, executor=ctx.executor
-        )
+        def compute(indices):
+            return analyzer.hold_failure_probability_batch(
+                [corners[i] for i in indices],
+                [conditions[i] for i in indices],
+                executor=ctx.executor,
+            )
+
+        store = getattr(ctx, "checkpoint_store", None)
+        if store is None:
+            results = compute(range(len(corners)))
+        else:
+            # Each (corner, vsb) node seeds its own RNG stream from its
+            # key, so a resumed build is bit-identical to a fresh one.
+            from repro.parallel.cache import fingerprint
+            from repro.stats.montecarlo import MonteCarloResult
+
+            results = store.resumable_map(
+                "hold-table",
+                fingerprint(key),
+                len(corners),
+                compute,
+                dataclasses.asdict,
+                lambda raw: MonteCarloResult(**raw),
+            )
         self.diagnostics = diagnostics.summarize(results)
         for result in results:
             diagnostics.record("hold_table", result)
@@ -165,7 +185,7 @@ class HoldProbabilityTable:
         # a running max restores the invariant the bisection policies
         # (vsb_for_target, adaptive_vsb) rely on.
         log_p = np.maximum.accumulate(log_p, axis=1)
-        if key is not None:
+        if ctx.result_cache is not None:
             ctx.result_cache.put(
                 "hold-table",
                 key,

@@ -16,6 +16,8 @@ from __future__ import annotations
 import dataclasses
 from functools import lru_cache
 
+from repro import faults
+from repro.checkpoint import CheckpointStore
 from repro.core.tables import FailureProbabilityTable
 from repro.failures.analysis import CellFailureAnalyzer
 from repro.failures.criteria import FailureCriteria, calibrate_criteria
@@ -47,6 +49,13 @@ class ExperimentContext:
         cache_dir: directory for the disk-backed result cache (default
             None = no persistence); criteria and tables computed by this
             context are stored there and reloaded on the next run.
+        checkpoint_dir: directory for mid-build checkpoints (default
+            None = no checkpointing); table builds flush completed grid
+            cells there and a killed run resumes exactly.
+        checkpoint_every: flush cadence (completed cells per flush).
+        fault_plan: chaos-injection plan (:class:`repro.faults.FaultPlan`)
+            installed process-wide and handed to the executor; None (the
+            default) injects nothing.  Test/CI-only.
     """
 
     def __init__(
@@ -60,6 +69,9 @@ class ExperimentContext:
         seed: int = 2006,
         workers: int = 1,
         cache_dir: str | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 8,
+        fault_plan: "faults.FaultPlan | None" = None,
     ) -> None:
         self.tech = tech if tech is not None else predictive_70nm()
         self.geometry = geometry if geometry is not None else CellGeometry()
@@ -74,9 +86,17 @@ class ExperimentContext:
         #: Scratch cache for expensive experiment-level artifacts (e.g.
         #: the ASB hold-probability table); keyed by the artifact name.
         self.cache: dict = {}
-        self.executor = ParallelExecutor(workers)
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            faults.install(fault_plan)
+        self.executor = ParallelExecutor(workers, fault_plan=fault_plan)
         self.result_cache = (
             ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        self.checkpoint_store = (
+            CheckpointStore(checkpoint_dir, every=checkpoint_every)
+            if checkpoint_dir is not None
+            else None
         )
 
     @property
@@ -88,6 +108,9 @@ class ExperimentContext:
         self,
         workers: int | None = None,
         cache_dir: str | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = None,
+        fault_plan: "faults.FaultPlan | None" = None,
     ) -> "ExperimentContext":
         """Re-point the execution engine / result cache after creation.
 
@@ -96,10 +119,21 @@ class ExperimentContext:
         artifacts built *after* the call see the new settings.  Returns
         ``self`` for chaining.
         """
-        if workers is not None:
-            self.executor = ParallelExecutor(workers)
+        if fault_plan is not None:
+            self.fault_plan = fault_plan
+            faults.install(fault_plan)
+        if workers is not None or fault_plan is not None:
+            self.executor = ParallelExecutor(
+                workers if workers is not None else self.workers,
+                fault_plan=self.fault_plan,
+            )
         if cache_dir is not None:
             self.result_cache = ResultCache(cache_dir)
+        if checkpoint_dir is not None:
+            self.checkpoint_store = CheckpointStore(
+                checkpoint_dir,
+                every=(checkpoint_every if checkpoint_every else 8),
+            )
         return self
 
     def _criteria_key(self) -> dict:
@@ -180,6 +214,7 @@ class ExperimentContext:
                 n_grid=self.table_grid,
                 executor=self.executor,
                 cache=self.result_cache,
+                checkpoint=self.checkpoint_store,
             )
         return self._tables[key]
 

@@ -1,0 +1,48 @@
+"""Deterministic chaos-injection harness.
+
+The paper's self-repair loop is a fail-detect-retry-degrade discipline
+for silicon; this package is the same discipline for the compute stack,
+plus the harness that proves it works.  A :class:`FaultPlan` describes
+*exactly* which task of a :class:`~repro.parallel.executor.ParallelExecutor`
+fan-out crashes or hangs, and which durable write is torn or corrupted —
+by task index and path pattern, never by wall clock or randomness — so
+every resilience behavior (bounded retry, pool respawn, serial
+degradation, checksum quarantine, checkpoint resume) is testable in CI
+without flakes.
+
+Activation paths:
+
+* construct a plan and hand it to
+  :class:`~repro.experiments.context.ExperimentContext(fault_plan=...)`
+  (or directly to a :class:`ParallelExecutor`);
+* set ``REPRO_FAULT_PLAN`` to the plan's JSON (or ``@/path/to/plan``)
+  and the experiments CLI arms it at startup — how subprocess-level
+  tests and the ``chaos-smoke`` CI job drive the harness.
+
+See ``docs/robustness.md`` for the failure-mode catalogue and a
+cookbook of plans.
+"""
+
+from repro.faults.plan import (
+    ENV_VAR,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    apply_task_action,
+    clear,
+    install,
+    plan_from_env,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "apply_task_action",
+    "clear",
+    "install",
+    "plan_from_env",
+]

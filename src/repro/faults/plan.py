@@ -1,0 +1,233 @@
+"""Fault plans: deterministic, bounded fault injection.
+
+A :class:`FaultSpec` names one failure mode and where it strikes; a
+:class:`FaultPlan` is an ordered collection of specs with a *budget*
+(``times``) per spec.  Injection sites consult the plan at well-defined
+points:
+
+* the executor asks :meth:`FaultPlan.task_action` once per task
+  *attempt*, in the parent process, at submission time — so a spec with
+  ``times=1`` crashes the first attempt of its task and lets the retry
+  run clean, deterministically;
+* the durable-write helper asks :meth:`FaultPlan.write_action` once per
+  file write, matching the spec's ``path_pattern`` against both the
+  file name and the full path.
+
+Budgets are consumed in the process that consults the plan (the
+parent), so a plan is exact: ``times=1`` means exactly one injection
+per matching site, never "roughly once depending on scheduling".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import json
+import os
+import pathlib
+import time
+
+from repro.observability.log import get_logger
+from repro.observability.metrics import incr
+
+_log = get_logger("faults.plan")
+
+#: Environment hook read by the CLI (JSON text, or ``@/path/to/json``).
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Fault kinds applied to executor tasks (keyed by task index).
+TASK_KINDS = ("worker_crash", "task_hang", "task_slow")
+#: Fault kinds applied to durable writes (keyed by path pattern).
+WRITE_KINDS = ("torn_write", "corrupt_write")
+
+
+class FaultInjected(RuntimeError):
+    """An injected task crash (the inline analogue of a worker death)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One failure mode and where it strikes.
+
+    Attributes:
+        kind: one of :data:`TASK_KINDS` or :data:`WRITE_KINDS`.
+        task_index: for task kinds — the 0-based index (within one
+            ``ParallelExecutor.map`` call) the fault targets; ``None``
+            targets every task until the budget runs out.
+        path_pattern: for write kinds — an ``fnmatch`` pattern tested
+            against the target file's name and full path.
+        times: injection budget; each strike consumes one.
+        seconds: sleep duration for ``task_hang`` / ``task_slow``
+            (a hang should exceed the retry policy's timeout, a slow
+            task should not).
+        exit_code: process exit status for an injected worker crash.
+    """
+
+    kind: str
+    task_index: int | None = None
+    path_pattern: str | None = None
+    times: int = 1
+    seconds: float = 0.25
+    exit_code: int = 13
+
+    def __post_init__(self) -> None:
+        if self.kind not in TASK_KINDS + WRITE_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {TASK_KINDS + WRITE_KINDS}"
+            )
+        if self.kind in WRITE_KINDS and self.path_pattern is None:
+            raise ValueError(f"{self.kind} spec needs a path_pattern")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+class FaultPlan:
+    """An armed set of :class:`FaultSpec` with per-spec budgets.
+
+    The plan is mutable state (budgets count down as faults fire) but
+    its *decisions* are deterministic: the same sequence of
+    ``task_action`` / ``write_action`` queries always yields the same
+    injections.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...] = ()):
+        self.specs = [
+            s if isinstance(s, FaultSpec) else FaultSpec(**s) for s in specs
+        ]
+        self._remaining = [spec.times for spec in self.specs]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({self.specs!r})"
+
+    # -- injection queries ------------------------------------------------
+    def task_action(self, task_index: int) -> dict | None:
+        """The fault (as a picklable action dict) for one task attempt.
+
+        Consumes one unit of the first matching armed spec; returns
+        ``None`` when no spec matches or every match is spent.
+        """
+        for slot, spec in enumerate(self.specs):
+            if spec.kind not in TASK_KINDS or self._remaining[slot] <= 0:
+                continue
+            if spec.task_index is not None and spec.task_index != task_index:
+                continue
+            self._remaining[slot] -= 1
+            incr("faults.injected")
+            _log.warning(
+                "faults.task_injected",
+                kind=spec.kind,
+                task_index=task_index,
+                remaining=self._remaining[slot],
+            )
+            return {
+                "kind": spec.kind,
+                "seconds": spec.seconds,
+                "exit_code": spec.exit_code,
+            }
+        return None
+
+    def write_action(self, path) -> str | None:
+        """The write-fault kind for ``path``, or None (consumes budget)."""
+        path = pathlib.Path(path)
+        for slot, spec in enumerate(self.specs):
+            if spec.kind not in WRITE_KINDS or self._remaining[slot] <= 0:
+                continue
+            if not (
+                fnmatch.fnmatch(path.name, spec.path_pattern)
+                or fnmatch.fnmatch(str(path), spec.path_pattern)
+            ):
+                continue
+            self._remaining[slot] -= 1
+            incr("faults.injected")
+            _log.warning(
+                "faults.write_injected",
+                kind=spec.kind,
+                path=str(path),
+                remaining=self._remaining[slot],
+            )
+            return spec.kind
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every spec's budget has been consumed."""
+        return all(r <= 0 for r in self._remaining)
+
+    # -- (de)serialisation ------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {"specs": [dataclasses.asdict(spec) for spec in self.specs]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        specs = payload.get("specs", payload) if isinstance(payload, dict) \
+            else payload
+        return cls([FaultSpec(**spec) for spec in specs])
+
+
+# ----------------------------------------------------------------------
+# Process-wide active plan (consulted by the durable-write helper and,
+# as a fallback, by executors without an explicit plan).
+# ----------------------------------------------------------------------
+_active: FaultPlan | None = None
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Arm ``plan`` process-wide (``None`` disarms)."""
+    global _active
+    _active = plan
+
+
+def active_plan() -> FaultPlan | None:
+    """The armed process-wide plan, if any."""
+    return _active
+
+
+def clear() -> None:
+    """Disarm any process-wide plan."""
+    install(None)
+
+
+def plan_from_env(environ=None) -> FaultPlan | None:
+    """The plan described by :data:`ENV_VAR`, or None when unset.
+
+    The value is JSON text, or ``@/path/to/plan.json`` to read a file.
+    A malformed value raises ``ValueError`` — a chaos run with a typo'd
+    plan must fail loudly, not silently run fault-free.
+    """
+    environ = environ if environ is not None else os.environ
+    raw = environ.get(ENV_VAR)
+    if not raw:
+        return None
+    if raw.startswith("@"):
+        raw = pathlib.Path(raw[1:]).read_text()
+    try:
+        return FaultPlan.from_json(raw)
+    except (json.JSONDecodeError, TypeError, KeyError) as exc:
+        raise ValueError(f"malformed {ENV_VAR}: {exc}") from exc
+
+
+def apply_task_action(action: dict | None, in_worker: bool) -> None:
+    """Execute an injected task fault at the top of a task body.
+
+    ``worker_crash`` kills the hosting process when running in a pool
+    worker (producing a genuine ``BrokenProcessPool`` upstream) and
+    raises :class:`FaultInjected` on the inline path, where killing the
+    process would take the caller down with it.  ``task_hang`` and
+    ``task_slow`` sleep for the spec's duration — a hang is simply a
+    sleep longer than the retry policy's timeout.
+    """
+    if action is None:
+        return
+    kind = action["kind"]
+    if kind == "worker_crash":
+        if in_worker:
+            os._exit(int(action.get("exit_code", 13)))
+        raise FaultInjected("injected task crash (inline)")
+    if kind in ("task_hang", "task_slow"):
+        time.sleep(float(action.get("seconds", 0.25)))
+        return
+    raise ValueError(f"unknown task fault kind {kind!r}")

@@ -75,6 +75,10 @@ _BASELINE_COUNTERS = (
     "cache.hits",
     "cache.misses",
     "cache.puts",
+    "cache.quarantined",
+    "executor.retries",
+    "executor.task_failures",
+    "executor.pool_respawns",
     "mc.estimates",
     "mc.samples",
 )

@@ -15,10 +15,29 @@ without changing a single estimate:
   rerun of a benchmark or example loads tables instead of recomputing
   them, and any parameter change invalidates cleanly.
 
-See ``docs/performance.md`` for the execution model and cache layout.
+Both are fault-tolerant: the executor retries crashed/hung/failed
+tasks under a :class:`~repro.parallel.executor.RetryPolicy` (respawning
+a broken pool once, then degrading to the serial path) and the cache
+quarantines corrupt or torn entries instead of raising.  See
+``docs/performance.md`` for the execution model and cache layout, and
+``docs/robustness.md`` for the failure-mode catalogue.
 """
 
 from repro.parallel.cache import ResultCache, fingerprint
-from repro.parallel.executor import ParallelExecutor, spawn_seeds
+from repro.parallel.executor import (
+    ParallelExecutor,
+    RetryPolicy,
+    TaskError,
+    TaskFailure,
+    spawn_seeds,
+)
 
-__all__ = ["ParallelExecutor", "ResultCache", "fingerprint", "spawn_seeds"]
+__all__ = [
+    "ParallelExecutor",
+    "ResultCache",
+    "RetryPolicy",
+    "TaskError",
+    "TaskFailure",
+    "fingerprint",
+    "spawn_seeds",
+]

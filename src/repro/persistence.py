@@ -13,6 +13,13 @@ human-inspectable and safe to commit):
   :class:`~repro.core.tables.FailureProbabilityTable`'s grid and
   log-probabilities, rebuilt into an interpolator on load without
   re-running any Monte Carlo.
+
+Durability: every file is written atomically (temp + rename) and
+sealed with an embedded SHA-256 checksum via :mod:`repro.durable`;
+loading verifies the checksum, so a truncated or bit-rotted artifact
+fails with a clear :class:`~repro.durable.CorruptStateError` instead
+of silently feeding garbage splines into an analysis.  Format-1 files
+(written before checksums existed) still load, unverified.
 """
 
 from __future__ import annotations
@@ -24,12 +31,15 @@ import pathlib
 
 import numpy as np
 
+from repro import durable
 from repro.core.tables import FailureProbabilityTable
 from repro.failures.criteria import FailureCriteria
 from repro.technology.parameters import TechnologyParameters
 
-#: Format version written into every file.
-_FORMAT = 1
+#: Format version written into every file (2 = checksummed envelope).
+_FORMAT = 2
+#: Formats this module can still read (1 predates the checksum).
+_READABLE_FORMATS = (1, 2)
 
 
 def technology_fingerprint(tech: TechnologyParameters) -> str:
@@ -53,7 +63,31 @@ def save_criteria(
         "fingerprint": technology_fingerprint(tech),
         "criteria": dataclasses.asdict(criteria),
     }
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+    durable.write_sealed(path, payload)
+
+
+def _load_payload(path: str | pathlib.Path, kind: str, noun: str) -> dict:
+    """Parse, shape-check, and (format >= 2) checksum-verify one file."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise durable.CorruptStateError(
+            f"{path} is corrupt or truncated (malformed JSON: {exc})"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("kind") != kind:
+        raise ValueError(f"{path} is not a {noun} file")
+    if payload.get("format") not in _READABLE_FORMATS:
+        raise ValueError(f"unsupported format {payload.get('format')}")
+    if payload["format"] >= 2:
+        try:
+            durable.verify(payload)
+        except durable.CorruptStateError as exc:
+            raise durable.CorruptStateError(
+                f"{path} failed integrity verification ({exc}); the file "
+                "was truncated, bit-rotted, or hand-edited — rebuild it"
+            ) from exc
+    return payload
 
 
 def load_criteria(
@@ -61,7 +95,7 @@ def load_criteria(
     tech: TechnologyParameters,
     strict: bool = True,
 ) -> FailureCriteria:
-    """Load criteria, verifying they match ``tech``.
+    """Load criteria, verifying integrity and that they match ``tech``.
 
     Args:
         path: the JSON file written by :func:`save_criteria`.
@@ -69,11 +103,7 @@ def load_criteria(
         strict: raise if the stored fingerprint does not match ``tech``
             (set False to knowingly reuse criteria across card tweaks).
     """
-    payload = json.loads(pathlib.Path(path).read_text())
-    if payload.get("kind") != "failure-criteria":
-        raise ValueError(f"{path} is not a criteria file")
-    if payload.get("format") != _FORMAT:
-        raise ValueError(f"unsupported format {payload.get('format')}")
+    payload = _load_payload(path, "failure-criteria", "criteria")
     if strict and payload["fingerprint"] != technology_fingerprint(tech):
         raise ValueError(
             f"criteria in {path} were calibrated against a different "
@@ -107,7 +137,7 @@ def save_table(
         # Estimator health travels with the numbers it qualifies, so a
         # table loaded years later still reports how converged it was.
         payload["diagnostics"] = diagnostics.as_dict()
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+    durable.write_sealed(path, payload)
 
 
 def load_table(
@@ -120,11 +150,7 @@ def load_table(
 
     from repro.sram.metrics import OperatingConditions
 
-    payload = json.loads(pathlib.Path(path).read_text())
-    if payload.get("kind") != "failure-table":
-        raise ValueError(f"{path} is not a table file")
-    if payload.get("format") != _FORMAT:
-        raise ValueError(f"unsupported format {payload.get('format')}")
+    payload = _load_payload(path, "failure-table", "table")
     if strict and payload["fingerprint"] != technology_fingerprint(tech):
         raise ValueError(
             f"table in {path} was built against a different technology "

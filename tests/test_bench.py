@@ -93,6 +93,27 @@ class TestHistory:
         assert [r["median_seconds"] for r in records] == [1.0, 3.0]
         assert skipped == 1
 
+    def test_tampered_record_is_skipped(self, tmp_path):
+        # A line that parses but whose content no longer matches its
+        # embedded digest is as corrupt as malformed JSON: skip it.
+        history.append(tmp_path, record(median=1.0))
+        history.append(tmp_path, record(median=2.0))
+        path = tmp_path / "BENCH_w.json"
+        lines = path.read_text().splitlines()
+        doctored = json.loads(lines[1])
+        doctored["median_seconds"] = 0.001  # a hand-edited "speedup"
+        path.write_text(lines[0] + "\n" + json.dumps(doctored) + "\n")
+        records, skipped = history.load_with_errors(tmp_path, "w")
+        assert [r["median_seconds"] for r in records] == [1.0]
+        assert skipped == 1
+
+    def test_legacy_record_without_digest_still_loads(self, tmp_path):
+        # Histories written before sealing existed keep gating.
+        legacy = record(median=4.0)
+        with open(tmp_path / "BENCH_w.json", "w") as fh:
+            fh.write(json.dumps(legacy) + "\n")
+        assert history.load(tmp_path, "w") == [legacy]
+
     def test_stored_workloads_discovery(self, tmp_path):
         history.append(tmp_path, record(workload="alpha"))
         history.append(tmp_path, record(workload="beta"))

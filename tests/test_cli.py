@@ -4,8 +4,12 @@ import json
 
 import pytest
 
-from repro import observability
-from repro.experiments.__main__ import EXIT_UNCONVERGED, main
+from repro import faults, observability
+from repro.experiments.__main__ import (
+    EXIT_TASK_FAILURE,
+    EXIT_UNCONVERGED,
+    main,
+)
 from repro.observability.diagnostics import DiagnosticThresholds
 
 
@@ -16,6 +20,7 @@ def clean_observability():
     observability.disable()
     observability.reset()
     observability.diagnostics.recorder.configure(DiagnosticThresholds())
+    faults.clear()
 
 
 @pytest.fixture
@@ -150,3 +155,118 @@ def test_metrics_overwrite_flag_replaces(tmp_path, cheap_fast_context):
                  "--metrics-overwrite"]) == 0
     assert json.loads(out_file.read_text())["schema"] == observability.SCHEMA
     assert not (tmp_path / "report.1.json").exists()
+
+
+def test_profile_out_never_silently_overwrites(tmp_path, cheap_fast_context):
+    # Regression for the --profile-out collision gap: the same
+    # numbered-sibling policy --metrics-out has always had.
+    out_file = tmp_path / "profile.pstats"
+    out_file.write_bytes(b"precious bytes")
+    assert main(["fig5a", "--fast", "--profile-out", str(out_file)]) == 0
+    assert out_file.read_bytes() == b"precious bytes"
+    diverted = tmp_path / "profile.1.pstats"
+    assert diverted.exists() and diverted.stat().st_size > 0
+
+
+def test_profile_overwrite_flag_replaces(tmp_path, cheap_fast_context):
+    import pstats
+
+    out_file = tmp_path / "profile.pstats"
+    out_file.write_bytes(b"stale")
+    assert main(["fig5a", "--fast", "--profile-out", str(out_file),
+                 "--profile-overwrite"]) == 0
+    assert not (tmp_path / "profile.1.pstats").exists()
+    pstats.Stats(str(out_file))  # replaced with a loadable profile
+
+
+def test_checkpoint_flags_round_trip(tmp_path, capsys, cheap_fast_context):
+    plain = main(["fig2a", "--fast"])
+    plain_out = capsys.readouterr().out.splitlines()[:-2]
+    assert plain == 0
+    ckpt_dir = tmp_path / "ckpt"
+    assert main(["fig2a", "--fast", "--checkpoint-dir", str(ckpt_dir),
+                 "--checkpoint-every", "2"]) == 0
+    ckpt_out = capsys.readouterr().out.splitlines()[:-2]
+    # Identical figure rows (the trailing timing line differs), and a
+    # completed build leaves no checkpoint behind.
+    assert ckpt_out == plain_out
+    assert ckpt_dir.is_dir()
+    assert not list(ckpt_dir.glob("*.ckpt.json"))
+
+
+def test_checkpoint_every_validated():
+    with pytest.raises(SystemExit):
+        main(["fig5a", "--fast", "--checkpoint-every", "0"])
+
+
+class TestChaosHarness:
+    def test_fault_plan_env_is_loud_when_malformed(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "{not json")
+        with pytest.raises(SystemExit):
+            main(["fig5a", "--fast"])
+
+    def test_worker_crash_recovers_with_identical_output(
+        self, tmp_path, capsys, monkeypatch, cheap_fast_context
+    ):
+        clean = main(["fig2a", "--fast", "--workers", "2"])
+        clean_out = capsys.readouterr().out.splitlines()[:-2]
+        assert clean == 0
+
+        observability.disable()
+        observability.reset()
+        monkeypatch.setenv(
+            faults.ENV_VAR, '{"specs": [{"kind": "worker_crash"}]}'
+        )
+        report_file = tmp_path / "chaos.json"
+        assert main(["fig2a", "--fast", "--workers", "2",
+                     "--metrics-out", str(report_file)]) == 0
+        chaos_out = capsys.readouterr().out.splitlines()[:-2]
+        assert chaos_out == clean_out  # bit-identical despite the crash
+
+        counters = json.loads(report_file.read_text())["metrics"]["counters"]
+        assert counters["executor.retries"] >= 1
+        assert counters["executor.task_failures"] == 0
+        assert counters["faults.injected"] >= 1
+
+    def test_corrupt_cache_entry_quarantined_on_warm_run(
+        self, tmp_path, capsys, monkeypatch, cheap_fast_context
+    ):
+        cache_dir = tmp_path / "cache"
+        # Cold run with a corrupt-write fault on the criteria entry.
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            '{"specs": [{"kind": "corrupt_write",'
+            ' "path_pattern": "criteria-*.json"}]}',
+        )
+        assert main(["fig2a", "--fast", "--cache-dir", str(cache_dir)]) == 0
+        cold_out = capsys.readouterr().out.splitlines()[:-2]
+
+        # Warm, fault-free rerun: the bad entry quarantines to a miss,
+        # the result is recomputed, and the figure is identical.
+        monkeypatch.delenv(faults.ENV_VAR)
+        faults.clear()
+        observability.disable()
+        observability.reset()
+        report_file = tmp_path / "warm.json"
+        assert main(["fig2a", "--fast", "--cache-dir", str(cache_dir),
+                     "--metrics-out", str(report_file)]) == 0
+        warm_out = capsys.readouterr().out.splitlines()[:-2]
+        assert warm_out == cold_out
+
+        counters = json.loads(report_file.read_text())["metrics"]["counters"]
+        assert counters["cache.quarantined"] == 1
+        assert list(cache_dir.glob("*.corrupt-1"))
+
+    def test_exhausted_retries_exit_with_clear_message(
+        self, capsys, monkeypatch, cheap_fast_context
+    ):
+        monkeypatch.setenv(
+            faults.ENV_VAR,
+            '{"specs": [{"kind": "worker_crash", "times": 99}]}',
+        )
+        code = main(["fig2a", "--fast", "--workers", "2"])
+        assert code == EXIT_TASK_FAILURE
+        captured = capsys.readouterr()
+        assert "ERROR" in captured.err
+        assert "gave up" in captured.err
+        assert "regenerated" not in captured.out  # no fake success line

@@ -89,6 +89,67 @@ def test_run_identical_across_workers(simulator):
     ]
 
 
+def test_checkpointed_run_matches_plain(simulator, tmp_path):
+    """A checkpointed lot run is bit-identical to an unchaperoned one."""
+    import dataclasses
+
+    from repro.checkpoint import CheckpointStore
+
+    plain = simulator.run(n_dies=10, sigma_inter=0.04, seed=21)
+    store = CheckpointStore(tmp_path, every=3)
+    checked = simulator.run(
+        n_dies=10, sigma_inter=0.04, seed=21, checkpoint=store
+    )
+    assert [dataclasses.asdict(d) for d in plain.dies] == [
+        dataclasses.asdict(d) for d in checked.dies
+    ]
+    # Completed cleanly: no checkpoint left behind.
+    assert not list(tmp_path.glob("*.ckpt.json"))
+
+
+def test_killed_run_resumes_exactly(simulator, tmp_path):
+    """Resume semantics: a partial checkpoint skips the finished dies
+    and the completed report is bit-identical to an uninterrupted run.
+    """
+    import dataclasses
+
+    from repro.checkpoint import CheckpointStore
+    from repro.core import lot as lot_module
+
+    reference = simulator.run(n_dies=9, sigma_inter=0.04, seed=33)
+
+    # "Kill" a run after the first flush by making die 5 explode.
+    store = CheckpointStore(tmp_path, every=3)
+    original = lot_module._die_task
+    calls = {"n": 0}
+
+    def dying_task(task):
+        calls["n"] += 1
+        if calls["n"] == 6:
+            raise KeyboardInterrupt("simulated kill")
+        return original(task)
+
+    lot_module._die_task = dying_task
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            simulator.run(
+                n_dies=9, sigma_inter=0.04, seed=33, checkpoint=store
+            )
+    finally:
+        lot_module._die_task = original
+
+    ckpt = store.load("lot", simulator._lot_fingerprint(9, 0.04, 33))
+    assert 0 < len(ckpt) < 9  # partial progress survived the kill
+
+    resumed = simulator.run(
+        n_dies=9, sigma_inter=0.04, seed=33, checkpoint=store
+    )
+    assert [dataclasses.asdict(d) for d in resumed.dies] == [
+        dataclasses.asdict(d) for d in reference.dies
+    ]
+    assert not list(tmp_path.glob("*.ckpt.json"))
+
+
 def test_wide_process_yields_less(simulator):
     narrow = simulator.run(n_dies=80, sigma_inter=0.02, seed=11)
     wide = simulator.run(n_dies=80, sigma_inter=0.08, seed=11)

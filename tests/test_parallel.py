@@ -1,8 +1,10 @@
 """Tests for the parallel execution engine and the result cache.
 
 Covers the determinism contract (``workers=N`` bit-identical to
-``workers=1``), warm-vs-cold cache equality, and fingerprint
-invalidation when the technology card or criteria change.
+``workers=1``), warm-vs-cold cache equality, fingerprint invalidation
+when the technology card or criteria change, and the fault-tolerance
+layer: retries, pool recovery, serial degradation, quarantined cache
+entries, and the crash-then-retry bit-identity property.
 """
 
 import dataclasses
@@ -11,7 +13,16 @@ import numpy as np
 import pytest
 
 from repro.experiments.context import ExperimentContext
-from repro.parallel import ParallelExecutor, ResultCache, fingerprint, spawn_seeds
+from repro.faults import FaultPlan, FaultSpec
+from repro.parallel import (
+    ParallelExecutor,
+    ResultCache,
+    RetryPolicy,
+    TaskError,
+    TaskFailure,
+    fingerprint,
+    spawn_seeds,
+)
 from repro.technology.corners import ProcessCorner
 
 #: Cheap context parameters shared by every cache/determinism test.
@@ -77,6 +88,92 @@ class TestExecutor:
         assert executor.requested_workers == 4
 
 
+#: A fast-failing retry policy so resilience tests don't sleep.
+_FAST_RETRY = RetryPolicy(backoff_base=0.001, backoff_max=0.01)
+
+
+class TestExecutorResilience:
+    def test_inline_crash_retries_and_succeeds(self):
+        plan = FaultPlan(
+            [FaultSpec(kind="worker_crash", task_index=1, times=1)]
+        )
+        executor = ParallelExecutor(1, retry=_FAST_RETRY, fault_plan=plan)
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert executor.retries == 1
+        assert executor.task_failures == 0
+
+    def test_inline_exhausted_retries_raise_task_error(self):
+        plan = FaultPlan(
+            [FaultSpec(kind="worker_crash", task_index=0, times=5)]
+        )
+        retry = RetryPolicy(max_attempts=2, backoff_base=0.001)
+        executor = ParallelExecutor(1, retry=retry, fault_plan=plan)
+        with pytest.raises(TaskError, match="task 0 gave up"):
+            executor.map(_square, [1, 2])
+        assert executor.task_failures == 1
+
+    def test_return_failures_keeps_survivors(self):
+        plan = FaultPlan(
+            [FaultSpec(kind="worker_crash", task_index=1, times=5)]
+        )
+        retry = RetryPolicy(max_attempts=2, backoff_base=0.001)
+        executor = ParallelExecutor(1, retry=retry, fault_plan=plan)
+        results = executor.map(_square, [1, 2, 3], return_failures=True)
+        assert results[0] == 1 and results[2] == 9
+        assert isinstance(results[1], TaskFailure)
+        assert results[1].index == 1
+        assert results[1].attempts == 2
+
+    def test_pool_worker_crash_recovers(self):
+        plan = FaultPlan([FaultSpec(kind="worker_crash", times=1)])
+        executor = ParallelExecutor(2, retry=_FAST_RETRY, fault_plan=plan)
+        assert executor.map(_square, list(range(8))) == [
+            i * i for i in range(8)
+        ]
+        assert executor.pool_respawns == 1
+        assert executor.retries >= 1
+        assert executor.task_failures == 0
+
+    def test_pool_hang_times_out_and_recovers(self):
+        plan = FaultPlan(
+            [FaultSpec(kind="task_hang", task_index=0, seconds=5.0, times=1)]
+        )
+        retry = RetryPolicy(timeout=1.0, backoff_base=0.001)
+        executor = ParallelExecutor(2, retry=retry, fault_plan=plan)
+        assert executor.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert executor.retries >= 1
+        assert executor.task_failures == 0
+
+    def test_second_pool_break_degrades_to_serial(self):
+        # Task 0's first two attempts crash a worker; the pool breaks
+        # twice, so the survivors must finish on the inline path.
+        plan = FaultPlan(
+            [
+                FaultSpec(kind="worker_crash", task_index=0, times=1),
+                FaultSpec(kind="worker_crash", task_index=0, times=1),
+            ]
+        )
+        executor = ParallelExecutor(2, retry=_FAST_RETRY, fault_plan=plan)
+        assert executor.map(_square, list(range(6))) == [
+            i * i for i in range(6)
+        ]
+        assert executor.pool_respawns == 1
+        assert executor.serial_degrades == 1
+        assert executor.task_failures == 0
+
+    def test_backoff_schedule_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.backoff_delay(3, 1) == policy.backoff_delay(3, 1)
+        assert policy.backoff_delay(3, 1) != policy.backoff_delay(4, 1)
+        assert policy.backoff_delay(3, 2) <= policy.backoff_max * 1.5
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0)
+
+
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -97,6 +194,46 @@ class TestResultCache:
         path = cache.put("thing", {"a": 1}, {"v": 1})
         path.write_text("{not json")
         assert cache.get("thing", {"a": 1}) is None
+
+    def test_truncated_entry_is_quarantined_miss(self, tmp_path):
+        # Regression: a hand-truncated entry (simulating a torn write
+        # or disk-full crash) must degrade to a counted miss and be
+        # moved aside, never raise or serve partial data.
+        cache = ResultCache(tmp_path)
+        path = cache.put("thing", {"a": 1}, {"v": 1})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert cache.get("thing", {"a": 1}) is None
+        assert cache.quarantined == 1
+        assert cache.misses == 1
+        assert list(tmp_path.glob("*.corrupt-1"))
+        # The slot is reusable: a fresh put serves again.
+        cache.put("thing", {"a": 1}, {"v": 2})
+        assert cache.get("thing", {"a": 1}) == {"v": 2}
+
+    def test_tampered_value_is_quarantined_miss(self, tmp_path):
+        # Valid JSON whose body no longer matches its checksum.
+        import json
+
+        cache = ResultCache(tmp_path)
+        path = cache.put("thing", {"a": 1}, {"v": 1})
+        stored = json.loads(path.read_text())
+        stored["value"]["v"] = 999
+        path.write_text(json.dumps(stored))
+        assert cache.get("thing", {"a": 1}) is None
+        assert cache.quarantined == 1
+
+    def test_unversioned_legacy_entry_is_quarantined(self, tmp_path):
+        # A pre-checksum (format 1) file cannot be verified: miss.
+        import json
+
+        cache = ResultCache(tmp_path)
+        path = cache.put("thing", {"a": 1}, {"v": 1})
+        stored = json.loads(path.read_text())
+        stored["format"] = 1
+        path.write_text(json.dumps(stored))
+        assert cache.get("thing", {"a": 1}) is None
+        assert cache.quarantined == 1
 
     def test_cache_dir_collides_with_file(self, tmp_path):
         target = tmp_path / "occupied"
@@ -153,11 +290,78 @@ class TestSweepDeterminism:
                 [ProcessCorner(0.0)], [None, None]
             )
 
+    def test_crash_then_retry_bit_identical_to_serial(self, ctx):
+        # The headline robustness property: a 4-worker run that loses a
+        # worker mid-sweep (crash injected, task retried on the
+        # respawned pool) produces *bit-identical* estimates to a
+        # serial, fault-free run — retries recompute from the same
+        # task-embedded seeds.
+        analyzer = ctx.analyzer()
+        corners = [ProcessCorner(x) for x in (-0.06, -0.02, 0.02, 0.06)]
+        serial = analyzer.failure_probabilities_batch(corners)
+        chaotic = ParallelExecutor(
+            4,
+            retry=_FAST_RETRY,
+            fault_plan=FaultPlan([FaultSpec(kind="worker_crash", times=1)]),
+        )
+        recovered = analyzer.failure_probabilities_batch(
+            corners, executor=chaotic
+        )
+        assert chaotic.retries >= 1
+        assert chaotic.task_failures == 0
+        for s, p in zip(serial, recovered):
+            assert s.as_dict() == p.as_dict()
+
     def test_parallel_table_matches_serial(self, ctx):
         serial = ExperimentContext(**CTX_PARAMS)
         parallel = ExperimentContext(**CTX_PARAMS, workers=2)
         for dvt in (-0.07, 0.0, 0.07):
             assert serial.table().probability(dvt) == parallel.table().probability(dvt)
+
+
+class TestCheckpointedBuilds:
+    def test_checkpointed_table_matches_plain(self, tmp_path):
+        plain = ExperimentContext(**CTX_PARAMS).table(0.0)
+        ctx = ExperimentContext(
+            **CTX_PARAMS, checkpoint_dir=tmp_path, checkpoint_every=2
+        )
+        table = ctx.table(0.0)
+        for dvt in (-0.07, 0.0, 0.07):
+            for mechanism in ("read", "write", "access", "hold", "any"):
+                assert table.probability(dvt, mechanism) == plain.probability(
+                    dvt, mechanism
+                )
+        # Build completed: the checkpoint was cleared.
+        assert not list(tmp_path.glob("*.ckpt.json"))
+
+    def test_partial_checkpoint_resumes_without_recompute(self, tmp_path):
+        # Build once with clearing disabled so the finished checkpoint
+        # survives, then rebuild: every cell must come from the file.
+        ctx = ExperimentContext(
+            **CTX_PARAMS, checkpoint_dir=tmp_path, checkpoint_every=2
+        )
+        store = ctx.checkpoint_store
+        store.clear = lambda *a, **k: None
+        reference = ctx.table(0.0)
+
+        resumed_ctx = ExperimentContext(
+            **CTX_PARAMS, checkpoint_dir=tmp_path, checkpoint_every=2
+        )
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("recomputed despite a full checkpoint")
+
+        analyzer_factory = resumed_ctx.analyzer
+
+        def patched_analyzer(*args, **kwargs):
+            analyzer = analyzer_factory(*args, **kwargs)
+            analyzer.failure_probabilities_batch = boom
+            return analyzer
+
+        resumed_ctx.analyzer = patched_analyzer
+        resumed = resumed_ctx.table(0.0)
+        for dvt in (-0.07, 0.0, 0.07):
+            assert resumed.probability(dvt) == reference.probability(dvt)
 
 
 class TestDiskCache:

@@ -48,6 +48,50 @@ class TestCriteriaRoundtrip:
         with pytest.raises(ValueError, match="not a criteria file"):
             load_criteria(path, tech)
 
+    def test_truncated_file_fails_clearly(self, tech, fast_criteria, tmp_path):
+        from repro.durable import CorruptStateError
+
+        path = tmp_path / "criteria.json"
+        save_criteria(fast_criteria, path, tech)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CorruptStateError, match="corrupt or truncated"):
+            load_criteria(path, tech)
+
+    def test_hand_edited_file_fails_verification(
+        self, tech, fast_criteria, tmp_path
+    ):
+        import json
+
+        from repro.durable import CorruptStateError
+
+        path = tmp_path / "criteria.json"
+        save_criteria(fast_criteria, path, tech)
+        payload = json.loads(path.read_text())
+        payload["criteria"]["delta_read"] = 0.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CorruptStateError, match="integrity"):
+            load_criteria(path, tech)
+
+    def test_legacy_format1_loads_unverified(
+        self, tech, fast_criteria, tmp_path
+    ):
+        import json
+
+        path = tmp_path / "criteria.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": 1,
+                    "kind": "failure-criteria",
+                    "technology": tech.name,
+                    "fingerprint": technology_fingerprint(tech),
+                    "criteria": dataclasses.asdict(fast_criteria),
+                }
+            )
+        )
+        assert load_criteria(path, tech) == fast_criteria
+
 
 class TestTableRoundtrip:
     def test_roundtrip_preserves_probabilities(self, tech, tmp_path):

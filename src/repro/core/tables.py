@@ -104,6 +104,7 @@ class FailureProbabilityTable:
             "conditions": dataclasses.asdict(self.conditions),
             "n_samples": analyzer.n_samples,
             "scale": analyzer.scale,
+            "sampler": analyzer.sampler,
             "seed": analyzer.seed,
             "grid": [float(x) for x in self.grid],
         }

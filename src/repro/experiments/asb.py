@@ -105,6 +105,7 @@ class HoldProbabilityTable:
             "geometry": dataclasses.asdict(ctx.geometry),
             "n_samples": analyzer.n_samples,
             "scale": analyzer.scale,
+            "sampler": analyzer.sampler,
             "seed": analyzer.seed,
             "corner_grid": [float(x) for x in self.corner_grid],
             "vsb_grid": [float(x) for x in self.vsb_grid],

@@ -41,7 +41,13 @@ class ExperimentContext:
         target: per-mechanism failure probability at the nominal/ZBB
             calibration point.
         calibration_samples: Monte-Carlo size for criteria calibration.
-        analysis_samples: weighted samples per failure estimate.
+        analysis_samples: solver-call budget per failure estimate.
+        sampler: rare-event sampling strategy for analyzers minted by
+            this context — one of :data:`repro.stats.SAMPLER_NAMES`
+            (``plain``, ``scaled``, ``adaptive-is``, ``blockade``).
+        sampler_scale: sigma inflation for ``sampler="scaled"``; None
+            auto-tunes the scale from a pilot batch.  Ignored by the
+            other strategies.
         table_grid: corner-grid points per interpolated table.
         seed: base seed for all derived randomness.
         workers: process count for sweep fan-out (default 1 = serial,
@@ -65,6 +71,8 @@ class ExperimentContext:
         target: float = 1e-7,
         calibration_samples: int = 150_000,
         analysis_samples: int = 40_000,
+        sampler: str = "scaled",
+        sampler_scale: float | None = 2.0,
         table_grid: int = 17,
         seed: int = 2006,
         workers: int = 1,
@@ -78,6 +86,8 @@ class ExperimentContext:
         self.conditions = OperatingConditions.nominal(self.tech)
         self.target = target
         self.analysis_samples = analysis_samples
+        self.sampler = sampler
+        self.sampler_scale = sampler_scale
         self.table_grid = table_grid
         self.seed = seed
         self._criteria: FailureCriteria | None = None
@@ -134,6 +144,42 @@ class ExperimentContext:
                 checkpoint_dir,
                 every=(checkpoint_every if checkpoint_every else 8),
             )
+        return self
+
+    def configure_sampling(
+        self,
+        sampler: str | None = None,
+        scale: float | None = None,
+        analysis_samples: int | None = None,
+    ) -> "ExperimentContext":
+        """Re-point the rare-event sampling strategy after creation.
+
+        Like :meth:`configure_execution`, this upgrades an already-built
+        context (e.g. the memoised :func:`default_context`) in place;
+        only analyzers and tables minted *after* the call use the new
+        strategy.  Tables already built under the old strategy stay in
+        ``self._tables``, so switching samplers drops them.  Returns
+        ``self`` for chaining.
+        """
+        changed = False
+        if sampler is not None and sampler != self.sampler:
+            self.sampler = sampler
+            changed = True
+        if scale is not None and scale != self.sampler_scale:
+            self.sampler_scale = scale
+            changed = True
+        if sampler == "scaled" and scale is None:
+            # Explicit re-selection of "scaled" means auto-tune.
+            self.sampler_scale = None
+            changed = True
+        if (
+            analysis_samples is not None
+            and analysis_samples != self.analysis_samples
+        ):
+            self.analysis_samples = analysis_samples
+            changed = True
+        if changed:
+            self._tables.clear()
         return self
 
     def _criteria_key(self) -> dict:
@@ -196,7 +242,9 @@ class ExperimentContext:
             geometry=self.geometry,
             conditions=conditions if conditions is not None else self.conditions,
             n_samples=self.analysis_samples,
+            scale=self.sampler_scale,
             seed=self.seed + 1,
+            sampler=self.sampler,
         )
 
     def table(self, vbody: float = 0.0) -> FailureProbabilityTable:

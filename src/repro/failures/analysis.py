@@ -3,10 +3,13 @@
 :class:`CellFailureAnalyzer` estimates, for any inter-die corner and any
 body/source-bias point, the probability that a cell fails each of the
 four parametric mechanisms under intra-die RDF variation.  Rare
-probabilities are resolved with sigma-scaled importance sampling
-(:mod:`repro.stats.sampling`); the same weighted sample set yields all
-four mechanisms plus their union, keeping the per-mechanism estimates
-consistent (the union is never smaller than a component).
+probabilities are resolved by a pluggable sampling strategy (the
+``sampler=`` knob): the historical sigma-scaled importance sampling
+(:mod:`repro.stats.sampling`), or the adaptive rare-event engine
+(:mod:`repro.stats.rare_event` — MPFP-seeded mean-shift IS and
+statistical blockade).  Whatever the strategy, one weighted sample set
+yields all four mechanisms plus their union, keeping the per-mechanism
+estimates consistent (the union is never smaller than a component).
 """
 
 from __future__ import annotations
@@ -18,10 +21,16 @@ import numpy as np
 
 from repro.failures.criteria import FailureCriteria
 from repro.observability import diagnostics
+from repro.observability.metrics import observe
 from repro.observability.tracing import trace
-from repro.sram.cell import CellGeometry, SixTCell
-from repro.sram.metrics import OperatingConditions, compute_cell_metrics
+from repro.sram.cell import TRANSISTORS, CellGeometry, SixTCell, cell_sigma_vt
+from repro.sram.metrics import (
+    OperatingConditions,
+    compute_cell_metrics,
+    compute_hold_margin,
+)
 from repro.stats.montecarlo import MonteCarloResult, probability_of
+from repro.stats.rare_event import SAMPLER_NAMES, make_sampler
 from repro.stats.sampling import importance_sample_dvt
 from repro.technology.corners import ProcessCorner
 from repro.technology.parameters import TechnologyParameters
@@ -31,6 +40,130 @@ if TYPE_CHECKING:  # pragma: no cover - hint-only import
 
 #: Mechanism names in presentation order.
 MECHANISMS = ("read", "write", "access", "hold")
+
+#: Largest cell batch handed to the vectorised solvers in one call —
+#: bounds the peak working set of a margins evaluation (each cell
+#: carries ~10 float64 intermediate arrays through the bisections)
+#: without giving up vectorisation.
+SOLVE_CHUNK = 16_384
+
+
+def _chunked(
+    z: np.ndarray, evaluate, mechanisms: tuple[str, ...]
+) -> dict[str, np.ndarray]:
+    """Evaluate ``z`` through ``evaluate`` in vectorised chunks."""
+    n = z.shape[0]
+    if n <= SOLVE_CHUNK:
+        return evaluate(z)
+    parts = [
+        evaluate(z[start: start + SOLVE_CHUNK])
+        for start in range(0, n, SOLVE_CHUNK)
+    ]
+    return {
+        name: np.concatenate([part[name] for part in parts])
+        for name in mechanisms
+    }
+
+
+class _CellProblem:
+    """The four-mechanism cell margins as a sampler-facing problem.
+
+    Margins replicate the :class:`FailureCriteria` predicates exactly
+    (``margin < 0`` iff the predicate fires), so the strategy samplers
+    classify identically to the legacy path.
+    """
+
+    dims = len(TRANSISTORS)
+    mechanisms = MECHANISMS
+
+    def __init__(
+        self,
+        analyzer: "CellFailureAnalyzer",
+        corner: ProcessCorner,
+        conditions: OperatingConditions,
+    ) -> None:
+        self._analyzer = analyzer
+        self._corner = corner
+        self._conditions = conditions
+        self._sigmas = cell_sigma_vt(analyzer.tech, analyzer.geometry)
+
+    def _dvt(self, z: np.ndarray) -> dict[str, np.ndarray]:
+        return {
+            name: z[:, i] * self._sigmas[name]
+            for i, name in enumerate(TRANSISTORS)
+        }
+
+    def margins(self, z: np.ndarray) -> dict[str, np.ndarray]:
+        analyzer = self._analyzer
+
+        def evaluate(chunk: np.ndarray) -> dict[str, np.ndarray]:
+            cell = SixTCell(
+                analyzer.tech,
+                analyzer.geometry,
+                self._corner,
+                self._dvt(chunk),
+            )
+            with trace("solve"):
+                metrics = compute_cell_metrics(cell, self._conditions)
+            criteria = analyzer.criteria
+            t_write = np.where(
+                np.isfinite(metrics.t_write), metrics.t_write, 1e6
+            )
+            return {
+                "read": metrics.read_margin - criteria.delta_read,
+                "write": criteria.t_write_max - t_write,
+                "access": metrics.i_access - criteria.i_access_min,
+                "hold": (
+                    metrics.hold_margin_fraction - criteria.hold_fraction_min
+                ),
+            }
+
+        return _chunked(np.atleast_2d(z), evaluate, self.mechanisms)
+
+    def direction_seeds(self) -> dict[str, np.ndarray]:
+        return self._analyzer._direction_seeds(self._conditions)
+
+
+class _HoldProblem:
+    """The hold margin alone (the ASB surface's hot path)."""
+
+    dims = len(TRANSISTORS)
+    mechanisms = ("hold",)
+
+    def __init__(
+        self,
+        analyzer: "CellFailureAnalyzer",
+        corner: ProcessCorner,
+        conditions: OperatingConditions,
+    ) -> None:
+        self._analyzer = analyzer
+        self._corner = corner
+        self._conditions = conditions
+        self._sigmas = cell_sigma_vt(analyzer.tech, analyzer.geometry)
+        rail = conditions.vdd_standby - conditions.vsb
+        self._threshold = analyzer.criteria.hold_fraction_min * rail
+
+    def margins(self, z: np.ndarray) -> dict[str, np.ndarray]:
+        analyzer = self._analyzer
+
+        def evaluate(chunk: np.ndarray) -> dict[str, np.ndarray]:
+            dvt = {
+                name: chunk[:, i] * self._sigmas[name]
+                for i, name in enumerate(TRANSISTORS)
+            }
+            cell = SixTCell(
+                analyzer.tech, analyzer.geometry, self._corner, dvt
+            )
+            with trace("solve"):
+                margin = compute_hold_margin(cell, self._conditions)
+            return {"hold": margin - self._threshold}
+
+        return _chunked(np.atleast_2d(z), evaluate, self.mechanisms)
+
+    def direction_seeds(self) -> dict[str, np.ndarray]:
+        # FORM cannot represent the cliff-like hold limit state; the
+        # adaptive sampler's cross-entropy pilot update takes over.
+        return {}
 
 
 def _failure_point(task) -> "FailureProbabilities":
@@ -75,10 +208,18 @@ class CellFailureAnalyzer:
         conditions: baseline operating conditions; per-call overrides
             are provided via the ``conditions`` argument of
             :meth:`failure_probabilities`.
-        n_samples: weighted samples per estimate.
+        n_samples: solver-call budget per estimate (for the legacy
+            fixed-scale path this is simply the weighted sample count).
         scale: importance-sampling sigma inflation (1.0 = plain MC).
+            ``None`` with ``sampler="scaled"`` auto-tunes the inflation
+            from a pilot batch; for ``adaptive-is``/``blockade`` it
+            sets the exploration/proposal width (None = default 2.0).
         seed: base RNG seed; each (corner, bias) estimate derives its
             own stream so results are reproducible yet independent.
+        sampler: rare-event sampling strategy — one of
+            :data:`repro.stats.rare_event.SAMPLER_NAMES`.  The default
+            ``"scaled"`` with an explicit ``scale`` reproduces the
+            historical estimator bit for bit.
     """
 
     def __init__(
@@ -88,9 +229,15 @@ class CellFailureAnalyzer:
         geometry: CellGeometry | None = None,
         conditions: OperatingConditions | None = None,
         n_samples: int = 60_000,
-        scale: float = 2.0,
+        scale: float | None = 2.0,
         seed: int = 7,
+        sampler: str = "scaled",
     ) -> None:
+        if sampler not in SAMPLER_NAMES:
+            raise ValueError(
+                f"unknown sampler {sampler!r}; "
+                f"known: {', '.join(SAMPLER_NAMES)}"
+            )
         self.tech = tech
         self.criteria = criteria
         self.geometry = geometry if geometry is not None else CellGeometry()
@@ -100,6 +247,58 @@ class CellFailureAnalyzer:
         self.n_samples = n_samples
         self.scale = scale
         self.seed = seed
+        self.sampler = sampler
+        #: MPFP direction seeds memoised per bias point — computed once
+        #: per (conditions) key and shipped to workers inside the task
+        #: pickle (the search is deterministic, so a worker recomputing
+        #: it lazily produces the identical seeds).
+        self._seed_memo: dict[tuple, dict[str, np.ndarray]] = {}
+
+    @property
+    def _legacy_path(self) -> bool:
+        """True when the historical single-stage sampler applies.
+
+        ``scaled`` with an explicit scale and ``plain`` go through the
+        original :func:`importance_sample_dvt` code path so existing
+        results stay bit-identical; the strategy engine handles
+        auto-tuned ``scaled``, ``adaptive-is`` and ``blockade``.
+        """
+        return (
+            self.sampler == "plain"
+            or (self.sampler == "scaled" and self.scale is not None)
+        )
+
+    def sampler_fingerprint(self) -> dict:
+        """The sampling-strategy part of cache fingerprints."""
+        return {"sampler": self.sampler, "scale": self.scale}
+
+    def _direction_seeds(
+        self, conditions: OperatingConditions
+    ) -> dict[str, np.ndarray]:
+        """Memoised MPFP seeds for one bias point (nominal corner).
+
+        The failure *directions* drift only slowly with the inter-die
+        corner, so one FORM search per bias point — amortised over a
+        whole table grid — seeds every corner's proposal; the pilot
+        cross-entropy update re-centres per corner where the pilot
+        actually observes failures.
+        """
+        key = (
+            round(conditions.vdd, 9),
+            round(conditions.vdd_standby, 9),
+            round(conditions.vsb, 9),
+            round(conditions.vbody_n, 9),
+        )
+        memo = self.__dict__.setdefault("_seed_memo", {})
+        if key not in memo:
+            from repro.failures.mpfp import MpfpEstimator
+
+            estimator = MpfpEstimator(
+                self.tech, self.criteria, self.geometry, conditions
+            )
+            with trace("analysis.mpfp_seeds"):
+                memo[key] = estimator.direction_seeds(ProcessCorner(0.0))
+        return memo[key]
 
     def _seed_for(
         self, corner: ProcessCorner, conditions: OperatingConditions
@@ -146,10 +345,25 @@ class CellFailureAnalyzer:
         """
         conditions = conditions if conditions is not None else self.conditions
         with trace("analysis.point"):
+            if not self._legacy_path:
+                problem = _CellProblem(self, corner, conditions)
+                strategy = make_sampler(self.sampler, self.scale)
+                out = strategy.sample(
+                    problem, self._seed_for(corner, conditions), self.n_samples
+                )
+                observe("analysis.solver_calls", out.n_solved)
+                results = {
+                    name: probability_of(out.fails[name], out.weights)
+                    for name in MECHANISMS + ("any",)
+                }
+                for name, result in results.items():
+                    diagnostics.record(f"analysis.{name}", result)
+                return FailureProbabilities(**results)
             rng = self._rng_for(corner, conditions)
+            scale = 1.0 if self.sampler == "plain" else self.scale
             with trace("sample"):
                 sample = importance_sample_dvt(
-                    self.tech, self.geometry, rng, self.n_samples, self.scale
+                    self.tech, self.geometry, rng, self.n_samples, scale
                 )
             with trace("solve"):
                 cell = SixTCell(self.tech, self.geometry, corner, sample.dvt)
@@ -166,6 +380,7 @@ class CellFailureAnalyzer:
             fails["any"] = (
                 fails["read"] | fails["write"] | fails["access"] | fails["hold"]
             )
+            observe("analysis.solver_calls", sample.n_samples)
             results = {
                 name: probability_of(indicator, sample.weights)
                 for name, indicator in fails.items()
@@ -199,6 +414,15 @@ class CellFailureAnalyzer:
                 f"conditions_list has {len(conditions_list)} entries "
                 f"for {len(corners)} corners"
             )
+        if self.sampler == "adaptive-is":
+            # Warm the MPFP seed memo for every distinct bias point
+            # *before* fan-out: the seeds ride to the workers inside
+            # the pickled analyzer, so the (one-off) FORM search runs
+            # once per table build instead of once per worker.
+            for conditions in conditions_list:
+                self._direction_seeds(
+                    conditions if conditions is not None else self.conditions
+                )
         tasks = [
             (self, corner, conditions)
             for corner, conditions in zip(corners, conditions_list)
@@ -240,20 +464,30 @@ class CellFailureAnalyzer:
         conditions: OperatingConditions | None = None,
     ) -> MonteCarloResult:
         """Hold-mechanism probability only (hot path for ASB sweeps)."""
-        from repro.sram.metrics import compute_hold_margin
-
         conditions = conditions if conditions is not None else self.conditions
         with trace("analysis.hold_point"):
+            if not self._legacy_path:
+                problem = _HoldProblem(self, corner, conditions)
+                strategy = make_sampler(self.sampler, self.scale)
+                out = strategy.sample(
+                    problem, self._seed_for(corner, conditions), self.n_samples
+                )
+                observe("analysis.solver_calls", out.n_solved)
+                result = probability_of(out.fails["hold"], out.weights)
+                diagnostics.record("analysis.hold", result)
+                return result
             rng = self._rng_for(corner, conditions)
+            scale = 1.0 if self.sampler == "plain" else self.scale
             with trace("sample"):
                 sample = importance_sample_dvt(
-                    self.tech, self.geometry, rng, self.n_samples, self.scale
+                    self.tech, self.geometry, rng, self.n_samples, scale
                 )
             with trace("solve"):
                 cell = SixTCell(self.tech, self.geometry, corner, sample.dvt)
                 margin = compute_hold_margin(cell, conditions)
             rail = conditions.vdd_standby - conditions.vsb
             threshold = self.criteria.hold_fraction_min * rail
+            observe("analysis.solver_calls", sample.n_samples)
             result = probability_of(margin < threshold, sample.weights)
             diagnostics.record("analysis.hold", result)
             return result

@@ -31,8 +31,15 @@ import numpy as np
 from scipy import stats as sp_stats
 
 from repro.failures.criteria import FailureCriteria
+from repro.observability.metrics import incr
 from repro.sram.cell import TRANSISTORS, CellGeometry, SixTCell, cell_sigma_vt
 from repro.sram.metrics import OperatingConditions, compute_cell_metrics
+from repro.sram.solver import (
+    solve_access_current,
+    solve_read_node,
+    solve_read_trip,
+    solve_write_time,
+)
 from repro.technology.corners import ProcessCorner
 from repro.technology.parameters import TechnologyParameters
 
@@ -131,6 +138,107 @@ class MpfpEstimator:
             ) / criteria.i_access_min
 
         return margin
+
+    def _light_margins(
+        self, corner: ProcessCorner, z: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Read/write/access margins for a z batch, skipping the hold
+        fixed point.
+
+        :func:`~repro.sram.metrics.compute_cell_metrics` spends most of
+        its fixed cost in the standby Gauss–Seidel iteration, which the
+        three FORM-able mechanisms never read — so the MPFP search runs
+        on just the active-mode solvers (one vectorised batch for all
+        mechanisms at once), an order of magnitude cheaper per
+        iteration.  Margins are normalised exactly like
+        :meth:`_margin_function`.
+        """
+        z = np.atleast_2d(z)
+        dvt = {
+            name: z[:, i] * self._sigmas[name]
+            for i, name in enumerate(TRANSISTORS)
+        }
+        cell = SixTCell(self.tech, self.geometry, corner, dvt)
+        vdd = self.conditions.vdd
+        vb = self.conditions.vbody_n
+        incr("solver.calls", z.shape[0])
+        incr("solver.batches")
+        read_margin = solve_read_trip(cell, vdd, vb) - solve_read_node(
+            cell, vdd, vb
+        )
+        t_write = solve_write_time(cell, vdd, vb)
+        t_write = np.where(np.isfinite(t_write), t_write, 1e6)
+        i_access = solve_access_current(cell, vdd, vb)
+        criteria = self.criteria
+        return {
+            "read": (read_margin - criteria.delta_read) / vdd,
+            "write": (
+                criteria.t_write_max - t_write
+            ) / criteria.t_write_max,
+            "access": (
+                i_access - criteria.i_access_min
+            ) / criteria.i_access_min,
+        }
+
+    def direction_seeds(
+        self,
+        corner: ProcessCorner = ProcessCorner(0.0),
+        mechanisms: tuple[str, ...] = ("read", "write", "access"),
+        max_iterations: int = 10,
+        tolerance: float = 5e-3,
+    ) -> dict[str, np.ndarray]:
+        """Approximate MPFP z-vectors for seeding importance sampling.
+
+        The same HL-RF iteration as :meth:`find_mpfp`, but run for all
+        requested mechanisms *simultaneously* on the light (hold-free)
+        margins — every iteration evaluates one batch of
+        ``len(mechanisms) * 13`` cells through the vectorised active-
+        mode solvers — and stopped early: a proposal seed only needs
+        the failure direction to a few percent, not a polished
+        reliability index.  Mechanisms whose gradient degenerates (or
+        that FORM cannot represent, e.g. ``hold``) are simply absent
+        from the result; callers fall back to cross-entropy shifts.
+        """
+        wanted = [m for m in mechanisms if m in ("read", "write", "access")]
+        if not wanted:
+            return {}
+        d = len(TRANSISTORS)
+        points = {m: np.zeros(d) for m in wanted}
+        active = set(wanted)
+        steps = np.zeros((2 * d, d))
+        for i in range(d):
+            steps[2 * i, i] = _FD_STEP
+            steps[2 * i + 1, i] = -_FD_STEP
+        for _ in range(max_iterations):
+            if not active:
+                break
+            batch_mechs = sorted(active)
+            batch = np.vstack(
+                [
+                    np.vstack([points[m], points[m] + steps])
+                    for m in batch_mechs
+                ]
+            )
+            values = self._light_margins(corner, batch)
+            for j, m in enumerate(batch_mechs):
+                rows = values[m][j * (2 * d + 1): (j + 1) * (2 * d + 1)]
+                g0 = float(rows[0])
+                gradient = (rows[1::2] - rows[2::2]) / (2 * _FD_STEP)
+                norm2 = float(np.dot(gradient, gradient))
+                if norm2 < 1e-24:
+                    active.discard(m)
+                    continue
+                z_new = (
+                    (np.dot(gradient, points[m]) - g0) * gradient / norm2
+                )
+                moved = float(np.linalg.norm(z_new - points[m]))
+                points[m] = z_new
+                if moved < tolerance:
+                    active.discard(m)
+        return {
+            m: z for m, z in points.items()
+            if np.linalg.norm(z) > 1e-6 and np.all(np.isfinite(z))
+        }
 
     def find_mpfp(
         self,

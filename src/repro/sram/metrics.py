@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability.metrics import incr
 from repro.sram.cell import SixTCell
 from repro.sram.solver import (
     solve_access_current,
@@ -149,6 +150,8 @@ def compute_cell_metrics(
     """
     vdd = conditions.vdd
     vb = conditions.vbody_n
+    incr("solver.calls", cell.population)
+    incr("solver.batches")
     v_read = solve_read_node(cell, vdd, vb)
     v_trip_read = solve_read_trip(cell, vdd, vb)
     v_write = solve_write_node(cell, vdd, vb)
@@ -179,6 +182,8 @@ def compute_hold_margin(
     cell: SixTCell, conditions: OperatingConditions
 ) -> np.ndarray:
     """Hold margin only — the hot path for source-bias calibration."""
+    incr("solver.calls", cell.population)
+    incr("solver.batches")
     v_hold_one, v_hold_zero = solve_hold_state(
         cell, conditions.vdd_standby, conditions.vsb, conditions.vbody_n
     )

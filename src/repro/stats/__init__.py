@@ -6,6 +6,9 @@ leakage-spread experiments are thin users of these primitives:
 * :mod:`repro.stats.montecarlo` — seeded, batched Monte-Carlo driving;
 * :mod:`repro.stats.sampling` — sigma-scaled Gaussian importance
   sampling for rare failure events;
+* :mod:`repro.stats.rare_event` — adaptive rare-event strategies
+  (pilot-tuned scaling, MPFP-seeded mean-shift IS, statistical
+  blockade) behind the analyzer's ``sampler=`` knob;
 * :mod:`repro.stats.distributions` — lognormal cell-leakage fits and the
   central-limit aggregation to array leakage (paper Eq. 2);
 * :mod:`repro.stats.integration` — Gauss-Hermite expectation over the
@@ -26,6 +29,19 @@ from repro.stats.montecarlo import (
     weighted_quantile,
 )
 from repro.stats.qmc import sobol_cell_dvt
+from repro.stats.rare_event import (
+    SAMPLER_NAMES,
+    AdaptiveIsSampler,
+    BlockadeSampler,
+    GaussianMixture,
+    PlainSampler,
+    RareEventSample,
+    ScaledSampler,
+    balance_heuristic_weights,
+    make_sampler,
+    per_stage_weights,
+    tuned_scale,
+)
 from repro.stats.sampling import ImportanceSample, importance_sample_dvt
 from repro.stats.yield_model import leakage_yield, parametric_yield_from_pfail
 
@@ -36,6 +52,17 @@ __all__ = [
     "sobol_cell_dvt",
     "ImportanceSample",
     "importance_sample_dvt",
+    "SAMPLER_NAMES",
+    "AdaptiveIsSampler",
+    "BlockadeSampler",
+    "GaussianMixture",
+    "PlainSampler",
+    "RareEventSample",
+    "ScaledSampler",
+    "balance_heuristic_weights",
+    "make_sampler",
+    "per_stage_weights",
+    "tuned_scale",
     "lognormal_fit",
     "normal_cdf",
     "array_leakage_distribution",

@@ -178,7 +178,14 @@ def weighted_quantile(
         raise ValueError("cannot take a quantile of an empty sample")
     order = np.argsort(values)
     cumulative = np.cumsum(weights[order])
-    cumulative /= cumulative[-1]
+    total = cumulative[-1]
+    if not total > 0.0:
+        raise ValueError(
+            "weighted_quantile needs a positive total weight; got "
+            f"{total!r} (all-zero or negative weight batches carry no "
+            "distributional information)"
+        )
+    cumulative /= total
     index = int(np.searchsorted(cumulative, q))
     index = min(index, values.size - 1)
     return float(values[order][index])

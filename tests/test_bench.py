@@ -370,14 +370,23 @@ class TestWorkloadsAndCli:
     def test_cli_compare_fails_on_fabricated_regression(self, tmp_path, capsys):
         import repro.bench.__main__ as cli
 
-        ok_counters = {"mc.samples": 100.0, "mc.estimates": 4.0}
+        ok_counters = {
+            "mc.samples": 100.0,
+            "mc.estimates": 4.0,
+            "solver.calls": 400.0,
+        }
+        ok_histograms = {
+            "analysis.solver_calls": {"count": 4, "min": 100, "max": 100},
+        }
         history.append(
             tmp_path,
-            record(workload="table_sweep", median=1.0, counters=ok_counters),
+            record(workload="table_sweep", median=1.0,
+                   counters=ok_counters, histograms=ok_histograms),
         )
         history.append(
             tmp_path,
-            record(workload="table_sweep", median=5.0, counters=ok_counters),
+            record(workload="table_sweep", median=5.0,
+                   counters=ok_counters, histograms=ok_histograms),
         )
         assert cli.main([
             "compare", "--workload", "table_sweep",

@@ -1,0 +1,405 @@
+"""Tests for the adaptive rare-event sampling engine.
+
+The samplers are exercised on an analytic linear problem (failure =
+half-space, so the true probability is a normal tail) where bias and
+calibration can be checked exactly, and on the real cell analyzer for
+the integration contracts: strategy dispatch, determinism across
+worker counts, and the telemetry surface.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sp_stats
+
+from repro import observability
+from repro.failures.analysis import CellFailureAnalyzer
+from repro.parallel.executor import ParallelExecutor
+from repro.stats.montecarlo import probability_of
+from repro.stats.rare_event import (
+    SAMPLER_NAMES,
+    AdaptiveIsSampler,
+    BlockadeSampler,
+    GaussianMixture,
+    PlainSampler,
+    RareEventSample,
+    ScaledSampler,
+    _pilot_size,
+    balance_heuristic_weights,
+    make_sampler,
+    per_stage_weights,
+    standard_normal_logpdf,
+    tuned_scale,
+)
+from repro.technology.corners import ProcessCorner
+
+
+class LinearProblem:
+    """Analytic reference: mechanism ``m`` fails when ``a . z > beta``.
+
+    With a unit-norm direction the exact failure probability is
+    ``Phi(-beta)`` and the exact MPFP is ``beta * a`` — everything a
+    sampler test needs in closed form.
+    """
+
+    def __init__(self, beta=2.0, dims=4, with_seeds=True):
+        self.beta = beta
+        self.dims = dims
+        self.mechanisms = ("m",)
+        direction = np.zeros(dims)
+        direction[0] = 0.8
+        direction[1] = 0.6
+        self.direction = direction  # unit norm
+        self.with_seeds = with_seeds
+        self.margin_calls = 0
+
+    @property
+    def p_true(self):
+        return float(sp_stats.norm.sf(self.beta))
+
+    def margins(self, z):
+        z = np.atleast_2d(z)
+        self.margin_calls += z.shape[0]
+        return {"m": self.beta - z @ self.direction}
+
+    def direction_seeds(self):
+        if not self.with_seeds:
+            return {}
+        return {"m": self.beta * self.direction}
+
+
+def _agrees(sample: RareEventSample, p_true: float, n_sigma=3.0) -> bool:
+    result = probability_of(sample.fails["m"], sample.weights)
+    return abs(result.estimate - p_true) <= n_sigma * max(
+        result.stderr, 1e-12
+    )
+
+
+class TestTunedScale:
+    def test_matches_tail_depth(self):
+        # beta = Phi^-1(1 - 4e-4) = 3.353 over sqrt(6) dims.
+        assert tuned_scale(4e-4, 6) == pytest.approx(1.3688, abs=1e-3)
+
+    def test_clipped_to_bounds(self):
+        assert tuned_scale(0.4, 6) == 1.05  # shallow tail -> floor
+        assert tuned_scale(1e-12, 1) == 3.0  # deep tail, 1-D -> ceiling
+
+    def test_monotone_in_depth(self):
+        assert tuned_scale(1e-6, 6) > tuned_scale(1e-3, 6)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            tuned_scale(1e-4, 0)
+
+
+class TestGaussianMixture:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(np.zeros((2, 3)), np.ones(1), np.ones(1))
+        with pytest.raises(ValueError):
+            GaussianMixture(np.zeros((1, 3)), np.array([-1.0]), np.ones(1))
+        with pytest.raises(ValueError):
+            GaussianMixture(
+                np.zeros((2, 3)), np.ones(2), np.array([0.9, 0.3])
+            )
+
+    def test_centered_logpdf_is_standard_normal(self, rng):
+        mixture = GaussianMixture.centered(5)
+        z = rng.standard_normal((40, 5))
+        np.testing.assert_allclose(
+            mixture.logpdf(z), standard_normal_logpdf(z), rtol=1e-12
+        )
+
+    def test_logpdf_matches_scipy(self, rng):
+        means = np.array([[1.0, -0.5, 0.0], [-2.0, 0.3, 1.0]])
+        scales = np.array([1.3, 0.7])
+        alphas = np.array([0.4, 0.6])
+        mixture = GaussianMixture(means, scales, alphas)
+        z = rng.standard_normal((30, 3)) * 2.0
+        expected = np.log(
+            alphas[0]
+            * sp_stats.multivariate_normal.pdf(
+                z, mean=means[0], cov=scales[0] ** 2 * np.eye(3)
+            )
+            + alphas[1]
+            * sp_stats.multivariate_normal.pdf(
+                z, mean=means[1], cov=scales[1] ** 2 * np.eye(3)
+            )
+        )
+        np.testing.assert_allclose(mixture.logpdf(z), expected, rtol=1e-10)
+
+    def test_sample_shape_and_determinism(self):
+        mixture = GaussianMixture.centered(4, 1.5)
+        a = mixture.sample(np.random.default_rng(3), 100)
+        b = mixture.sample(np.random.default_rng(3), 100)
+        assert a.shape == (100, 4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestWeighting:
+    def test_single_stage_balance_equals_plain_ratio(self, rng):
+        proposal = GaussianMixture.centered(3, 2.0)
+        z = proposal.sample(rng, 200)
+        expected = np.exp(
+            standard_normal_logpdf(z) - proposal.logpdf(z)
+        )
+        np.testing.assert_allclose(
+            balance_heuristic_weights([(proposal, z)]), expected,
+            rtol=1e-12,
+        )
+
+    def test_per_stage_concatenates_own_ratios(self, rng):
+        q1 = GaussianMixture.centered(3, 2.0)
+        q2 = GaussianMixture.centered(3, 1.2)
+        z1, z2 = q1.sample(rng, 50), q2.sample(rng, 70)
+        weights = per_stage_weights([(q1, z1), (q2, z2)])
+        assert weights.shape == (120,)
+        np.testing.assert_allclose(
+            weights[:50],
+            np.exp(standard_normal_logpdf(z1) - q1.logpdf(z1)),
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            weights[50:],
+            np.exp(standard_normal_logpdf(z2) - q2.logpdf(z2)),
+            rtol=1e-12,
+        )
+
+    def test_mean_weight_near_one(self, rng):
+        proposal = GaussianMixture.centered(2, 1.5)
+        z = proposal.sample(rng, 50_000)
+        weights = per_stage_weights([(proposal, z)])
+        assert np.mean(weights) == pytest.approx(1.0, abs=0.05)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            balance_heuristic_weights([])
+        with pytest.raises(ValueError):
+            per_stage_weights([])
+
+
+class TestPilotSize:
+    def test_never_most_of_the_budget(self):
+        assert _pilot_size(30) == 30
+        assert _pilot_size(300) == 100
+        assert _pilot_size(100_000) == 2048
+
+
+class TestSamplersOnLinearProblem:
+    def test_plain_matches_analytic(self):
+        problem = LinearProblem(beta=1.0)
+        out = PlainSampler().sample(
+            problem, np.random.SeedSequence(1), 4000
+        )
+        assert out.n_solved == out.n_drawn == 4000
+        np.testing.assert_array_equal(out.weights, np.ones(4000))
+        assert _agrees(out, problem.p_true)
+
+    def test_scaled_fixed_matches_analytic(self):
+        problem = LinearProblem(beta=2.5)
+        out = ScaledSampler(scale=1.8).sample(
+            problem, np.random.SeedSequence(2), 4000
+        )
+        assert out.info["scale"] == 1.8
+        assert _agrees(out, problem.p_true)
+
+    def test_scaled_autotune_reports_and_matches(self):
+        problem = LinearProblem(beta=2.5)
+        out = ScaledSampler(scale=None).sample(
+            problem, np.random.SeedSequence(3), 4000
+        )
+        assert "tuned_scale" in out.info and "pilot_p_any" in out.info
+        assert 1.05 <= out.info["tuned_scale"] <= 3.0
+        assert _agrees(out, problem.p_true)
+
+    def test_adaptive_resolves_rare_tail_with_tiny_budget(self):
+        # p ~ 2.3e-4: plain MC at this budget would see ~0 failures.
+        # The stderr of a rare-tail IS estimate is itself noisy, so a
+        # single seed can land outside its own 3-sigma band; require
+        # the typical run to agree instead of betting on one draw.
+        problem = LinearProblem(beta=3.5)
+        agreements = 0
+        for seed in range(5):
+            out = AdaptiveIsSampler().sample(
+                problem, np.random.SeedSequence(seed), 2400
+            )
+            assert out.info["shift_components"] >= 1
+            agreements += _agrees(out, problem.p_true)
+        assert agreements >= 4
+
+    def test_adaptive_without_seeds_uses_cross_entropy(self):
+        problem = LinearProblem(beta=2.0, with_seeds=False)
+        out = AdaptiveIsSampler().sample(
+            problem, np.random.SeedSequence(5), 3000
+        )
+        # The explore-scale pilot sees this tail, so CE shifts engage.
+        assert out.info["shift_components"] >= 1
+        assert _agrees(out, problem.p_true)
+
+    def test_blockade_filters_and_matches(self):
+        problem = LinearProblem(beta=2.0)
+        out = BlockadeSampler().sample(
+            problem, np.random.SeedSequence(6), 3000
+        )
+        assert out.n_solved < out.n_drawn  # the classifier blocked some
+        assert out.info["blockade_solve_fraction"] < 1.0
+        assert _agrees(out, problem.p_true)
+
+    def test_blockade_degenerate_budget_solves_everything(self):
+        problem = LinearProblem(beta=1.0)
+        out = BlockadeSampler().sample(
+            problem, np.random.SeedSequence(7), 5
+        )
+        assert out.n_solved == out.n_drawn
+        assert out.info["blockade_solve_fraction"] == 1.0
+
+    @pytest.mark.parametrize("seed", [11, 12, 13, 14, 15])
+    def test_property_adaptive_agrees_with_plain_on_non_rare(self, seed):
+        # Deliberately non-rare (p ~ 6.7e-2): plain MC is a sound
+        # referee, and the two estimates must agree within 3 sigma of
+        # their combined standard errors.
+        problem = LinearProblem(beta=1.5)
+        plain = PlainSampler().sample(
+            problem, np.random.SeedSequence((seed, 0)), 6000
+        )
+        adaptive = AdaptiveIsSampler().sample(
+            problem, np.random.SeedSequence((seed, 1)), 1500
+        )
+        p = probability_of(plain.fails["m"], plain.weights)
+        a = probability_of(adaptive.fails["m"], adaptive.weights)
+        assert a.within(p, n_sigma=3.0)
+
+    @pytest.mark.parametrize("name", SAMPLER_NAMES)
+    def test_same_seed_is_bit_identical(self, name):
+        problem_a = LinearProblem(beta=2.0)
+        problem_b = LinearProblem(beta=2.0)
+        sampler = make_sampler(name)
+        out_a = sampler.sample(problem_a, np.random.SeedSequence(8), 900)
+        out_b = sampler.sample(problem_b, np.random.SeedSequence(8), 900)
+        np.testing.assert_array_equal(out_a.weights, out_b.weights)
+        np.testing.assert_array_equal(
+            out_a.fails["any"], out_b.fails["any"]
+        )
+
+    def test_budget_validation(self):
+        problem = LinearProblem()
+        for name in SAMPLER_NAMES:
+            with pytest.raises(ValueError):
+                make_sampler(name).sample(
+                    problem, np.random.SeedSequence(0), 0
+                )
+
+
+class TestMakeSampler:
+    def test_dispatch(self):
+        assert isinstance(make_sampler("plain"), PlainSampler)
+        assert isinstance(make_sampler("scaled", 2.0), ScaledSampler)
+        assert isinstance(make_sampler("adaptive-is"), AdaptiveIsSampler)
+        assert isinstance(make_sampler("blockade"), BlockadeSampler)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_sampler("metropolis")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ScaledSampler(scale=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveIsSampler(defensive_alpha=1.5)
+        with pytest.raises(ValueError):
+            BlockadeSampler(gamma=0.0)
+
+
+class TestAnalyzerIntegration:
+    def test_unknown_sampler_rejected(self, tech, fast_criteria):
+        with pytest.raises(ValueError):
+            CellFailureAnalyzer(tech, fast_criteria, sampler="bogus")
+
+    @pytest.mark.parametrize("name", ["scaled", "adaptive-is", "blockade"])
+    def test_strategy_estimates_agree_with_legacy(
+        self, tech, fast_criteria, name
+    ):
+        # The loose 1e-2 calibration makes failures common enough for
+        # small budgets, so every strategy must land on the legacy
+        # estimate within combined 3-sigma.
+        legacy = CellFailureAnalyzer(
+            tech, fast_criteria, n_samples=8000, scale=1.5, seed=21
+        )
+        strategy = CellFailureAnalyzer(
+            tech,
+            fast_criteria,
+            n_samples=2000,
+            scale=None,
+            seed=22,
+            sampler=name,
+        )
+        corner = ProcessCorner(0.0)
+        reference = legacy.failure_probabilities(corner)
+        result = strategy.failure_probabilities(corner)
+        for mechanism in ("any", "read"):
+            assert result[mechanism].within(
+                reference[mechanism], n_sigma=3.0
+            ), mechanism
+
+    def test_adaptive_batch_is_bit_identical_across_workers(
+        self, tech, fast_criteria
+    ):
+        analyzer = CellFailureAnalyzer(
+            tech,
+            fast_criteria,
+            n_samples=400,
+            scale=None,
+            seed=23,
+            sampler="adaptive-is",
+        )
+        corners = [ProcessCorner(c) for c in (-0.05, 0.0, 0.05)]
+        serial = analyzer.failure_probabilities_batch(corners)
+        fanned = analyzer.failure_probabilities_batch(
+            corners, executor=ParallelExecutor(2)
+        )
+        for s, f in zip(serial, fanned):
+            for mechanism in ("read", "write", "access", "hold", "any"):
+                assert s[mechanism].estimate == f[mechanism].estimate
+                assert s[mechanism].stderr == f[mechanism].stderr
+
+    def test_hold_path_uses_strategy(self, tech, fast_criteria):
+        analyzer = CellFailureAnalyzer(
+            tech,
+            fast_criteria,
+            n_samples=1500,
+            scale=None,
+            seed=24,
+            sampler="blockade",
+        )
+        result = analyzer.hold_failure_probability(ProcessCorner(0.0))
+        assert 0.0 <= result.estimate <= 1.0
+        assert np.isfinite(result.stderr)
+
+    def test_sampler_fingerprint(self, tech, fast_criteria):
+        analyzer = CellFailureAnalyzer(
+            tech, fast_criteria, scale=None, sampler="adaptive-is"
+        )
+        assert analyzer.sampler_fingerprint() == {
+            "sampler": "adaptive-is",
+            "scale": None,
+        }
+
+    def test_autotune_emits_scale_gauge(self, tech, fast_criteria):
+        observability.configure(metrics=True)
+        try:
+            analyzer = CellFailureAnalyzer(
+                tech,
+                fast_criteria,
+                n_samples=1200,
+                scale=None,
+                seed=25,
+                sampler="scaled",
+            )
+            analyzer.failure_probabilities(ProcessCorner(0.0))
+            from repro.observability.metrics import registry
+
+            gauges = registry.snapshot()["gauges"]
+            assert 1.05 <= gauges["sampler.tuned_scale"] <= 3.0
+            assert "sampler.pilot_p_any" in gauges
+        finally:
+            observability.disable()
+            observability.reset()

@@ -84,6 +84,65 @@ class TestWeightedQuantile:
         with pytest.raises(ValueError):
             weighted_quantile(np.array([1.0, 2.0]), np.array([1.0]), 0.5)
 
+    def test_zero_total_weight_rejected(self):
+        # An all-zero weight batch (every importance sample missed the
+        # target region) carries no distributional information — it
+        # must raise, not silently divide by zero.
+        values = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="positive total weight"):
+            weighted_quantile(values, np.zeros(3), 0.5)
+        with pytest.raises(ValueError, match="positive total weight"):
+            weighted_quantile(values, np.array([1.0, -1.0, 0.0]), 0.5)
+        with pytest.raises(ValueError, match="positive total weight"):
+            weighted_quantile(values, np.array([np.nan, 1.0, 1.0]), 0.5)
+
+    def test_single_sample(self):
+        # Any quantile of one weighted sample is that sample.
+        for q in (0.01, 0.5, 0.99):
+            assert weighted_quantile(
+                np.array([4.2]), np.array([0.3]), q
+            ) == 4.2
+
+
+class TestFromBinomial:
+    def test_zero_trials_is_uninformative(self):
+        result = MonteCarloResult.from_binomial(0, 0)
+        assert result.estimate == 0.0
+        assert result.stderr == float("inf")
+        assert result.ess == 0.0
+        assert (result.ci_low, result.ci_high) == (0.0, 1.0)
+
+    def test_all_failures(self):
+        result = MonteCarloResult.from_binomial(50, 50)
+        assert result.estimate == 1.0
+        assert result.stderr == 0.0
+        # The Wilson interval stays strictly inside [0, 1) below and
+        # pins the upper bound — 50/50 is still not proof of p = 1.
+        assert 0.9 < result.ci_low < 1.0
+        assert result.ci_high == pytest.approx(1.0)
+
+    def test_single_sample(self):
+        result = MonteCarloResult.from_binomial(1, 1)
+        assert result.estimate == 1.0
+        assert result.ess == 1.0
+        assert result.max_weight_fraction == 1.0
+        # One observation leaves the interval nearly uninformative.
+        assert result.ci_low < 0.6
+        assert result.ci_high == pytest.approx(1.0)
+
+    def test_matches_unweighted_probability_of(self):
+        indicator = np.array([True] * 7 + [False] * 93)
+        via_counts = MonteCarloResult.from_binomial(7, 100)
+        via_samples = probability_of(indicator)
+        assert via_counts.estimate == via_samples.estimate
+        assert via_counts.stderr == via_samples.stderr
+        assert via_counts.ci_low == via_samples.ci_low
+        assert via_counts.ci_high == via_samples.ci_high
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloResult.from_binomial(0, -1)
+
 
 class TestDistributions:
     def test_lognormal_fit_roundtrip(self, rng):

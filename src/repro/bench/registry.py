@@ -17,7 +17,12 @@ that the observatory re-measures on every ``python -m repro.bench run``:
   head-to-head: one plain-MC failure estimate at the profile's full
   sample count against one adaptive-IS estimate at a ~32x smaller
   solver budget, gated on the solver-call reduction and on the
-  adaptive CI half-width staying at least as tight.
+  adaptive CI half-width staying at least as tight;
+* ``service`` — the yield-analysis service's warm path: an in-process
+  server completes a fig2c-style job untimed, then the timed burst of
+  duplicate submissions and result reads must dedupe everything,
+  recompute nothing, and keep the warm result p95 at memcache-like
+  latency.
 
 A workload's ``run`` executes entirely inside the runner's timed,
 telemetry-collecting region, so its record carries the full
@@ -327,6 +332,78 @@ def _run_rare_event(profile: BenchProfile, ctx) -> None:
     )
 
 
+def _service_spec(profile: BenchProfile) -> dict:
+    """The fig2c-style job spec the service workload serves (sized and
+    seeded exactly like :func:`_sweep_context`, so a warm server shares
+    cache artifacts with the sweep workloads)."""
+    return {
+        "kind": "table",
+        "target": 1e-4,
+        "calibration_samples": profile.calibration_samples,
+        "analysis_samples": profile.adaptive_samples,
+        "sampler": "adaptive-is",
+        "table_grid": profile.table_grid,
+        "seed": 11,
+        "vbody_levels": list(profile.vbody_levels),
+    }
+
+
+def _prepare_service(profile: BenchProfile) -> dict:
+    """Boot an in-process server and complete the cold build, untimed.
+
+    Collection is enabled here (the runner only enables it inside the
+    timed repeats) because the load generator's healthz assertions read
+    the ``service.*`` counters during the cold phase too.
+    """
+    from repro import observability
+    from repro.service.jobs import JobManager
+    from repro.service.loadgen import run_load
+    from repro.service.server import BackgroundServer
+
+    observability.enable()
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    manager = JobManager(
+        workers=profile.workers,
+        cache_dir=cache_dir,
+        checkpoint_dir=cache_dir,
+    )
+    background = BackgroundServer(manager)
+    url = background.start()
+    spec = _service_spec(profile)
+    run_load(url, spec, duplicates=0, result_gets=1, timeout=600)
+    return {
+        "url": url,
+        "spec": spec,
+        "background": background,
+        "cache_dir": cache_dir,
+    }
+
+
+def _run_service(profile: BenchProfile, state) -> None:
+    """The warm serving path: duplicate submits + result reads.
+
+    Every request in the burst must be answered from memory (the job
+    completed during prepare) — the gates pin that down semantically
+    (``mc.samples == 0``: nothing recomputed) and statistically (warm
+    result p95 latency).  :func:`~repro.service.loadgen.run_load`
+    raises on any contract violation, failing the record loudly.
+    """
+    from repro.service.loadgen import run_load
+
+    run_load(
+        state["url"],
+        state["spec"],
+        duplicates=10,
+        result_gets=30,
+        timeout=60,
+    )
+
+
+def _cleanup_service(state) -> None:
+    state["background"].stop()
+    shutil.rmtree(state["cache_dir"], ignore_errors=True)
+
+
 def _prepare_warm_cache(profile: BenchProfile) -> str:
     """Populate a throwaway cache directory with a cold sweep build."""
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-warm-")
@@ -429,6 +506,32 @@ WORKLOADS: dict[str, Workload] = {
                 "rare_event.ci_halfwidth_adaptive", ">", 0.0,
                 source="gauges",
             ),
+        ),
+    ),
+    "service": Workload(
+        name="service",
+        description="yield-analysis service warm path: duplicate "
+        "submits dedupe, result GETs served from memory",
+        run=_run_service,
+        prepare=_prepare_service,
+        cleanup=_cleanup_service,
+        gates=(
+            # The service acceptance criteria, enforced per record:
+            # nothing may fail, duplicates must attach to the existing
+            # job, and a warm result read must come back at
+            # memcache-like latency (the cold build takes seconds, so
+            # an accidental recompute blows this bound by orders of
+            # magnitude).
+            Gate("service.jobs_failed", "==", 0),
+            Gate("service.jobs_deduped", ">", 0),
+            Gate("service.requests", ">", 0),
+            Gate(
+                "service.client_result_seconds", "<=", 0.25,
+                source="histograms", field="p95",
+            ),
+            # The semantic definition of "warm" (see warm_cache): the
+            # burst recomputes nothing.
+            Gate("mc.samples", "==", 0),
         ),
     ),
     "warm_cache": Workload(

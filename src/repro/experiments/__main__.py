@@ -51,12 +51,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 
 from repro import faults, observability
 from repro.observability.diagnostics import DiagnosticThresholds
+from repro.observability.output import resolve_out_path as _resolve_out_path
 from repro.stats.rare_event import SAMPLER_NAMES
 from repro.parallel.executor import TaskError
 from repro.experiments.context import ExperimentContext, default_context
@@ -84,32 +84,6 @@ EXIT_UNCONVERGED = 3
 #: Exit status when a task exhausts its retry budget (the run could
 #: not produce a trustworthy result; partial output is never printed).
 EXIT_TASK_FAILURE = 4
-
-
-def _resolve_out_path(
-    path: str, overwrite: bool, logger, kind: str, overwrite_flag: str
-) -> str:
-    """Where an output artifact (report, profile) may actually go.
-
-    An existing file is never silently clobbered: unless ``overwrite``
-    was requested, the write is diverted to the first free numbered
-    sibling (``report.json`` -> ``report.1.json``) and a structured
-    warning says so.
-    """
-    if overwrite or not os.path.exists(path):
-        return path
-    stem, ext = os.path.splitext(path)
-    counter = 1
-    while os.path.exists(f"{stem}.{counter}{ext}"):
-        counter += 1
-    resolved = f"{stem}.{counter}{ext}"
-    logger.warning(
-        f"{kind}.exists",
-        path=path,
-        wrote=resolved,
-        hint=f"pass {overwrite_flag} to replace the existing file",
-    )
-    return resolved
 
 
 def _resolve_metrics_path(path: str, overwrite: bool, logger) -> str:

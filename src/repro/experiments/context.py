@@ -109,6 +109,47 @@ class ExperimentContext:
             else None
         )
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec: dict,
+        workers: int = 1,
+        cache_dir: str | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 8,
+        fault_plan: "faults.FaultPlan | None" = None,
+    ) -> "ExperimentContext":
+        """A context configured from a normalized service job spec.
+
+        ``spec`` is the output of
+        :func:`repro.service.spec.normalize_spec` — the wire-format
+        payload a ``POST /v1/jobs`` submission carries (see
+        ``docs/service.md``).  Accuracy knobs (target, sample budgets,
+        sampler, grid, seed) come from the spec because they are part
+        of the job's identity (its cache fingerprint); execution knobs
+        (workers, cache/checkpoint directories) come from the server
+        because they must not change what is computed, only how.
+
+        ``sampler_scale`` is always ``None``: the scaled sampler
+        auto-tunes from a pilot batch and the adaptive strategies use
+        their default exploration width, so a spec never needs to pick
+        a magic inflation constant.
+        """
+        return cls(
+            target=spec["target"],
+            calibration_samples=spec["calibration_samples"],
+            analysis_samples=spec["analysis_samples"],
+            sampler=spec["sampler"],
+            sampler_scale=None,
+            table_grid=spec["table_grid"],
+            seed=spec["seed"],
+            workers=workers,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            fault_plan=fault_plan,
+        )
+
     @property
     def workers(self) -> int:
         """The configured fan-out width (1 = serial)."""

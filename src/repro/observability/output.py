@@ -1,0 +1,49 @@
+"""Collision-safe placement of output artifacts (reports, profiles).
+
+Several surfaces write JSON artifacts to user-named paths: the
+experiments CLI (``--metrics-out``, ``--profile-out``) and the service
+load generator (``--telemetry-out``).  They share one policy, defined
+here once: an existing file is never silently clobbered — unless an
+overwrite was explicitly requested, the write is diverted to the first
+free numbered sibling (``report.json`` -> ``report.1.json``) and a
+structured warning says so.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def resolve_out_path(
+    path: str, overwrite: bool, logger, kind: str, overwrite_flag: str
+) -> str:
+    """Where an output artifact may actually go.
+
+    Args:
+        path: the path the user asked for.
+        overwrite: True when the user explicitly allowed replacement.
+        logger: a :mod:`repro.observability.log` logger for the
+            diversion warning.
+        kind: short artifact label used in the warning event name
+            (``"metrics"`` -> ``metrics.exists``).
+        overwrite_flag: the CLI flag to mention in the hint
+            (e.g. ``"--metrics-overwrite"``).
+
+    Returns:
+        ``path`` itself when it is free (or overwriting was allowed),
+        otherwise the first free numbered sibling.
+    """
+    if overwrite or not os.path.exists(path):
+        return path
+    stem, ext = os.path.splitext(path)
+    counter = 1
+    while os.path.exists(f"{stem}.{counter}{ext}"):
+        counter += 1
+    resolved = f"{stem}.{counter}{ext}"
+    logger.warning(
+        f"{kind}.exists",
+        path=path,
+        wrote=resolved,
+        hint=f"pass {overwrite_flag} to replace the existing file",
+    )
+    return resolved

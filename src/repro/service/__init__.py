@@ -1,0 +1,36 @@
+"""Yield analysis as a service.
+
+``repro.service`` promotes the experiments stack into a long-running
+HTTP/JSON job server: clients ``POST`` experiment specs, the server
+dedupes them by cache fingerprint, shards the build over the
+:class:`~repro.parallel.executor.ParallelExecutor`, checkpoints
+progress, and serves finished surfaces from the
+:class:`~repro.parallel.cache.ResultCache` at in-memory latency on
+warm hits.
+
+Run it with ``python -m repro.service``; the API and wire format are
+documented in ``docs/service.md``.
+"""
+
+from repro.service.jobs import Job, JobManager, run_spec
+from repro.service.server import BackgroundServer, ServiceServer
+from repro.service.spec import (
+    SPEC_KINDS,
+    SpecError,
+    job_cells,
+    normalize_spec,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "Job",
+    "JobManager",
+    "SPEC_KINDS",
+    "ServiceServer",
+    "SpecError",
+    "job_cells",
+    "normalize_spec",
+    "run_spec",
+    "spec_fingerprint",
+]

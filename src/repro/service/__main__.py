@@ -1,0 +1,126 @@
+"""Run the yield-analysis service from the shell::
+
+    python -m repro.service --port 8642 \
+        --cache-dir ~/.cache/repro --checkpoint-dir /var/tmp/repro-ckpt
+
+``--port 0`` binds an ephemeral port; the chosen one is printed on the
+``listening on`` line (machine-readable, used by the test harness and
+CI).  ``--workers`` sets the in-job ``ParallelExecutor`` fan-out —
+results are bit-identical at any count.  ``--cache-dir`` makes
+completed surfaces survive restarts (a resubmitted spec is served warm)
+and ``--checkpoint-dir`` makes in-flight builds resumable (a spec
+resubmitted after a crash continues from the last flush instead of
+restarting).  See ``docs/service.md`` for the API this serves.
+
+Telemetry collection is always on in the server process — the
+``service.*`` counters are part of the healthz contract, not an
+optional extra; ``-v``/``--log-json`` additionally stream structured
+request/job logs to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro import observability
+from repro.service.jobs import JobManager
+from repro.service.server import ServiceServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve SRAM yield analysis as an HTTP/JSON job API.",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (default 8642; 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="ParallelExecutor fan-out inside each job (default 1; "
+        "results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist computed surfaces to DIR; resubmitted specs are "
+        "served warm across restarts",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="flush completed grid cells to DIR during builds; a spec "
+        "resubmitted after a crash resumes from the last flush",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="completed cells per checkpoint flush (default 8)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured request/job logs on stderr (-vv for debug)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="render logs as JSON lines instead of text",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.checkpoint_every < 1:
+        parser.error(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+
+    observability.configure(
+        verbosity=args.verbose, json_lines=args.log_json, metrics=True
+    )
+    manager = JobManager(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+    server = ServiceServer(manager, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        # Machine-readable: the harness parses the URL off this line.
+        print(f"listening on {server.base_url}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown
+            pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        manager.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,401 @@
+"""Job lifecycle for the yield-analysis service.
+
+A job is one normalized spec (see :mod:`repro.service.spec`) moving
+through ``queued -> running -> completed | failed``.  The
+:class:`JobManager` owns the registry of jobs, dedupes submissions by
+the spec fingerprint (which *is* the job id), and executes jobs one at
+a time on a dedicated worker thread — concurrency inside a job comes
+from the :class:`~repro.parallel.executor.ParallelExecutor` fan-out
+over grid cells, not from racing jobs against each other (racing would
+also corrupt the per-job telemetry deltas the progress report is
+derived from).
+
+Service counters (all under the ``repro.telemetry/1`` schema, see
+``docs/service.md``):
+
+* ``service.jobs_accepted`` — new (or failed-and-retried) specs queued;
+* ``service.jobs_deduped`` — submissions attached to an existing job;
+* ``service.jobs_completed`` / ``service.jobs_failed`` — terminal states;
+* ``service.queue_depth`` (gauge) — jobs currently queued or running;
+* ``service.job_seconds`` (histogram) — per-job wall time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.observability.log import get_logger
+from repro.observability.metrics import incr, observe, registry, set_gauge
+from repro.service.spec import job_cells, normalize_spec, spec_fingerprint
+
+_log = get_logger("service.jobs")
+
+#: Counters whose per-job delta the progress report carries.  The
+#: baseline is snapshotted when the job starts; because jobs execute
+#: serially on one worker thread, everything these counters gain until
+#: the job finishes is attributable to it.
+PROGRESS_COUNTERS = (
+    "mc.samples",
+    "mc.estimates",
+    "solver.calls",
+    "cache.hits",
+    "cache.misses",
+    "checkpoint.flushes",
+    "checkpoint.resumed_cells",
+    "checkpoint.completed_cells",
+)
+
+#: Job lifecycle states (terminal: ``completed``, ``failed``).
+JOB_STATUSES = ("queued", "running", "completed", "failed")
+
+
+def _counter_values() -> dict[str, float]:
+    return {name: registry.counter(name).value for name in PROGRESS_COUNTERS}
+
+
+def run_spec(
+    spec: dict,
+    workers: int = 1,
+    cache_dir: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 8,
+) -> dict:
+    """Execute one normalized spec; return the JSON-ready result.
+
+    This is the default job runner: it builds an
+    :meth:`ExperimentContext.from_spec` context (so the build shards
+    over the executor, persists to the result cache, and checkpoints
+    mid-build) and evaluates the requested surface at its own grid
+    nodes.
+    """
+    ctx = ExperimentContext.from_spec(
+        spec,
+        workers=workers,
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
+    if spec["kind"] == "table":
+        from repro.failures.analysis import MECHANISMS
+
+        surfaces = []
+        corner_grid: list[float] = []
+        for vbody in spec["vbody_levels"]:
+            table = ctx.table(vbody)
+            corner_grid = [float(x) for x in table.grid]
+            surfaces.append(
+                {
+                    "vbody": vbody,
+                    "log10_probability": {
+                        name: [
+                            float(v)
+                            for v in np.log10(
+                                np.clip(
+                                    table.series(table.grid, name),
+                                    1e-300,
+                                    1.0,
+                                )
+                            )
+                        ]
+                        for name in MECHANISMS + ("any",)
+                    },
+                    "diagnostics": (
+                        dataclasses.asdict(table.diagnostics)
+                        if table.diagnostics is not None
+                        else None
+                    ),
+                }
+            )
+        return {
+            "kind": "table",
+            "corner_grid": corner_grid,
+            "surfaces": surfaces,
+        }
+
+    from repro.experiments.asb import HoldProbabilityTable
+
+    corner_grid = [
+        float(x) for x in np.linspace(-0.12, 0.12, spec["corner_points"])
+    ]
+    table = HoldProbabilityTable(
+        ctx,
+        corner_grid=np.array(corner_grid),
+        vsb_grid=np.array(spec["vsb_levels"]),
+    )
+    return {
+        "kind": "hold-surface",
+        "corner_grid": corner_grid,
+        "vsb_levels": spec["vsb_levels"],
+        "log10_probability": [
+            [
+                float(np.log10(max(table.probability(c, v), 1e-300)))
+                for v in spec["vsb_levels"]
+            ]
+            for c in corner_grid
+        ],
+        "diagnostics": (
+            dataclasses.asdict(table.diagnostics)
+            if table.diagnostics is not None
+            else None
+        ),
+    }
+
+
+@dataclass
+class Job:
+    """One spec's journey through the service."""
+
+    id: str
+    spec: dict
+    status: str = "queued"
+    submissions: int = 1
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result: dict | None = None
+    #: Counter values when the job started (progress baseline).
+    baseline: dict[str, float] = field(default_factory=dict)
+    #: Final counter deltas, frozen when the job finishes.
+    final_counters: dict[str, float] | None = None
+
+    def progress(self) -> dict:
+        """The wire-format progress block (see docs/service.md).
+
+        ``cells_done`` is exact when the server runs with a checkpoint
+        directory (the checkpoint store counts completed/resumed cells
+        at the same granularity the build shards in); without one it is
+        ``None`` and the raw counter deltas still tell the story.
+        """
+        cells_total = job_cells(self.spec)
+        if self.status == "queued":
+            counters: dict[str, float] = {name: 0.0 for name in PROGRESS_COUNTERS}
+        elif self.final_counters is not None:
+            counters = dict(self.final_counters)
+        else:
+            now = _counter_values()
+            counters = {
+                name: now[name] - self.baseline.get(name, 0.0)
+                for name in PROGRESS_COUNTERS
+            }
+        checkpointed = (
+            counters["checkpoint.completed_cells"]
+            + counters["checkpoint.resumed_cells"]
+        )
+        cells_done: float | None
+        if self.status == "completed":
+            cells_done = float(cells_total)
+        elif checkpointed > 0:
+            cells_done = min(float(cells_total), checkpointed)
+        else:
+            cells_done = None
+        return {
+            "cells_total": cells_total,
+            "cells_done": cells_done,
+            "counters": counters,
+        }
+
+    def view(self) -> dict:
+        """The wire-format job object (``GET /v1/jobs/{id}``)."""
+        elapsed = None
+        if self.started_at is not None:
+            end = self.finished_at if self.finished_at is not None else time.time()
+            elapsed = round(end - self.started_at, 6)
+        return {
+            "id": self.id,
+            "kind": self.spec["kind"],
+            "status": self.status,
+            "spec": self.spec,
+            "submissions": self.submissions,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_seconds": elapsed,
+            "error": self.error,
+            "progress": self.progress(),
+        }
+
+
+class JobManager:
+    """Owns job state, dedupe, and the single-job-at-a-time executor.
+
+    Args:
+        workers: ``ParallelExecutor`` fan-out width inside each job.
+        cache_dir: result-cache directory; warm resubmissions of a
+            completed-and-evicted job reload from here instead of
+            recomputing (and two jobs sharing sub-artifacts share them).
+        checkpoint_dir: checkpoint directory; a job killed mid-build
+            (server crash, restart) resumes from the last flush when
+            the same spec is resubmitted.
+        checkpoint_every: completed cells per checkpoint flush.
+        runner: job execution callable ``(spec, **exec_opts) -> result``
+            — :func:`run_spec` by default, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: str | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 8,
+        runner=run_spec,
+    ) -> None:
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self._runner = runner
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-job"
+        )
+        self.started_at = time.time()
+        # Baseline-counter contract (cf. observability._BASELINE_COUNTERS):
+        # every healthz/telemetry consumer may rely on the service keys
+        # existing, even before the first job — so a burst with zero
+        # failures reports `service.jobs_failed = 0`, not a missing key.
+        for name in (
+            "service.jobs_accepted",
+            "service.jobs_deduped",
+            "service.jobs_completed",
+            "service.jobs_failed",
+            "service.requests",
+        ):
+            registry.counter(name)
+        registry.gauge("service.queue_depth")
+
+    # ------------------------------------------------------------------
+    # Submission / lookup (called from the HTTP handlers)
+    # ------------------------------------------------------------------
+    def submit(self, raw_spec: object) -> tuple[Job, bool]:
+        """Queue a spec (or attach to its existing job).
+
+        Returns ``(job, created)`` — ``created`` is False when the
+        submission deduped onto a live or completed job.  A job that
+        previously *failed* is retried: same id, state reset to
+        queued.  Raises :class:`~repro.service.spec.SpecError` on an
+        invalid spec.
+        """
+        spec = normalize_spec(raw_spec)
+        job_id = spec_fingerprint(spec)
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job.status != "failed":
+                job.submissions += 1
+                incr("service.jobs_deduped")
+                _log.info(
+                    "job.deduped", job_id=job_id, status=job.status,
+                    submissions=job.submissions,
+                )
+                return job, False
+            if job is None:
+                job = Job(id=job_id, spec=spec, created_at=time.time())
+                self._jobs[job_id] = job
+            else:
+                # Retry of a failed job: keep the id and submission
+                # count, clear the failure.
+                job.submissions += 1
+                job.status = "queued"
+                job.error = None
+                job.result = None
+                job.started_at = None
+                job.finished_at = None
+                job.final_counters = None
+            incr("service.jobs_accepted")
+            self._update_queue_depth_locked()
+        _log.info("job.accepted", job_id=job_id, kind=spec["kind"])
+        self._pool.submit(self._execute, job_id)
+        return job, True
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per lifecycle state (the healthz ``jobs`` block)."""
+        with self._lock:
+            out = {status: 0 for status in JOB_STATUSES}
+            for job in self._jobs.values():
+                out[job.status] += 1
+            return out
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.status in ("queued", "running")
+            )
+
+    def shutdown(self) -> None:
+        """Stop accepting work; running jobs are abandoned (their
+        checkpoints make a later resubmission resume, not restart)."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Execution (worker thread)
+    # ------------------------------------------------------------------
+    def _update_queue_depth_locked(self) -> None:
+        depth = sum(
+            1
+            for job in self._jobs.values()
+            if job.status in ("queued", "running")
+        )
+        set_gauge("service.queue_depth", depth)
+
+    def _execute(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.status != "queued":  # pragma: no cover - retry race
+                return
+            job.status = "running"
+            job.started_at = time.time()
+            job.baseline = _counter_values()
+        _log.info("job.start", job_id=job_id, kind=job.spec["kind"])
+        try:
+            result = self._runner(
+                job.spec,
+                workers=self.workers,
+                cache_dir=self.cache_dir,
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_every=self.checkpoint_every,
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            with self._lock:
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+                job.final_counters = self._deltas_locked(job)
+                self._update_queue_depth_locked()
+            incr("service.jobs_failed")
+            observe("service.job_seconds", job.finished_at - job.started_at)
+            _log.warning("job.failed", job_id=job_id, error=job.error)
+            return
+        with self._lock:
+            job.result = result
+            job.status = "completed"
+            job.finished_at = time.time()
+            job.final_counters = self._deltas_locked(job)
+            self._update_queue_depth_locked()
+        incr("service.jobs_completed")
+        observe("service.job_seconds", job.finished_at - job.started_at)
+        _log.info(
+            "job.completed",
+            job_id=job_id,
+            seconds=round(job.finished_at - job.started_at, 3),
+        )
+
+    def _deltas_locked(self, job: Job) -> dict[str, float]:
+        now = _counter_values()
+        return {
+            name: now[name] - job.baseline.get(name, 0.0)
+            for name in PROGRESS_COUNTERS
+        }

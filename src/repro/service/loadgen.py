@@ -1,0 +1,275 @@
+"""Load generator for the yield-analysis service.
+
+Drives a running server the way a fleet of clients would: submit a
+spec, poll it to completion, then hammer the warm path — duplicate
+submissions (which must dedupe, not recompute) and repeated result
+``GET``\\ s (which must come back at in-memory latency).  Client-side
+latencies land in the ``service.client_submit_seconds`` /
+``service.client_result_seconds`` histograms so the bench workload can
+gate the warm p95.
+
+Library use (the ``service`` bench workload)::
+
+    from repro.service.loadgen import run_load
+    stats = run_load(base_url, spec, duplicates=20, result_gets=50)
+
+Shell use (the CI ``service-smoke`` job)::
+
+    python -m repro.service.loadgen --base-url http://127.0.0.1:8642 \
+        --duplicates 20 --gets 50 --telemetry-out service-telemetry.json
+
+The CLI exits 0 only when the burst completed the job, every duplicate
+deduped onto it, and the server reports ``service.jobs_failed == 0``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro import observability
+from repro.observability.log import get_logger
+from repro.observability.metrics import observe
+from repro.observability.output import resolve_out_path
+
+_log = get_logger("service.loadgen")
+
+#: A deliberately tiny spec: coarse target and small sample budgets so
+#: a smoke burst finishes in seconds while still exercising the full
+#: submit -> shard -> cache -> serve path.
+QUICK_SPEC = {
+    "kind": "table",
+    "target": 1e-2,
+    "calibration_samples": 2_000,
+    "analysis_samples": 600,
+    "sampler": "adaptive-is",
+    "table_grid": 5,
+    "seed": 2006,
+    "vbody_levels": [0.0],
+}
+
+
+class LoadError(RuntimeError):
+    """The burst hit a response the contract forbids."""
+
+
+def _request(
+    method: str, url: str, payload: dict | None = None, timeout: float = 30.0
+) -> tuple[int, dict]:
+    """One HTTP exchange; returns (status, decoded JSON body)."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def run_load(
+    base_url: str,
+    spec: dict | None = None,
+    duplicates: int = 20,
+    result_gets: int = 50,
+    poll_interval: float = 0.1,
+    timeout: float = 300.0,
+) -> dict:
+    """Submit ``spec``, wait for completion, then burst the warm path.
+
+    Returns a summary dict (job id, phase latencies, the final healthz
+    payload).  Raises :class:`LoadError` on any contract violation:
+    a submission rejected, a duplicate that did not dedupe, a warm
+    result that is not served, or the job failing.
+    """
+    base_url = base_url.rstrip("/")
+    spec = spec if spec is not None else QUICK_SPEC
+
+    start = time.perf_counter()
+    status, body = _request("POST", f"{base_url}/v1/jobs", spec)
+    observe("service.client_submit_seconds", time.perf_counter() - start)
+    if status not in (200, 202):
+        raise LoadError(f"submit rejected: HTTP {status} {body}")
+    job_id = body["job"]["id"]
+    _log.info("loadgen.submitted", job_id=job_id, status=status)
+
+    deadline = time.monotonic() + timeout
+    while True:
+        status, body = _request("GET", f"{base_url}/v1/jobs/{job_id}")
+        if status != 200:
+            raise LoadError(f"status poll failed: HTTP {status} {body}")
+        job_status = body["job"]["status"]
+        if job_status == "completed":
+            break
+        if job_status == "failed":
+            raise LoadError(f"job failed: {body['job']['error']}")
+        if time.monotonic() > deadline:
+            raise LoadError(f"job {job_id} not done within {timeout}s")
+        time.sleep(poll_interval)
+    cold_seconds = time.perf_counter() - start
+    _log.info("loadgen.completed", job_id=job_id,
+              seconds=round(cold_seconds, 3))
+
+    # Warm phase 1: duplicate submissions must attach, never recompute.
+    for _ in range(duplicates):
+        t0 = time.perf_counter()
+        status, body = _request("POST", f"{base_url}/v1/jobs", spec)
+        observe("service.client_submit_seconds", time.perf_counter() - t0)
+        if status != 200 or not body["deduped"]:
+            raise LoadError(
+                f"duplicate did not dedupe: HTTP {status} "
+                f"deduped={body.get('deduped')}"
+            )
+        if body["job"]["id"] != job_id:
+            raise LoadError(
+                f"duplicate got a different job id: {body['job']['id']}"
+            )
+
+    # Warm phase 2: repeated result reads must be served immediately.
+    result_url = f"{base_url}/v1/jobs/{job_id}/result"
+    for _ in range(result_gets):
+        t0 = time.perf_counter()
+        status, body = _request("GET", result_url)
+        observe("service.client_result_seconds", time.perf_counter() - t0)
+        if status != 200 or body["status"] != "completed":
+            raise LoadError(f"warm result read failed: HTTP {status}")
+
+    status, health = _request("GET", f"{base_url}/v1/healthz")
+    if status != 200:
+        raise LoadError(f"healthz failed: HTTP {status}")
+    counters = health["telemetry"]["metrics"]["counters"]
+    if counters.get("service.jobs_failed", 0) != 0:
+        raise LoadError(
+            f"server reports failed jobs: {counters['service.jobs_failed']}"
+        )
+    return {
+        "job_id": job_id,
+        "cold_seconds": round(cold_seconds, 6),
+        "duplicates": duplicates,
+        "result_gets": result_gets,
+        "healthz": health,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Burst a running repro.service with a smoke load.",
+    )
+    parser.add_argument(
+        "--base-url",
+        required=True,
+        metavar="URL",
+        help="server address, e.g. http://127.0.0.1:8642",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="JSON",
+        help="job spec as inline JSON (default: the built-in tiny "
+        "table spec)",
+    )
+    parser.add_argument(
+        "--duplicates",
+        type=int,
+        default=20,
+        metavar="N",
+        help="duplicate submissions in the warm burst (default 20)",
+    )
+    parser.add_argument(
+        "--gets",
+        type=int,
+        default=50,
+        metavar="N",
+        help="warm result GETs in the burst (default 50)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="seconds to wait for the job to complete (default 300)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="FILE",
+        help="write the server's final healthz telemetry plus the "
+        "client-side latency histograms to FILE; an existing FILE "
+        "diverts to a numbered sibling unless --telemetry-overwrite "
+        "is passed",
+    )
+    parser.add_argument(
+        "--telemetry-overwrite",
+        action="store_true",
+        help="allow --telemetry-out to replace an existing file",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="progress logs on stderr",
+    )
+    args = parser.parse_args(argv)
+
+    spec = None
+    if args.spec is not None:
+        try:
+            spec = json.loads(args.spec)
+        except json.JSONDecodeError as exc:
+            parser.error(f"--spec is not valid JSON: {exc}")
+
+    observability.configure(verbosity=args.verbose, metrics=True)
+    try:
+        summary = run_load(
+            args.base_url,
+            spec,
+            duplicates=args.duplicates,
+            result_gets=args.gets,
+            timeout=args.timeout,
+        )
+    except (LoadError, urllib.error.URLError, OSError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    counters = summary["healthz"]["telemetry"]["metrics"]["counters"]
+    # CLI-only assertion: against a freshly-booted server (the CI
+    # smoke), the burst must leave at least one completed job behind.
+    # The library path skips this — a bench repeat resets counters
+    # between the untimed cold build and the timed warm burst.
+    if counters.get("service.jobs_completed", 0) < 1:
+        print("FAIL: server reports zero completed jobs", file=sys.stderr)
+        return 1
+    print(
+        "load burst ok: job", summary["job_id"],
+        f"cold {summary['cold_seconds']:.2f}s,",
+        int(counters.get("service.jobs_deduped", 0)), "deduped submission(s),",
+        int(counters.get("service.jobs_completed", 0)), "completed job(s)",
+    )
+    if args.telemetry_out is not None:
+        client = observability.registry.snapshot()
+        report = {
+            "schema": observability.SCHEMA,
+            "summary": {k: v for k, v in summary.items() if k != "healthz"},
+            "server": summary["healthz"],
+            "client_metrics": client,
+        }
+        logger = observability.get_logger("service.loadgen")
+        out_path = resolve_out_path(
+            args.telemetry_out, args.telemetry_overwrite, logger,
+            "telemetry", "--telemetry-overwrite",
+        )
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print("telemetry written to", out_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,368 @@
+"""The asyncio HTTP/JSON front end of the yield-analysis service.
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`
+(stdlib only — no new runtime dependencies), exposing four endpoints:
+
+* ``POST /v1/jobs`` — submit a spec; 202 on a new job, 200 when the
+  submission deduped onto an existing one;
+* ``GET /v1/jobs/{id}`` — status + progress derived from telemetry
+  counter deltas;
+* ``GET /v1/jobs/{id}/result`` — the computed surface (409 until the
+  job completes);
+* ``GET /v1/healthz`` — liveness, job counts, and the full metrics
+  snapshot under the ``repro.telemetry/1`` schema.
+
+The wire format (schemas, error codes, dedupe semantics) is specified
+in ``docs/service.md``; this module is an implementation of that
+document, not the other way around.
+
+Request handling never blocks on job execution: submissions enqueue
+onto the :class:`~repro.service.jobs.JobManager` worker thread and
+return immediately, so status polls and warm result reads stay at
+in-memory-lookup latency while a build runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.observability import SCHEMA, registry
+from repro.observability.log import get_logger
+from repro.observability.metrics import incr, observe
+from repro.service.jobs import JobManager
+from repro.service.spec import SpecError
+
+_log = get_logger("service.http")
+
+#: Largest accepted request body; specs are tiny, anything bigger is
+#: a client error (413), not a reason to buffer unboundedly.
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Terminate request handling with a structured error response."""
+
+    def __init__(
+        self, status: int, code: str, message: str, allow: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.allow = allow
+
+
+def _metrics_snapshot() -> dict:
+    """The healthz telemetry block: metrics only, no trace tree.
+
+    Histogram summaries keep their ``p50``/``p95`` estimates but drop
+    the raw reservoir — healthz is polled, so its payload stays small.
+    """
+    metrics = registry.snapshot()
+    for summary in metrics["histograms"].values():
+        summary.pop("reservoir", None)
+    return {"schema": SCHEMA, "metrics": metrics}
+
+
+class ServiceServer:
+    """One listening socket bound to one :class:`JobManager`."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start serving; ``self.port`` holds the real port
+        afterwards (relevant when constructed with port 0)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        _log.info("service.listening", host=self.host, port=self.port)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.manager.shutdown()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        start = time.perf_counter()
+        status = 500
+        method = path = "?"
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, payload = self._route(method, path, body)
+            except _HttpError as exc:
+                status = exc.status
+                payload = {"error": {"code": exc.code, "message": str(exc)}}
+                extra = (
+                    {"Allow": exc.allow} if exc.allow is not None else None
+                )
+                await self._respond(writer, status, payload, extra)
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away; nothing to answer
+            except Exception as exc:  # noqa: BLE001 - last-resort boundary
+                _log.warning(
+                    "service.request.error", method=method, path=path,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                status = 500
+                await self._respond(
+                    writer,
+                    500,
+                    {
+                        "error": {
+                            "code": "internal",
+                            "message": f"{type(exc).__name__}: {exc}",
+                        }
+                    },
+                )
+                return
+            await self._respond(writer, status, payload)
+        finally:
+            incr("service.requests")
+            observe("service.request_seconds", time.perf_counter() - start)
+            _log.debug(
+                "service.request", method=method, path=path, status=status,
+            )
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ConnectionError("empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, "bad-request", "malformed request line")
+        method, target, _version = parts
+        path = target.split("?", 1)[0]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(
+                        400, "bad-request", "unparseable Content-Length"
+                    ) from None
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413,
+                "body-too-large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method, path, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        extra_headers: dict | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        if path == "/v1/jobs":
+            if method != "POST":
+                raise _HttpError(
+                    405, "method-not-allowed",
+                    f"{method} not allowed on {path}", allow="POST",
+                )
+            return self._submit(body)
+        if path == "/v1/healthz":
+            if method != "GET":
+                raise _HttpError(
+                    405, "method-not-allowed",
+                    f"{method} not allowed on {path}", allow="GET",
+                )
+            return self._healthz()
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise _HttpError(
+                    405, "method-not-allowed",
+                    f"{method} not allowed on {path}", allow="GET",
+                )
+            rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/result"):
+                return self._result(rest[: -len("/result")].rstrip("/"))
+            if "/" not in rest:
+                return self._status(rest)
+        raise _HttpError(404, "not-found", f"no route for {method} {path}")
+
+    def _submit(self, body: bytes) -> tuple[int, dict]:
+        try:
+            raw = json.loads(body.decode() or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(
+                400, "invalid-json", f"request body is not JSON: {exc}"
+            ) from None
+        try:
+            job, created = self.manager.submit(raw)
+        except SpecError as exc:
+            raise _HttpError(400, exc.code, str(exc)) from None
+        return (202 if created else 200), {
+            "job": job.view(),
+            "deduped": not created,
+        }
+
+    def _lookup(self, job_id: str):
+        job = self.manager.get(job_id)
+        if job is None:
+            raise _HttpError(404, "unknown-job", f"no job {job_id!r}")
+        return job
+
+    def _status(self, job_id: str) -> tuple[int, dict]:
+        return 200, {"job": self._lookup(job_id).view()}
+
+    def _result(self, job_id: str) -> tuple[int, dict]:
+        job = self._lookup(job_id)
+        if job.status == "completed":
+            return 200, {
+                "job_id": job.id,
+                "status": job.status,
+                "result": job.result,
+            }
+        if job.status == "failed":
+            raise _HttpError(
+                409, "job-failed",
+                f"job {job_id} failed: {job.error}",
+            )
+        raise _HttpError(
+            409, "not-completed",
+            f"job {job_id} is {job.status}; poll GET /v1/jobs/{job_id}",
+        )
+
+    def _healthz(self) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.manager.started_at, 3),
+            "queue_depth": self.manager.queue_depth(),
+            "jobs": self.manager.counts(),
+            "telemetry": _metrics_snapshot(),
+        }
+
+
+class BackgroundServer:
+    """A :class:`ServiceServer` on its own thread + event loop.
+
+    For tests and the bench/load-generator: ``start()`` returns once
+    the socket is bound (so ``base_url`` is immediately usable from the
+    calling thread) and ``stop()`` tears the loop down cleanly.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = ServiceServer(manager, host=host, port=port)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+
+    def start(self) -> str:
+        """Bind, start serving on a daemon thread, return the base URL."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10):  # pragma: no cover
+            raise RuntimeError("service failed to start within 10s")
+        return self.server.base_url
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            self._stop_event = asyncio.Event()
+            await self.server.start()
+            self._ready.set()
+            # The listening server stays up until stop() flips the
+            # event from another thread; teardown then happens *inside*
+            # the loop so the thread exits with nothing pending.
+            await self._stop_event.wait()
+            await self.server.stop()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=10)
+        self._thread = None
+        self._loop = None
+        self._stop_event = None

@@ -1,0 +1,215 @@
+"""Job-spec validation and identity for the yield-analysis service.
+
+A job spec is the JSON body of ``POST /v1/jobs`` (see
+``docs/service.md`` for the wire-format reference).  This module turns
+a raw decoded payload into its *normalized* form — every field
+validated, every default applied, lists coerced to plain floats — and
+derives the job id from it.
+
+The job id **is** the cache fingerprint of the normalized spec
+(:func:`repro.parallel.cache.fingerprint` of the canonical JSON), which
+is what makes the service's dedupe exact rather than heuristic: two
+submissions that would compute the same surface hash to the same job,
+regardless of field order or ``1e-5`` vs ``0.00001`` spelling, while
+any field that changes the numbers changes the id.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.cache import fingerprint
+from repro.stats.rare_event import SAMPLER_NAMES
+
+#: Experiment families the service can run.
+SPEC_KINDS = ("table", "hold-surface")
+
+#: Fields common to every kind, with their defaults.
+_COMMON_DEFAULTS = {
+    "target": 1e-5,
+    "calibration_samples": 20_000,
+    "analysis_samples": 4_000,
+    "sampler": "adaptive-is",
+    "table_grid": 9,
+    "seed": 2006,
+}
+
+#: Kind-specific fields with their defaults.
+_KIND_DEFAULTS = {
+    "table": {"vbody_levels": [0.0]},
+    "hold-surface": {
+        "corner_points": 5,
+        "vsb_levels": [0.0, 0.2, 0.4, 0.6],
+    },
+}
+
+#: Hard bounds keeping a single job's solver budget sane.
+_MAX_SAMPLES = 1_000_000
+_MAX_GRID = 33
+_MAX_LEVELS = 16
+
+
+class SpecError(ValueError):
+    """A submitted spec is invalid; ``code`` names the error class.
+
+    The HTTP layer maps this 1:1 onto a 400 response whose body is
+    ``{"error": {"code": ..., "message": ...}}`` — codes are part of
+    the wire format (``invalid-spec``, ``unknown-field``,
+    ``unknown-kind``, ``invalid-value``; the transport layer adds
+    ``invalid-json`` for undecodable bodies).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _require_number(spec: dict, field: str, lo: float, hi: float) -> float:
+    value = spec[field]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(
+            "invalid-value", f"{field} must be a number, got {value!r}"
+        )
+    value = float(value)
+    if not lo <= value <= hi:
+        raise SpecError(
+            "invalid-value",
+            f"{field} must be in [{lo:g}, {hi:g}], got {value:g}",
+        )
+    return value
+
+
+def _require_int(spec: dict, field: str, lo: int, hi: int) -> int:
+    value = spec[field]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(
+            "invalid-value", f"{field} must be an integer, got {value!r}"
+        )
+    if not lo <= value <= hi:
+        raise SpecError(
+            "invalid-value",
+            f"{field} must be in [{lo}, {hi}], got {value}",
+        )
+    return value
+
+
+def _require_levels(
+    spec: dict,
+    field: str,
+    lo: float,
+    hi: float,
+    min_len: int,
+    increasing: bool,
+) -> list[float]:
+    raw = spec[field]
+    if not isinstance(raw, list) or not raw:
+        raise SpecError(
+            "invalid-value", f"{field} must be a non-empty list of numbers"
+        )
+    if len(raw) < min_len:
+        raise SpecError(
+            "invalid-value",
+            f"{field} needs at least {min_len} entries, got {len(raw)}",
+        )
+    if len(raw) > _MAX_LEVELS:
+        raise SpecError(
+            "invalid-value",
+            f"{field} allows at most {_MAX_LEVELS} entries, got {len(raw)}",
+        )
+    levels = []
+    for item in raw:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise SpecError(
+                "invalid-value",
+                f"{field} entries must be numbers, got {item!r}",
+            )
+        value = float(item)
+        if not lo <= value <= hi:
+            raise SpecError(
+                "invalid-value",
+                f"{field} entries must be in [{lo:g}, {hi:g}], got {value:g}",
+            )
+        levels.append(value)
+    if increasing and any(
+        b <= a for a, b in zip(levels, levels[1:])
+    ):
+        raise SpecError(
+            "invalid-value", f"{field} must be strictly increasing"
+        )
+    return levels
+
+
+def normalize_spec(raw: object) -> dict:
+    """Validate a decoded submission body; return the canonical spec.
+
+    Strict by design: unknown fields are rejected (a typo like
+    ``"smapler"`` must not silently fall back to the default and
+    compute — then cache — the wrong surface), every known field is
+    bounds-checked, and defaults are materialised so the normalized
+    dict is self-contained.  Raises :class:`SpecError` with a wire
+    error code on any violation.
+    """
+    if not isinstance(raw, dict):
+        raise SpecError("invalid-spec", "spec must be a JSON object")
+    if "kind" not in raw:
+        raise SpecError("invalid-spec", "spec is missing required field 'kind'")
+    kind = raw["kind"]
+    if kind not in SPEC_KINDS:
+        raise SpecError(
+            "unknown-kind",
+            f"unknown kind {kind!r}; expected one of {list(SPEC_KINDS)}",
+        )
+    known = set(_COMMON_DEFAULTS) | set(_KIND_DEFAULTS[kind]) | {"kind"}
+    unknown = sorted(set(raw) - known)
+    if unknown:
+        raise SpecError(
+            "unknown-field",
+            f"unknown field(s) for kind {kind!r}: {', '.join(unknown)}",
+        )
+
+    spec: dict = {"kind": kind}
+    spec.update(_COMMON_DEFAULTS)
+    spec.update(_KIND_DEFAULTS[kind])
+    spec.update({k: v for k, v in raw.items() if k != "kind"})
+
+    spec["target"] = _require_number(spec, "target", 1e-12, 0.5)
+    spec["calibration_samples"] = _require_int(
+        spec, "calibration_samples", 500, _MAX_SAMPLES
+    )
+    spec["analysis_samples"] = _require_int(
+        spec, "analysis_samples", 50, _MAX_SAMPLES
+    )
+    spec["table_grid"] = _require_int(spec, "table_grid", 4, _MAX_GRID)
+    spec["seed"] = _require_int(spec, "seed", 0, 2**31 - 1)
+    if spec["sampler"] not in SAMPLER_NAMES:
+        raise SpecError(
+            "invalid-value",
+            f"sampler must be one of {list(SAMPLER_NAMES)}, "
+            f"got {spec['sampler']!r}",
+        )
+    if kind == "table":
+        spec["vbody_levels"] = _require_levels(
+            spec, "vbody_levels", -0.5, 0.5, min_len=1, increasing=True
+        )
+    else:
+        spec["corner_points"] = _require_int(
+            spec, "corner_points", 3, _MAX_GRID
+        )
+        spec["vsb_levels"] = _require_levels(
+            spec, "vsb_levels", 0.0, 0.7, min_len=2, increasing=True
+        )
+    return spec
+
+
+def spec_fingerprint(spec: dict) -> str:
+    """The job id of a normalized spec (24-hex cache fingerprint)."""
+    return fingerprint(spec)
+
+
+def job_cells(spec: dict) -> int:
+    """How many grid-cell estimates the job shards into.
+
+    The unit the progress report counts in: one (corner, bias) Monte-
+    Carlo estimate, matching the checkpoint store's cell granularity.
+    """
+    if spec["kind"] == "table":
+        return spec["table_grid"] * len(spec["vbody_levels"])
+    return spec["corner_points"] * len(spec["vsb_levels"])

@@ -1,0 +1,472 @@
+"""Tests for the yield-analysis service (``repro.service``).
+
+Layered like the package: spec validation and fingerprinting are unit
+tests; job lifecycle (dedupe, failure, retry) runs against a
+:class:`JobManager` with an injected runner; the HTTP surface runs a
+real in-process :class:`BackgroundServer` over a tiny real build; and
+the kill-and-restart test drives an actual ``python -m repro.service``
+subprocess through SIGKILL and checkpoint resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import observability
+from repro.service.jobs import JobManager
+from repro.service.server import BackgroundServer
+from repro.service.spec import (
+    SpecError,
+    job_cells,
+    normalize_spec,
+    spec_fingerprint,
+)
+
+#: Seconds-scale spec exercising the full real pipeline.
+TINY_SPEC = {
+    "kind": "table",
+    "target": 1e-2,
+    "calibration_samples": 2_000,
+    "analysis_samples": 600,
+    "sampler": "adaptive-is",
+    "table_grid": 5,
+    "seed": 2006,
+    "vbody_levels": [0.0],
+}
+
+
+def request(
+    method: str, url: str, payload: dict | None = None, timeout: float = 30.0
+) -> tuple[int, dict]:
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def wait_for(predicate, timeout: float = 60.0, interval: float = 0.05):
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {predicate}")
+        time.sleep(interval)
+
+
+# ----------------------------------------------------------------------
+# Spec validation and identity
+# ----------------------------------------------------------------------
+class TestSpec:
+    def test_defaults_are_materialised(self):
+        spec = normalize_spec({"kind": "table"})
+        assert spec["sampler"] == "adaptive-is"
+        assert spec["target"] == 1e-5
+        assert spec["vbody_levels"] == [0.0]
+        assert spec["table_grid"] == 9
+
+    def test_hold_surface_defaults(self):
+        spec = normalize_spec({"kind": "hold-surface"})
+        assert spec["corner_points"] == 5
+        assert spec["vsb_levels"] == [0.0, 0.2, 0.4, 0.6]
+        assert job_cells(spec) == 5 * 4
+
+    def test_job_cells_table(self):
+        spec = normalize_spec(
+            {"kind": "table", "table_grid": 7, "vbody_levels": [0.0, 0.3]}
+        )
+        assert job_cells(spec) == 14
+
+    def test_fingerprint_ignores_field_order_and_spelling(self):
+        a = normalize_spec({"kind": "table", "seed": 7, "target": 1e-5})
+        b = normalize_spec({"target": 0.00001, "kind": "table", "seed": 7})
+        assert spec_fingerprint(a) == spec_fingerprint(b)
+
+    def test_fingerprint_changes_with_any_field(self):
+        base = normalize_spec({"kind": "table"})
+        for raw in (
+            {"kind": "table", "seed": 2007},
+            {"kind": "table", "sampler": "plain"},
+            {"kind": "table", "vbody_levels": [0.1]},
+            {"kind": "hold-surface"},
+        ):
+            assert spec_fingerprint(normalize_spec(raw)) != spec_fingerprint(
+                base
+            )
+
+    @pytest.mark.parametrize(
+        "raw, code",
+        [
+            ([1, 2], "invalid-spec"),
+            ({}, "invalid-spec"),
+            ({"kind": "fig99"}, "unknown-kind"),
+            ({"kind": "table", "smapler": "plain"}, "unknown-field"),
+            # hold-surface fields are unknown on a table spec.
+            ({"kind": "table", "vsb_levels": [0.1, 0.2]}, "unknown-field"),
+            ({"kind": "table", "sampler": "magic"}, "invalid-value"),
+            ({"kind": "table", "target": 2.0}, "invalid-value"),
+            ({"kind": "table", "target": "tiny"}, "invalid-value"),
+            ({"kind": "table", "calibration_samples": 10}, "invalid-value"),
+            ({"kind": "table", "table_grid": 3}, "invalid-value"),
+            ({"kind": "table", "seed": -1}, "invalid-value"),
+            ({"kind": "table", "vbody_levels": []}, "invalid-value"),
+            ({"kind": "table", "vbody_levels": [0.3, 0.0]}, "invalid-value"),
+            ({"kind": "table", "vbody_levels": [0.0, True]}, "invalid-value"),
+            ({"kind": "hold-surface", "vsb_levels": [0.4]}, "invalid-value"),
+            ({"kind": "hold-surface", "corner_points": 1}, "invalid-value"),
+        ],
+    )
+    def test_rejections_carry_wire_codes(self, raw, code):
+        with pytest.raises(SpecError) as excinfo:
+            normalize_spec(raw)
+        assert excinfo.value.code == code
+
+
+# ----------------------------------------------------------------------
+# Job lifecycle against an injected runner (no HTTP, no real builds)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def metrics_on():
+    observability.reset()
+    observability.enable()
+    yield
+    observability.disable()
+    observability.reset()
+
+
+class TestJobManager:
+    def test_inflight_dedupe_and_queued_state(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+
+        def runner(spec, **_opts):
+            started.set()
+            assert release.wait(timeout=30)
+            return {"ok": True}
+
+        manager = JobManager(runner=runner)
+        try:
+            job, created = manager.submit(dict(TINY_SPEC))
+            assert created
+            assert started.wait(timeout=10)
+            dup, dup_created = manager.submit(dict(TINY_SPEC))
+            assert not dup_created
+            assert dup.id == job.id
+            assert dup.submissions == 2
+            assert manager.get(job.id).status == "running"
+            assert manager.queue_depth() == 1
+            release.set()
+            wait_for(lambda: manager.get(job.id).status == "completed")
+            assert manager.get(job.id).result == {"ok": True}
+            assert manager.queue_depth() == 0
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_failed_job_reports_error_and_retries(self, metrics_on):
+        attempts = []
+
+        def runner(spec, **_opts):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("solver exploded")
+            return {"ok": True}
+
+        manager = JobManager(runner=runner)
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            wait_for(lambda: manager.get(job.id).status == "failed")
+            assert "solver exploded" in manager.get(job.id).error
+            # A failed job is retried under the same id, not deduped.
+            retry, created = manager.submit(dict(TINY_SPEC))
+            assert created
+            assert retry.id == job.id
+            wait_for(lambda: manager.get(job.id).status == "completed")
+            assert manager.get(job.id).error is None
+            counters = observability.registry.snapshot()["counters"]
+            assert counters["service.jobs_failed"] == 1
+            assert counters["service.jobs_completed"] == 1
+            assert counters["service.jobs_accepted"] == 2
+        finally:
+            manager.shutdown()
+
+    def test_progress_counts_cells(self, metrics_on):
+        manager = JobManager(runner=lambda spec, **_opts: {"ok": True})
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            wait_for(lambda: manager.get(job.id).status == "completed")
+            progress = manager.get(job.id).progress()
+            assert progress["cells_total"] == job_cells(job.spec)
+            assert progress["cells_done"] == progress["cells_total"]
+            assert set(progress["counters"]) >= {"mc.samples", "solver.calls"}
+        finally:
+            manager.shutdown()
+
+
+# ----------------------------------------------------------------------
+# HTTP surface over a real in-process build
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def live_server():
+    observability.reset()
+    observability.enable()
+    manager = JobManager()
+    background = BackgroundServer(manager)
+    url = background.start()
+    yield url
+    background.stop()
+    observability.disable()
+    observability.reset()
+
+
+def completed_job_id(base_url: str) -> str:
+    """Submit TINY_SPEC and wait until it is completed (idempotent)."""
+    status, body = request("POST", f"{base_url}/v1/jobs", TINY_SPEC)
+    assert status in (200, 202), body
+    job_id = body["job"]["id"]
+    wait_for(
+        lambda: request("GET", f"{base_url}/v1/jobs/{job_id}")[1]["job"][
+            "status"
+        ]
+        == "completed",
+        timeout=120,
+    )
+    return job_id
+
+
+class TestHttpApi:
+    def test_submit_poll_result_roundtrip(self, live_server):
+        status, body = request("POST", f"{live_server}/v1/jobs", TINY_SPEC)
+        assert status in (200, 202)
+        assert body["job"]["kind"] == "table"
+        job_id = body["job"]["id"]
+        assert job_id == spec_fingerprint(normalize_spec(TINY_SPEC))
+
+        job_id = completed_job_id(live_server)
+        status, view = request("GET", f"{live_server}/v1/jobs/{job_id}")
+        assert status == 200
+        progress = view["job"]["progress"]
+        assert progress["cells_done"] == progress["cells_total"] == 5
+        assert view["job"]["elapsed_seconds"] > 0
+
+        status, result = request(
+            "GET", f"{live_server}/v1/jobs/{job_id}/result"
+        )
+        assert status == 200
+        surface = result["result"]
+        assert surface["kind"] == "table"
+        assert len(surface["corner_grid"]) == 5
+        [per_vbody] = surface["surfaces"]
+        assert per_vbody["vbody"] == 0.0
+        curve = per_vbody["log10_probability"]["any"]
+        assert len(curve) == 5
+        assert all(isinstance(v, float) and v <= 0.0 for v in curve)
+
+    def test_duplicate_submission_dedupes_without_solver_calls(
+        self, live_server
+    ):
+        job_id = completed_job_id(live_server)
+
+        def healthz_counters():
+            return request("GET", f"{live_server}/v1/healthz")[1][
+                "telemetry"
+            ]["metrics"]["counters"]
+
+        before = healthz_counters()
+        status, body = request("POST", f"{live_server}/v1/jobs", TINY_SPEC)
+        assert status == 200
+        assert body["deduped"] is True
+        assert body["job"]["id"] == job_id
+        after = healthz_counters()
+        assert after["solver.calls"] == before["solver.calls"]
+        assert after["mc.samples"] == before["mc.samples"]
+        assert (
+            after["service.jobs_deduped"]
+            == before["service.jobs_deduped"] + 1
+        )
+        assert after["service.jobs_accepted"] == before["service.jobs_accepted"]
+
+    def test_result_before_completion_is_409(self, live_server):
+        # A fresh fingerprint that will sit queued behind nothing but
+        # still be running when we ask: use a heavier seed variant and
+        # ask for the result immediately after submitting.
+        spec = dict(TINY_SPEC, seed=31)
+        status, body = request("POST", f"{live_server}/v1/jobs", spec)
+        assert status == 202
+        job_id = body["job"]["id"]
+        status, error = request(
+            "GET", f"{live_server}/v1/jobs/{job_id}/result"
+        )
+        if status == 409:  # still queued/running (the usual path)
+            assert error["error"]["code"] == "not-completed"
+        else:  # finished before we asked; result must then be served
+            assert status == 200
+
+    @pytest.mark.parametrize(
+        "payload, code",
+        [
+            ({"kind": "fig99"}, "unknown-kind"),
+            ({"kind": "table", "smapler": "plain"}, "unknown-field"),
+            ({"kind": "table", "target": 7}, "invalid-value"),
+            ([1, 2, 3], "invalid-spec"),
+        ],
+    )
+    def test_malformed_specs_are_400(self, live_server, payload, code):
+        status, body = request("POST", f"{live_server}/v1/jobs", payload)
+        assert status == 400
+        assert body["error"]["code"] == code
+
+    def test_undecodable_body_is_invalid_json(self, live_server):
+        req = urllib.request.Request(
+            f"{live_server}/v1/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+        assert (
+            json.loads(excinfo.value.read().decode())["error"]["code"]
+            == "invalid-json"
+        )
+
+    def test_unknown_job_and_route_are_404(self, live_server):
+        status, body = request("GET", f"{live_server}/v1/jobs/deadbeef")
+        assert status == 404
+        assert body["error"]["code"] == "unknown-job"
+        status, body = request("GET", f"{live_server}/v2/jobs")
+        assert status == 404
+        assert body["error"]["code"] == "not-found"
+
+    def test_wrong_method_is_405(self, live_server):
+        status, body = request("GET", f"{live_server}/v1/jobs")
+        assert status == 405
+        assert body["error"]["code"] == "method-not-allowed"
+
+    def test_healthz_contract(self, live_server):
+        status, health = request("GET", f"{live_server}/v1/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+        assert set(health["jobs"]) == {
+            "queued", "running", "completed", "failed",
+        }
+        telemetry = health["telemetry"]
+        assert telemetry["schema"] == "repro.telemetry/1"
+        counters = telemetry["metrics"]["counters"]
+        # Baseline contract: the service keys exist even at zero.
+        for name in (
+            "service.jobs_accepted",
+            "service.jobs_deduped",
+            "service.jobs_completed",
+            "service.jobs_failed",
+            "service.requests",
+        ):
+            assert name in counters, name
+        assert "service.queue_depth" in telemetry["metrics"]["gauges"]
+        summaries = telemetry["metrics"]["histograms"]
+        assert "service.request_seconds" in summaries
+        # Healthz keeps the summary but drops the raw reservoir.
+        assert "reservoir" not in summaries["service.request_seconds"]
+
+
+# ----------------------------------------------------------------------
+# Kill-and-restart: a SIGKILLed build resumes from its checkpoint
+# ----------------------------------------------------------------------
+#: Slow enough (~1 s per grid cell) to be killed mid-build reliably.
+RESUME_SPEC = {
+    "kind": "table",
+    "target": 1e-2,
+    "calibration_samples": 2_000,
+    "analysis_samples": 8_000,
+    "sampler": "plain",
+    "table_grid": 9,
+    "seed": 13,
+    "vbody_levels": [0.0],
+}
+
+
+def start_server(tmp_path: pathlib.Path) -> tuple[subprocess.Popen, str]:
+    src = pathlib.Path(__file__).resolve().parents[1] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--checkpoint-every", "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    assert line.startswith("listening on "), line
+    return proc, line.split()[-1].strip()
+
+
+@pytest.mark.slow
+def test_kill_and_restart_resumes_from_checkpoint(tmp_path):
+    proc, url = start_server(tmp_path)
+    try:
+        status, body = request("POST", f"{url}/v1/jobs", RESUME_SPEC)
+        assert status == 202
+        job_id = body["job"]["id"]
+
+        def flushes() -> float:
+            _, view = request("GET", f"{url}/v1/jobs/{job_id}")
+            assert view["job"]["status"] in ("queued", "running"), (
+                "build finished before it could be killed - slow the "
+                "RESUME_SPEC down"
+            )
+            return view["job"]["progress"]["counters"]["checkpoint.flushes"]
+
+        # Wait one flush beyond what we rely on: the counter ticks as
+        # a flush starts, so SIGKILL right after the Nth observation
+        # may lose that flush's cell (atomic-rename not yet done).
+        wait_for(lambda: flushes() >= 3, timeout=60)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+
+    # The checkpoint directory holds the flushed cells.
+    assert any((tmp_path / "ckpt").iterdir())
+
+    proc, url = start_server(tmp_path)
+    try:
+        # A fresh server has no in-memory job state; resubmitting the
+        # same spec maps to the same id and resumes from the flush.
+        status, body = request("POST", f"{url}/v1/jobs", RESUME_SPEC)
+        assert status == 202
+        assert body["job"]["id"] == job_id
+        wait_for(
+            lambda: request("GET", f"{url}/v1/jobs/{job_id}")[1]["job"][
+                "status"
+            ]
+            == "completed",
+            timeout=120,
+        )
+        _, view = request("GET", f"{url}/v1/jobs/{job_id}")
+        counters = view["job"]["progress"]["counters"]
+        assert counters["checkpoint.resumed_cells"] >= 1
+        status, result = request("GET", f"{url}/v1/jobs/{job_id}/result")
+        assert status == 200
+        [surface] = result["result"]["surfaces"]
+        assert len(surface["log10_probability"]["any"]) == 9
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)

@@ -33,6 +33,8 @@ from repro.bench import compare as compare_mod
 from repro.bench import history, report
 from repro.bench.registry import WORKLOADS, profile_by_name
 from repro.bench.runner import run_workload
+from repro.observability.log import get_logger
+from repro.observability.output import resolve_out_path
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -121,7 +123,14 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         default=None,
         metavar="FILE",
-        help="write the markdown to FILE instead of stdout",
+        help="write the markdown to FILE instead of stdout; an "
+        "existing FILE diverts to a numbered sibling unless "
+        "--overwrite is passed",
+    )
+    rep_p.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="allow --out to replace an existing file",
     )
 
     sub.add_parser("list", help="show registered workloads and gates")
@@ -179,9 +188,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         markdown = report.render_markdown(_root(args), workloads=args.workload)
         if args.out:
-            with open(args.out, "w") as fh:
+            # Same collision policy as --metrics-out/--profile-out/
+            # --telemetry-out: never silently clobber an existing file.
+            out_path = resolve_out_path(
+                args.out, args.overwrite, get_logger("bench.cli"),
+                "report", "--overwrite",
+            )
+            with open(out_path, "w") as fh:
                 fh.write(markdown)
-            print(f"wrote {args.out}")
+            print(f"wrote {out_path}")
         else:
             print(markdown, end="")
         return 0

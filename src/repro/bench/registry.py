@@ -396,6 +396,9 @@ def _run_service(profile: BenchProfile, state) -> None:
         duplicates=10,
         result_gets=30,
         timeout=60,
+        # Event-driven completion wait: the warm burst also proves the
+        # SSE stream answers instantly for an already-completed job.
+        follow=True,
     )
 
 
@@ -525,6 +528,11 @@ WORKLOADS: dict[str, Workload] = {
             Gate("service.jobs_failed", "==", 0),
             Gate("service.jobs_deduped", ">", 0),
             Gate("service.requests", ">", 0),
+            # The event journal must absorb the standard burst without
+            # evicting anything — an SSE client that connected at the
+            # start could replay the whole story.
+            Gate("service.events", ">", 0),
+            Gate("service.events_dropped", "==", 0),
             Gate(
                 "service.client_result_seconds", "<=", 0.25,
                 source="histograms", field="p95",

@@ -29,6 +29,9 @@ to a numbered sibling (``m.1.json``) with a warning unless
 additionally runs the experiment under cProfile scoped to its trace
 span and writes a ``pstats``-loadable stats file, for localising a
 regression to a function (see ``docs/benchmarking.md``).
+``--trace-out FILE`` records a bounded span timeline (merged across
+workers) and writes Chrome trace-event JSON for Perfetto /
+``chrome://tracing`` flamegraphs.
 
 Robustness (see ``docs/robustness.md``): ``--checkpoint-dir DIR``
 flushes completed grid cells / dies during long builds so a killed run
@@ -248,6 +251,20 @@ def main(argv: list[str] | None = None) -> int:
         help="allow --profile-out to replace an existing file",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record a span timeline and write it as Chrome trace-event "
+        "JSON to FILE (open in Perfetto or chrome://tracing); an "
+        "existing FILE diverts to a numbered sibling unless "
+        "--trace-overwrite is passed",
+    )
+    parser.add_argument(
+        "--trace-overwrite",
+        action="store_true",
+        help="allow --trace-out to replace an existing file",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
         metavar="DIR",
@@ -302,12 +319,17 @@ def main(argv: list[str] | None = None) -> int:
         )
     collect = args.metrics_out is not None
     profiling = args.profile_out is not None
-    if args.verbose or args.log_json or collect or profiling or diagnose:
+    timeline = args.trace_out is not None
+    if args.verbose or args.log_json or collect or profiling or diagnose or timeline:
         observability.configure(
             verbosity=args.verbose,
             json_lines=args.log_json,
-            metrics=collect or profiling or diagnose,
+            # Timeline events are recorded by trace() spans, which only
+            # fire while metric/trace collection is enabled.
+            metrics=collect or profiling or diagnose or timeline,
         )
+    if timeline:
+        observability.enable_timeline()
     observability.diagnostics.recorder.configure(
         DiagnosticThresholds(
             min_ess=(
@@ -404,6 +426,27 @@ def main(argv: list[str] | None = None) -> int:
         spans = observability.write_profile(profile_path)
         logger.info(
             "profile.written", path=profile_path, spans=len(spans)
+        )
+    if timeline:
+        logger = observability.get_logger("experiments.cli")
+        document = observability.export.chrome_trace(
+            observability.timeline_snapshot(),
+            meta={
+                "experiment": args.figure,
+                "elapsed_seconds": round(elapsed, 3),
+                "workers": args.workers,
+                "git_sha": observability.git_sha(),
+            },
+        )
+        trace_path = _resolve_out_path(
+            args.trace_out, args.trace_overwrite, logger,
+            "trace", "--trace-overwrite",
+        )
+        with open(trace_path, "w") as fh:
+            json.dump(document, fh)
+        logger.info(
+            "trace.written", path=trace_path,
+            events=len(document["traceEvents"]),
         )
     if diagnose:
         logger = observability.get_logger("experiments.cli")

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from repro.observability import _state
 from repro.observability import diagnostics
+from repro.observability import export
 from repro.observability import log
 from repro.observability.diagnostics import (
     BatchDiagnostics,
@@ -62,7 +63,19 @@ from repro.observability.profiling import (
     reset_profiles,
     write_profile,
 )
-from repro.observability.tracing import SpanNode, Tracer, trace, tracer
+from repro.observability import tracing
+from repro.observability.tracing import (
+    SpanNode,
+    Timeline,
+    Tracer,
+    disable_timeline,
+    enable_timeline,
+    merge_timeline,
+    timeline_enabled,
+    timeline_snapshot,
+    trace,
+    tracer,
+)
 
 #: Version tag written into every ``--metrics-out`` report.
 SCHEMA = "repro.telemetry/1"
@@ -158,11 +171,18 @@ def worker_begin() -> None:
 
 
 def worker_snapshot() -> dict:
-    """The worker-side telemetry delta to ship back to the parent."""
+    """The worker-side telemetry delta to ship back to the parent.
+
+    ``timeline`` is ``None`` unless the parent had armed timeline
+    recording before the fan-out (fork start method inherits the armed
+    state; ``worker_begin``'s reset then re-arms a fresh task-local
+    timeline).
+    """
     return {
         "metrics": registry.snapshot(),
         "trace": tracer.snapshot(),
         "diagnostics": diagnostics.recorder.snapshot(),
+        "timeline": timeline_snapshot(),
     }
 
 
@@ -176,8 +196,9 @@ def merge_worker(snapshot_dict: dict) -> None:
     """
     registry.merge(snapshot_dict["metrics"])
     tracer.merge_at_current(snapshot_dict["trace"])
-    # Additive key: snapshots from older workers simply lack it.
+    # Additive keys: snapshots from older workers simply lack them.
     diagnostics.recorder.merge(snapshot_dict.get("diagnostics", {}))
+    merge_timeline(snapshot_dict.get("timeline"))
 
 
 __all__ = [
@@ -189,6 +210,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SpanNode",
+    "Timeline",
     "Tracer",
     "WeightDiagnostics",
     "clopper_pearson_interval",
@@ -197,14 +219,18 @@ __all__ = [
     "diagnostics",
     "disable",
     "disable_profiling",
+    "disable_timeline",
     "enable",
     "enable_profiling",
+    "enable_timeline",
     "enabled",
+    "export",
     "environment_fingerprint",
     "get_logger",
     "git_sha",
     "incr",
     "log",
+    "merge_timeline",
     "merge_worker",
     "observe",
     "profile",
@@ -215,8 +241,11 @@ __all__ = [
     "reset_profiles",
     "set_gauge",
     "snapshot",
+    "timeline_enabled",
+    "timeline_snapshot",
     "trace",
     "tracer",
+    "tracing",
     "weight_diagnostics",
     "wilson_interval",
     "worker_begin",

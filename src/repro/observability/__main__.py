@@ -1,0 +1,172 @@
+"""Human-readable reports over stored telemetry snapshots.
+
+``--metrics-out FILE`` (experiments CLI, loadgen) and the service's
+healthz endpoint all speak ``repro.telemetry/1`` JSON.  This command
+renders any such snapshot for a human::
+
+    python -m repro.experiments fig2c --fast --metrics-out /tmp/m.json
+    python -m repro.observability report /tmp/m.json
+    python -m repro.observability report /tmp/m.json --top 20
+
+The report shows where the run spent its life (slowest spans by self
+time), what it did (top counters), and whether the numbers can be
+trusted (per-scope estimator-health verdicts with ESS / CI summaries) —
+the triage view you want before opening the raw JSON or a Perfetto
+trace.  It is read-only and needs no collection to be armed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.observability.export import span_rows
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _fmt_count(value: float) -> str:
+    """Counters are floats in the registry; print whole ones as ints."""
+    return f"{int(value)}" if float(value).is_integer() else f"{value:g}"
+
+
+def render_report(report: dict, top: int = 10) -> str:
+    """The snapshot as report text (one string, trailing newline)."""
+    lines: list[str] = []
+    schema = report.get("schema", "?")
+    title = f"telemetry report ({schema})"
+    experiment = report.get("experiment")
+    if experiment:
+        title += f" — {experiment}"
+    lines.append(title)
+    if report.get("elapsed_seconds") is not None:
+        lines.append(f"  elapsed: {_fmt_seconds(float(report['elapsed_seconds']))}")
+    meta = report.get("meta", {})
+    if meta:
+        parts = [
+            f"{key}={meta[key]}"
+            for key in ("git_sha", "seed", "workers", "python")
+            if meta.get(key) is not None
+        ]
+        if parts:
+            lines.append(f"  meta: {', '.join(parts)}")
+
+    metrics = report.get("metrics", {})
+    trace = report.get("trace", {})
+
+    rows = sorted(
+        span_rows(trace), key=lambda r: r["self_seconds"], reverse=True
+    )
+    lines.append("")
+    lines.append(f"slowest spans (by self time, top {top}):")
+    if rows:
+        width = max(len(r["path"]) for r in rows[:top])
+        for row in rows[:top]:
+            lines.append(
+                f"  {row['path']:<{width}s}  calls={row['calls']:<6d}"
+                f" self={_fmt_seconds(row['self_seconds']):>8s}"
+                f" total={_fmt_seconds(row['seconds']):>8s}"
+            )
+    else:
+        lines.append("  (no spans recorded)")
+
+    counters = sorted(
+        metrics.get("counters", {}).items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    lines.append("")
+    lines.append(f"top counters (top {top}):")
+    if counters:
+        width = max(len(name) for name, _ in counters[:top])
+        for name, value in counters[:top]:
+            lines.append(f"  {name:<{width}s}  {_fmt_count(value)}")
+    else:
+        lines.append("  (no counters recorded)")
+
+    diagnostics = report.get("diagnostics", {})
+    scopes = diagnostics.get("scopes", {})
+    lines.append("")
+    lines.append("estimator health:")
+    if scopes:
+        thresholds = diagnostics.get("thresholds", {})
+        floor = thresholds.get("min_ess")
+        ceiling = thresholds.get("max_ci_halfwidth")
+        gate = f"  (gate: min ESS {floor:g}" if floor is not None else "  (gate:"
+        if ceiling is not None:
+            gate += f", max CI half-width {ceiling:g}"
+        lines.append(gate + ")")
+        width = max(len(name) for name in scopes)
+        for name in sorted(scopes):
+            scope = scopes[name]
+            verdict = "ok" if scope.get("converged", True) else "UNCONVERGED"
+            line = (
+                f"  {name:<{width}s}  {verdict:<12s}"
+                f" estimates={scope.get('n_estimates', 0)}"
+            )
+            if scope.get("min_ess") is not None:
+                line += f" min_ess={scope['min_ess']:.1f}"
+            if scope.get("max_ci_halfwidth") is not None:
+                line += f" worst_ci_halfwidth={scope['max_ci_halfwidth']:.3g}"
+            lines.append(line)
+        failing = diagnostics.get("unconverged_scopes", [])
+        lines.append(
+            f"  {len(scopes) - len(failing)}/{len(scopes)} scope(s) converged"
+        )
+    else:
+        lines.append("  (no estimates recorded — run with --diagnostics)")
+
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability",
+        description="Work with stored repro.telemetry/1 snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report_parser = sub.add_parser(
+        "report",
+        help="render a --metrics-out snapshot as a human run report",
+    )
+    report_parser.add_argument(
+        "snapshot", metavar="FILE", help="a --metrics-out JSON snapshot"
+    )
+    report_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows per section (default 10)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.top < 1:
+        parser.error(f"--top must be >= 1, got {args.top}")
+    try:
+        with open(args.snapshot) as fh:
+            report = json.load(fh)
+    except OSError as exc:
+        print(f"ERROR: cannot read {args.snapshot}: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"ERROR: {args.snapshot} is not JSON: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(report, dict) or "metrics" not in report:
+        print(
+            f"ERROR: {args.snapshot} does not look like a telemetry "
+            'snapshot (no "metrics" block)',
+            file=sys.stderr,
+        )
+        return 1
+    print(render_report(report, top=args.top), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

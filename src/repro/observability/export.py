@@ -1,0 +1,249 @@
+"""Standard export formats over ``repro.telemetry/1`` snapshots.
+
+Everything the library collects lives in the JSON snapshot produced by
+:func:`repro.observability.snapshot` — good for files and tests, opaque
+to the tooling operators actually point at long-running services.  This
+module renders that same data into two industry-standard formats,
+without touching the collection layer:
+
+* :func:`render_prometheus` — the Prometheus **text exposition format**
+  (version 0.0.4), served by the job server at ``GET /v1/metrics``.
+  Counters map to counters, gauges to gauges, and histograms to
+  summaries (``_count`` / ``_sum`` plus ``{quantile="..."}`` sample
+  lines estimated from the bounded reservoir).
+* :func:`chrome_trace` — the Chrome **trace-event JSON** format
+  understood by Perfetto and ``chrome://tracing``, built from a
+  :class:`~repro.observability.tracing.Timeline` snapshot
+  (``--trace-out FILE`` on the experiments CLI).
+
+Both are pure functions over snapshot dicts: no registry access, no
+state, importable anywhere (including the test-suite's round-trip
+parser) without arming collection.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: Characters legal in a Prometheus metric name after the first.
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+#: A full metric name as the exposition format defines it.
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal dotted metric name onto the Prometheus charset.
+
+    Prometheus names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; ours are
+    dotted (``mc.samples``, ``service.jobs_accepted``).  Every illegal
+    character becomes ``_`` (so ``mc.samples`` → ``mc_samples``) and a
+    leading digit gets an underscore prefix.  The mapping is lossy —
+    :func:`render_prometheus` detects collisions and keeps only the
+    first name, flagging the rest in comments, so output always parses.
+    """
+    sanitized = _NAME_BAD.sub("_", name)
+    if not sanitized or not sanitized[0].isalpha() and sanitized[0] not in "_:":
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec (``\\``, ``"``, LF)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string (``\\`` and LF only, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float | None) -> str:
+    """Render a sample value: ``NaN`` / ``+Inf`` / ``-Inf`` spelled the
+    way the exposition format requires, everything else as repr-exact
+    floats (Go's ``strconv.ParseFloat`` reads Python's ``repr`` fine).
+    """
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+#: Reservoir quantiles exposed per histogram, matching the snapshot's
+#: ``p50``/``p95`` summary fields.
+SUMMARY_QUANTILES = ((0.5, "p50"), (0.95, "p95"))
+
+
+def render_prometheus(metrics: dict) -> str:
+    """Render a ``metrics`` snapshot block as exposition text.
+
+    Args:
+        metrics: the ``{"counters", "gauges", "histograms"}`` dict from
+            :meth:`MetricsRegistry.snapshot` (the ``metrics`` key of a
+            full telemetry snapshot).
+
+    Counters keep their (sanitised) name — the registry has no
+    ``_total`` convention and renaming would break the healthz/metrics
+    name correspondence the service documents.  Histograms render as
+    summaries: ``{quantile="0.5"}`` / ``{quantile="0.95"}`` samples from
+    the reservoir (omitted while the reservoir is empty — an empty
+    summary still exposes exact ``_count`` and ``_sum``), then
+    ``name_sum`` and ``name_count``.
+
+    Two internal names that sanitise onto the same exposition name
+    would produce an invalid duplicate family; later claimants are
+    skipped with a ``# skipped`` comment so the page always parses.
+    """
+    lines: list[str] = []
+    claimed: dict[str, str] = {}
+
+    def claim(name: str, *extra: str) -> str | None:
+        base = sanitize_metric_name(name)
+        for candidate in (base, *extra):
+            owner = claimed.get(candidate)
+            if owner is not None and owner != name:
+                lines.append(
+                    f"# skipped {name!r}: sanitised name {candidate!r} "
+                    f"already used by {owner!r}"
+                )
+                return None
+        for reserved in (base, *extra):
+            claimed.setdefault(reserved, name)
+        return base
+
+    for name, value in sorted(metrics.get("counters", {}).items()):
+        base = claim(name)
+        if base is None:
+            continue
+        lines.append(f"# HELP {base} {escape_help(f'repro counter {name}')}")
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {format_value(value)}")
+
+    for name, value in sorted(metrics.get("gauges", {}).items()):
+        base = claim(name)
+        if base is None:
+            continue
+        lines.append(f"# HELP {base} {escape_help(f'repro gauge {name}')}")
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {format_value(value)}")
+
+    for name, summary in sorted(metrics.get("histograms", {}).items()):
+        base = claim(name, *(f"{sanitize_metric_name(name)}{s}" for s in ("_sum", "_count")))
+        if base is None:
+            continue
+        lines.append(f"# HELP {base} {escape_help(f'repro histogram {name}')}")
+        lines.append(f"# TYPE {base} summary")
+        reservoir = summary.get("reservoir") or []
+        if reservoir:
+            ordered = sorted(float(v) for v in reservoir)
+            for q, _ in SUMMARY_QUANTILES:
+                index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+                lines.append(
+                    f'{base}{{quantile="{escape_label_value(repr(q))}"}} '
+                    f"{format_value(ordered[index])}"
+                )
+        lines.append(f"{base}_sum {format_value(summary.get('total', 0.0))}")
+        lines.append(f"{base}_count {format_value(summary.get('count', 0))}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(timeline: dict, meta: dict | None = None) -> dict:
+    """Build a Chrome trace-event document from a timeline snapshot.
+
+    Args:
+        timeline: a :meth:`Timeline.snapshot` dict
+            (``{"capacity", "seen", "events"}`` with events as
+            ``[name, start, dur, track]``, seconds relative to the
+            timeline epoch).
+        meta: optional run metadata embedded under ``otherData``.
+
+    Returns the standard ``{"traceEvents": [...]}`` object: one ``M``
+    (metadata) event naming the process and each populated track, then
+    one ``X`` (complete) event per span with microsecond ``ts``/``dur``.
+    Track 0 is the recording process's own lane (``main``); higher
+    tracks are merged worker snapshots (``task-N``).  Loads directly in
+    Perfetto / ``chrome://tracing``.
+    """
+    events = timeline.get("events", [])
+    trace_events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    for track in sorted({int(event[3]) for event in events} | {0}):
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": track,
+                "name": "thread_name",
+                "args": {"name": "main" if track == 0 else f"task-{track}"},
+            }
+        )
+    for name, start, dur, track in sorted(events, key=lambda e: (e[3], e[1])):
+        trace_events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": int(track),
+                "name": str(name),
+                "cat": "span",
+                "ts": round(float(start) * 1e6, 3),
+                "dur": round(float(dur) * 1e6, 3),
+            }
+        )
+    document: dict = {
+        "displayTimeUnit": "ms",
+        "traceEvents": trace_events,
+        "otherData": {
+            "schema": "repro.trace/1",
+            "spans_seen": timeline.get("seen", len(events)),
+            "spans_recorded": len(events),
+            "capacity": timeline.get("capacity"),
+        },
+    }
+    if meta:
+        document["otherData"].update(meta)
+    return document
+
+
+def span_rows(trace: dict) -> list[dict]:
+    """Flatten a trace-tree snapshot into rows for reporting.
+
+    Each row carries the slash-joined path from the root, calls, total
+    seconds, and self seconds (total minus children, clamped at zero —
+    clock jitter can make a parent measure marginally less than the sum
+    of its children).  The root node itself is excluded.
+    """
+    rows: list[dict] = []
+
+    def walk(node: dict, prefix: str) -> None:
+        path = f"{prefix}/{node['name']}" if prefix else node["name"]
+        children = node.get("children", [])
+        child_seconds = sum(c.get("seconds", 0.0) for c in children)
+        rows.append(
+            {
+                "path": path,
+                "calls": node.get("calls", 0),
+                "seconds": node.get("seconds", 0.0),
+                "self_seconds": max(0.0, node.get("seconds", 0.0) - child_seconds),
+            }
+        )
+        for child in children:
+            walk(child, path)
+
+    for child in trace.get("children", []):
+        walk(child, "")
+    return rows

@@ -33,9 +33,93 @@ entirely.
 from __future__ import annotations
 
 import functools
+import random
 import time
 
 from repro.observability import _state
+
+
+class Timeline:
+    """Bounded record of individual span occurrences, for flamegraphs.
+
+    The aggregated :class:`SpanNode` tree answers *where did the time
+    go*; a timeline answers *when* — each completed span becomes one
+    ``(name, start, dur, track)`` event, exportable as Chrome
+    trace-event JSON (:func:`repro.observability.export.chrome_trace`)
+    for Perfetto / ``chrome://tracing``.
+
+    Memory is bounded the same way :class:`Histogram` reservoirs are:
+    a fixed-capacity uniform sample (Vitter's algorithm R) over every
+    span seen, with a deterministically seeded replacement stream, so
+    a million-span sweep holds the same few hundred KB as a short run
+    and two identical runs keep identical reservoirs.  ``seen`` counts
+    all spans including the ones the reservoir dropped.
+
+    Timestamps are seconds relative to ``epoch`` (a ``perf_counter``
+    reading taken when the timeline was armed).  Worker timelines merge
+    via :meth:`merge`, which shifts the incoming events into the
+    parent's clock domain and assigns them a fresh track (lane) so the
+    trace shows fanned-out work side by side.
+    """
+
+    #: Default cap on stored events (~a few hundred KB of tuples).
+    DEFAULT_CAPACITY = 8192
+
+    __slots__ = ("capacity", "epoch", "events", "seen", "next_track", "_rng")
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = int(capacity or self.DEFAULT_CAPACITY)
+        if self.capacity <= 0:
+            raise ValueError(f"timeline capacity must be > 0, got {capacity}")
+        self.epoch = time.perf_counter()
+        #: Reservoir of ``(name, start, dur, track)`` tuples; ``start``
+        #: and ``dur`` in seconds, ``start`` relative to :attr:`epoch`.
+        self.events: list[tuple[str, float, float, int]] = []
+        self.seen = 0
+        #: Next lane to hand out to a merged worker snapshot (0 is the
+        #: recording process's own lane).
+        self.next_track = 1
+        self._rng = random.Random("timeline")
+
+    def record(self, name: str, start: float, dur: float, track: int = 0) -> None:
+        """Add one completed span (algorithm-R reservoir insert)."""
+        self.seen += 1
+        event = (name, start, dur, track)
+        if len(self.events) < self.capacity:
+            self.events.append(event)
+        else:
+            slot = self._rng.randrange(self.seen)
+            if slot < self.capacity:
+                self.events[slot] = event
+
+    def snapshot(self) -> dict:
+        """JSON-ready dict: ``{"capacity", "seen", "events"}``."""
+        return {
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "events": [list(event) for event in self.events],
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a worker's :meth:`snapshot` into this timeline.
+
+        The worker clock's epoch is unrelated to ours, so the incoming
+        events are shifted to end at *merge time* — the worker's last
+        span finished just before its snapshot travelled back, which
+        makes the alignment approximate by one IPC hop but keeps every
+        duration and the relative spacing exact.  All events from one
+        snapshot land on one fresh track.
+        """
+        events = snapshot.get("events", [])
+        self.seen += snapshot.get("seen", len(events)) - len(events)
+        if not events:
+            return
+        now = time.perf_counter() - self.epoch
+        offset = now - max(start + dur for _, start, dur, _ in events)
+        track = self.next_track
+        self.next_track += 1
+        for name, start, dur, _ in events:
+            self.record(name, start + offset, dur, track)
 
 
 class SpanNode:
@@ -87,6 +171,10 @@ class Tracer:
     def __init__(self) -> None:
         self.root = SpanNode("run")
         self._stack: list[SpanNode] = [self.root]
+        #: Armed :class:`Timeline`, or ``None`` (the default): timeline
+        #: recording is opt-in on top of the aggregated tree and costs
+        #: one attribute check per :meth:`pop` while disarmed.
+        self.timeline: Timeline | None = None
 
     @property
     def current(self) -> SpanNode:
@@ -108,12 +196,25 @@ class Tracer:
     def pop(self, elapsed: float) -> None:
         if len(self._stack) == 1:
             raise RuntimeError("trace stack underflow: pop without push")
-        self._stack.pop().seconds += elapsed
+        node = self._stack.pop()
+        node.seconds += elapsed
+        if self.timeline is not None:
+            end = time.perf_counter() - self.timeline.epoch
+            self.timeline.record(node.name, end - elapsed, elapsed)
 
     def reset(self) -> None:
-        """Drop the tree and any open spans."""
+        """Drop the tree and any open spans.
+
+        An armed timeline is re-armed fresh (same capacity, new epoch)
+        rather than dropped — so a worker that inherited the armed
+        state at fork time (``worker_begin`` resets before running the
+        task) records its own task-local timeline, and the parent can
+        merge it under a new track.
+        """
         self.root = SpanNode("run")
         self._stack = [self.root]
+        if self.timeline is not None:
+            self.timeline = Timeline(self.timeline.capacity)
 
     def snapshot(self) -> dict:
         """The whole tree (root node named ``run``)."""
@@ -136,6 +237,36 @@ class Tracer:
 
 #: The process-wide tracer every span writes to.
 tracer = Tracer()
+
+
+def enable_timeline(capacity: int | None = None) -> None:
+    """Arm timeline recording on the process-wide tracer (idempotent —
+    re-arming drops any events recorded so far and restarts the epoch).
+    """
+    tracer.timeline = Timeline(capacity)
+
+
+def disable_timeline() -> None:
+    """Disarm timeline recording and drop recorded events."""
+    tracer.timeline = None
+
+
+def timeline_enabled() -> bool:
+    """True while the process-wide tracer records a timeline."""
+    return tracer.timeline is not None
+
+
+def timeline_snapshot() -> dict | None:
+    """The armed timeline's snapshot, or ``None`` when disarmed."""
+    return tracer.timeline.snapshot() if tracer.timeline is not None else None
+
+
+def merge_timeline(snapshot: dict | None) -> None:
+    """Absorb a worker's timeline snapshot (no-op when either side is
+    disarmed — a worker spawned rather than forked never armed one).
+    """
+    if snapshot and tracer.timeline is not None:
+        tracer.timeline.merge(snapshot)
 
 
 class trace:

@@ -75,6 +75,23 @@ def main(argv: list[str] | None = None) -> int:
         help="completed cells per checkpoint flush (default 8)",
     )
     parser.add_argument(
+        "--journal-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="event-journal ring size powering the /v1/events SSE "
+        "streams (default 1024; overflow evicts the oldest event and "
+        "counts service.events_dropped)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="where failed jobs dump their flight-recorder event JSON "
+        "(default: the checkpoint dir, then the cache dir; disabled "
+        "with neither)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -93,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
         )
+    if args.journal_capacity < 1:
+        parser.error(
+            f"--journal-capacity must be >= 1, got {args.journal_capacity}"
+        )
 
     observability.configure(
         verbosity=args.verbose, json_lines=args.log_json, metrics=True
@@ -102,6 +123,8 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        journal_capacity=args.journal_capacity,
+        flight_dir=args.flight_dir,
     )
     server = ServiceServer(manager, host=args.host, port=args.port)
 

@@ -17,12 +17,16 @@ Service counters (all under the ``repro.telemetry/1`` schema, see
 * ``service.jobs_deduped`` — submissions attached to an existing job;
 * ``service.jobs_completed`` / ``service.jobs_failed`` — terminal states;
 * ``service.queue_depth`` (gauge) — jobs currently queued or running;
-* ``service.job_seconds`` (histogram) — per-job wall time.
+* ``service.job_seconds`` (histogram) — per-job wall time;
+* ``service.events`` / ``service.events_dropped`` — journal appends and
+  ring-buffer evictions (see :mod:`repro.service.journal`).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -33,6 +37,7 @@ import numpy as np
 from repro.experiments.context import ExperimentContext
 from repro.observability.log import get_logger
 from repro.observability.metrics import incr, observe, registry, set_gauge
+from repro.service.journal import EventJournal
 from repro.service.spec import job_cells, normalize_spec, spec_fingerprint
 
 _log = get_logger("service.jobs")
@@ -237,6 +242,12 @@ class JobManager:
         checkpoint_every: completed cells per checkpoint flush.
         runner: job execution callable ``(spec, **exec_opts) -> result``
             — :func:`run_spec` by default, injectable for tests.
+        journal_capacity: ring-buffer size of the event journal.
+        progress_interval: seconds between ``job.progress`` events for
+            a running job.
+        flight_dir: where failed jobs dump their flight-recorder JSON
+            (defaults to ``checkpoint_dir``, then ``cache_dir``; with
+            neither configured the recorder is disabled).
     """
 
     def __init__(
@@ -246,6 +257,9 @@ class JobManager:
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 8,
         runner=run_spec,
+        journal_capacity: int = 1024,
+        progress_interval: float = 0.5,
+        flight_dir: str | None = None,
     ) -> None:
         self.workers = workers
         self.cache_dir = cache_dir
@@ -257,7 +271,15 @@ class JobManager:
         self._pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-service-job"
         )
+        self.journal = EventJournal(journal_capacity)
+        self.progress_interval = progress_interval
+        self.flight_dir = flight_dir or checkpoint_dir or cache_dir
         self.started_at = time.time()
+        # Uptime is derived from the monotonic clock: a wall-clock step
+        # (NTP slew, DST, operator settimeofday) must not make healthz
+        # uptime jump or go negative.  ``started_at`` stays wall-clock
+        # for display.
+        self.started_monotonic = time.monotonic()
         # Baseline-counter contract (cf. observability._BASELINE_COUNTERS):
         # every healthz/telemetry consumer may rely on the service keys
         # existing, even before the first job — so a burst with zero
@@ -268,9 +290,15 @@ class JobManager:
             "service.jobs_completed",
             "service.jobs_failed",
             "service.requests",
+            "service.events",
+            "service.events_dropped",
         ):
             registry.counter(name)
         registry.gauge("service.queue_depth")
+
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since this manager was constructed."""
+        return time.monotonic() - self.started_monotonic
 
     # ------------------------------------------------------------------
     # Submission / lookup (called from the HTTP handlers)
@@ -295,6 +323,10 @@ class JobManager:
                     "job.deduped", job_id=job_id, status=job.status,
                     submissions=job.submissions,
                 )
+                self.journal.append(
+                    "job.deduped", job_id=job_id, status=job.status,
+                    submissions=job.submissions,
+                )
                 return job, False
             if job is None:
                 job = Job(id=job_id, spec=spec, created_at=time.time())
@@ -312,6 +344,10 @@ class JobManager:
             incr("service.jobs_accepted")
             self._update_queue_depth_locked()
         _log.info("job.accepted", job_id=job_id, kind=spec["kind"])
+        self.journal.append(
+            "job.accepted", job_id=job_id, kind=spec["kind"],
+            submissions=job.submissions,
+        )
         self._pool.submit(self._execute, job_id)
         return job, True
 
@@ -351,6 +387,16 @@ class JobManager:
         )
         set_gauge("service.queue_depth", depth)
 
+    def _progress_event(self, job: Job) -> None:
+        progress = job.progress()
+        self.journal.append(
+            "job.progress",
+            job_id=job.id,
+            cells_done=progress["cells_done"],
+            cells_total=progress["cells_total"],
+            counters=progress["counters"],
+        )
+
     def _execute(self, job_id: str) -> None:
         with self._lock:
             job = self._jobs[job_id]
@@ -360,6 +406,21 @@ class JobManager:
             job.started_at = time.time()
             job.baseline = _counter_values()
         _log.info("job.start", job_id=job_id, kind=job.spec["kind"])
+        self.journal.append("job.started", job_id=job_id, kind=job.spec["kind"])
+        # Every job emits at least one progress event (even one that
+        # finishes inside the first ticker interval), so stream clients
+        # always see accepted -> started -> progress -> terminal.
+        self._progress_event(job)
+        ticker_stop = threading.Event()
+
+        def _tick() -> None:
+            while not ticker_stop.wait(self.progress_interval):
+                self._progress_event(job)
+
+        ticker = threading.Thread(
+            target=_tick, name="repro-service-progress", daemon=True
+        )
+        ticker.start()
         try:
             result = self._runner(
                 job.spec,
@@ -369,6 +430,8 @@ class JobManager:
                 checkpoint_every=self.checkpoint_every,
             )
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            ticker_stop.set()
+            ticker.join()
             with self._lock:
                 job.status = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
@@ -378,7 +441,11 @@ class JobManager:
             incr("service.jobs_failed")
             observe("service.job_seconds", job.finished_at - job.started_at)
             _log.warning("job.failed", job_id=job_id, error=job.error)
+            self.journal.append("job.failed", job_id=job_id, error=job.error)
+            self._dump_flight(job)
             return
+        ticker_stop.set()
+        ticker.join()
         with self._lock:
             job.result = result
             job.status = "completed"
@@ -392,6 +459,50 @@ class JobManager:
             job_id=job_id,
             seconds=round(job.finished_at - job.started_at, 3),
         )
+        self.journal.append(
+            "job.completed",
+            job_id=job_id,
+            seconds=round(job.finished_at - job.started_at, 6),
+        )
+
+    def _dump_flight(self, job: Job) -> None:
+        """Flight recorder: persist the journal ring beside a failure.
+
+        The ring as it stood when the job failed — submissions, other
+        jobs' interleaved events, the failing job's progress cadence —
+        is exactly the context a post-mortem wants and exactly what a
+        later status query cannot reconstruct.  Best-effort: a disk
+        error is logged, never allowed to mask the job failure itself.
+        """
+        if not self.flight_dir:
+            return
+        try:
+            os.makedirs(self.flight_dir, exist_ok=True)
+            # The terminal job.failed event was already journaled, so
+            # the current sequence number is unique per failure — a
+            # retried-and-refailed job gets a fresh dump, never a
+            # clobbered one.
+            path = os.path.join(
+                self.flight_dir,
+                f"flight-{job.id[:16]}-{self.journal.last_seq}.json",
+            )
+            with open(path, "w") as fh:
+                json.dump(
+                    {
+                        "schema": "repro.flight/1",
+                        "job": job.view(),
+                        "dropped_events": self.journal.dropped,
+                        "events": self.journal.snapshot(),
+                    },
+                    fh,
+                    indent=2,
+                )
+        except OSError as exc:  # pragma: no cover - disk trouble
+            _log.warning(
+                "flight.write_failed", job_id=job.id, error=str(exc)
+            )
+            return
+        _log.info("flight.written", job_id=job.id, path=path)
 
     def _deltas_locked(self, job: Job) -> dict[str, float]:
         now = _counter_values()

@@ -1,9 +1,12 @@
 """Load generator for the yield-analysis service.
 
 Drives a running server the way a fleet of clients would: submit a
-spec, poll it to completion, then hammer the warm path — duplicate
-submissions (which must dedupe, not recompute) and repeated result
-``GET``\\ s (which must come back at in-memory latency).  Client-side
+spec, wait for it to complete — polling ``GET /v1/jobs/{id}``, or with
+``--follow`` holding the job's SSE event stream open and reacting to
+``job.completed``/``job.failed`` events instead — then hammer the warm
+path: duplicate submissions (which must dedupe, not recompute) and
+repeated result ``GET``\\ s (which must come back at in-memory
+latency).  Client-side
 latencies land in the ``service.client_submit_seconds`` /
 ``service.client_result_seconds`` histograms so the bench workload can
 gate the warm p95.
@@ -57,6 +60,81 @@ class LoadError(RuntimeError):
     """The burst hit a response the contract forbids."""
 
 
+def _follow(base_url: str, job_id: str, timeout: float) -> int:
+    """Follow a job's SSE stream to its terminal event; no polling.
+
+    A minimal Server-Sent-Events client over urllib: reads the
+    ``GET /v1/jobs/{id}/events`` stream line by line, parses
+    ``event:`` / ``data:`` fields (ignoring ``id:`` and comment
+    keepalives), and returns the number of events seen once the job
+    completes.  Raises :class:`LoadError` when the job fails, the
+    stream ends without a terminal event, or nothing arrives within
+    ``timeout`` seconds (the server keepalives every ~15s, so a silent
+    stream means a dead server, not a slow job).
+    """
+    req = urllib.request.Request(
+        f"{base_url}/v1/jobs/{job_id}/events",
+        headers={"Accept": "text/event-stream"},
+    )
+    events_seen = 0
+    event_type: str | None = None
+    data_lines: list[str] = []
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            content_type = resp.headers.get("Content-Type", "")
+            if "text/event-stream" not in content_type:
+                raise LoadError(
+                    f"event stream has Content-Type {content_type!r}"
+                )
+            for raw in resp:
+                line = raw.decode().rstrip("\r\n")
+                if not line:
+                    # Blank line: dispatch the accumulated message.
+                    if event_type is not None:
+                        payload = (
+                            json.loads("\n".join(data_lines))
+                            if data_lines
+                            else {}
+                        )
+                        events_seen += 1
+                        _log.debug(
+                            "loadgen.event", type=event_type,
+                            seq=payload.get("seq"),
+                        )
+                        if event_type == "job.failed":
+                            raise LoadError(
+                                "job failed: "
+                                f"{payload.get('data', {}).get('error')}"
+                            )
+                        if event_type == "job.completed":
+                            return events_seen
+                        if event_type == "job.state":
+                            # The stream's framing snapshot; terminal
+                            # here means the journaled terminal event
+                            # is no longer replayable.
+                            if payload.get("status") == "failed":
+                                raise LoadError(
+                                    f"job failed: {payload.get('error')}"
+                                )
+                            if payload.get("status") == "completed":
+                                return events_seen
+                    event_type, data_lines = None, []
+                    continue
+                if line.startswith(":"):
+                    continue  # comment / keepalive
+                field, _, value = line.partition(":")
+                value = value[1:] if value.startswith(" ") else value
+                if field == "event":
+                    event_type = value
+                elif field == "data":
+                    data_lines.append(value)
+    except TimeoutError:
+        raise LoadError(
+            f"no events from job {job_id} within {timeout}s"
+        ) from None
+    raise LoadError("event stream ended without a terminal event")
+
+
 def _request(
     method: str, url: str, payload: dict | None = None, timeout: float = 30.0
 ) -> tuple[int, dict]:
@@ -82,8 +160,13 @@ def run_load(
     result_gets: int = 50,
     poll_interval: float = 0.1,
     timeout: float = 300.0,
+    follow: bool = False,
 ) -> dict:
     """Submit ``spec``, wait for completion, then burst the warm path.
+
+    ``follow=True`` waits on the job's SSE event stream (one held
+    connection, event-driven) instead of polling ``GET /v1/jobs/{id}``
+    every ``poll_interval`` seconds.
 
     Returns a summary dict (job id, phase latencies, the final healthz
     payload).  Raises :class:`LoadError` on any contract violation:
@@ -101,19 +184,23 @@ def run_load(
     job_id = body["job"]["id"]
     _log.info("loadgen.submitted", job_id=job_id, status=status)
 
-    deadline = time.monotonic() + timeout
-    while True:
-        status, body = _request("GET", f"{base_url}/v1/jobs/{job_id}")
-        if status != 200:
-            raise LoadError(f"status poll failed: HTTP {status} {body}")
-        job_status = body["job"]["status"]
-        if job_status == "completed":
-            break
-        if job_status == "failed":
-            raise LoadError(f"job failed: {body['job']['error']}")
-        if time.monotonic() > deadline:
-            raise LoadError(f"job {job_id} not done within {timeout}s")
-        time.sleep(poll_interval)
+    follow_events = None
+    if follow:
+        follow_events = _follow(base_url, job_id, timeout)
+    else:
+        deadline = time.monotonic() + timeout
+        while True:
+            status, body = _request("GET", f"{base_url}/v1/jobs/{job_id}")
+            if status != 200:
+                raise LoadError(f"status poll failed: HTTP {status} {body}")
+            job_status = body["job"]["status"]
+            if job_status == "completed":
+                break
+            if job_status == "failed":
+                raise LoadError(f"job failed: {body['job']['error']}")
+            if time.monotonic() > deadline:
+                raise LoadError(f"job {job_id} not done within {timeout}s")
+            time.sleep(poll_interval)
     cold_seconds = time.perf_counter() - start
     _log.info("loadgen.completed", job_id=job_id,
               seconds=round(cold_seconds, 3))
@@ -155,6 +242,7 @@ def run_load(
         "cold_seconds": round(cold_seconds, 6),
         "duplicates": duplicates,
         "result_gets": result_gets,
+        "follow_events": follow_events,
         "healthz": health,
     }
 
@@ -190,6 +278,12 @@ def main(argv: list[str] | None = None) -> int:
         default=50,
         metavar="N",
         help="warm result GETs in the burst (default 50)",
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="wait on the job's SSE event stream instead of polling "
+        "its status endpoint",
     )
     parser.add_argument(
         "--timeout",
@@ -233,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
             duplicates=args.duplicates,
             result_gets=args.gets,
             timeout=args.timeout,
+            follow=args.follow,
         )
     except (LoadError, urllib.error.URLError, OSError) as exc:
         print(f"FAIL: {exc}", file=sys.stderr)

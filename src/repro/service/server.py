@@ -1,7 +1,7 @@
 """The asyncio HTTP/JSON front end of the yield-analysis service.
 
 A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`
-(stdlib only — no new runtime dependencies), exposing four endpoints:
+(stdlib only — no new runtime dependencies), exposing:
 
 * ``POST /v1/jobs`` — submit a spec; 202 on a new job, 200 when the
   submission deduped onto an existing one;
@@ -9,8 +9,14 @@ A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`
   counter deltas;
 * ``GET /v1/jobs/{id}/result`` — the computed surface (409 until the
   job completes);
+* ``GET /v1/jobs/{id}/events`` — Server-Sent-Events stream of one
+  job's lifecycle (closes after the terminal event);
+* ``GET /v1/events`` — the firehose: every journal event as SSE, until
+  the client disconnects.  Both streams honour ``Last-Event-ID``;
 * ``GET /v1/healthz`` — liveness, job counts, and the full metrics
-  snapshot under the ``repro.telemetry/1`` schema.
+  snapshot under the ``repro.telemetry/1`` schema;
+* ``GET /v1/metrics`` — the same registry in Prometheus text
+  exposition format, for standard scrapers.
 
 The wire format (schemas, error codes, dedupe semantics) is specified
 in ``docs/service.md``; this module is an implementation of that
@@ -19,7 +25,9 @@ document, not the other way around.
 Request handling never blocks on job execution: submissions enqueue
 onto the :class:`~repro.service.jobs.JobManager` worker thread and
 return immediately, so status polls and warm result reads stay at
-in-memory-lookup latency while a build runs.
+in-memory-lookup latency while a build runs.  Event streams poll the
+journal (tens of milliseconds), never touch the worker thread, and
+exit promptly when the server shuts down.
 """
 
 from __future__ import annotations
@@ -30,9 +38,11 @@ import threading
 import time
 
 from repro.observability import SCHEMA, registry
+from repro.observability.export import render_prometheus
 from repro.observability.log import get_logger
-from repro.observability.metrics import incr, observe
+from repro.observability.metrics import incr, observe, set_gauge
 from repro.service.jobs import JobManager
+from repro.service.journal import TERMINAL_EVENTS
 from repro.service.spec import SpecError
 
 _log = get_logger("service.http")
@@ -77,6 +87,72 @@ def _metrics_snapshot() -> dict:
     return {"schema": SCHEMA, "metrics": metrics}
 
 
+#: Content type the Prometheus text exposition format mandates.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Journal poll cadence of an open SSE stream, seconds.
+STREAM_POLL_SECONDS = 0.05
+
+#: Idle seconds between ``: keepalive`` comments on an open stream.
+STREAM_KEEPALIVE_SECONDS = 15.0
+
+
+class _RawResponse:
+    """A routed response that is not JSON (e.g. exposition text)."""
+
+    __slots__ = ("status", "body", "content_type")
+
+    def __init__(
+        self, body: bytes, content_type: str, status: int = 200
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+
+
+class _EventStream:
+    """A routed response that streams the journal as SSE."""
+
+    __slots__ = ("job_id", "last_seq")
+
+    def __init__(self, job_id: str | None, last_seq: int) -> None:
+        self.job_id = job_id
+        self.last_seq = last_seq
+
+
+def _sse_block(seq: int | None, event_type: str, data: dict) -> bytes:
+    """One Server-Sent-Events message (``id``/``event``/``data`` lines
+    plus the blank-line terminator).  ``seq=None`` omits the ``id:``
+    line, leaving the client's ``Last-Event-ID`` untouched — used for
+    the synthetic ``job.state`` snapshots that frame a per-job stream
+    but do not live in the journal.
+    """
+    lines = []
+    if seq is not None:
+        lines.append(f"id: {seq}")
+    lines.append(f"event: {event_type}")
+    lines.append(f"data: {json.dumps(data)}")
+    return ("\n".join(lines) + "\n\n").encode()
+
+
+def _last_event_id(headers: dict[str, str]) -> int:
+    """The resume point an SSE client asked for (0 = from the start)."""
+    raw = headers.get("last-event-id")
+    if raw is None:
+        return 0
+    try:
+        value = int(raw)
+        if value < 0:
+            raise ValueError
+    except ValueError:
+        raise _HttpError(
+            400,
+            "invalid-last-event-id",
+            f"Last-Event-ID must be a non-negative integer, got {raw!r}",
+        ) from None
+    return value
+
+
 class ServiceServer:
     """One listening socket bound to one :class:`JobManager`."""
 
@@ -90,6 +166,10 @@ class ServiceServer:
         self.host = host
         self.port = port
         self._server: asyncio.AbstractServer | None = None
+        #: Flipped by :meth:`stop` before the socket closes; open SSE
+        #: streams check it each poll so ``wait_closed()`` (which waits
+        #: for connection handlers on Python >= 3.12) returns promptly.
+        self._closing = False
 
     async def start(self) -> None:
         """Bind and start serving; ``self.port`` holds the real port
@@ -106,6 +186,7 @@ class ServiceServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -127,8 +208,8 @@ class ServiceServer:
         method = path = "?"
         try:
             try:
-                method, path, body = await self._read_request(reader)
-                status, payload = self._route(method, path, body)
+                method, path, body, headers = await self._read_request(reader)
+                result = self._route(method, path, body, headers)
             except _HttpError as exc:
                 status = exc.status
                 payload = {"error": {"code": exc.code, "message": str(exc)}}
@@ -156,7 +237,18 @@ class ServiceServer:
                     },
                 )
                 return
-            await self._respond(writer, status, payload)
+            if isinstance(result, _EventStream):
+                status = 200
+                try:
+                    await self._stream_events(writer, result)
+                except (ConnectionError, OSError):
+                    pass  # client hung up mid-stream
+            elif isinstance(result, _RawResponse):
+                status = result.status
+                await self._respond_raw(writer, result)
+            else:
+                status, payload = result
+                await self._respond(writer, status, payload)
         finally:
             incr("service.requests")
             observe("service.request_seconds", time.perf_counter() - start)
@@ -171,7 +263,7 @@ class ServiceServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes, dict[str, str]]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise ConnectionError("empty request")
@@ -180,19 +272,23 @@ class ServiceServer:
             raise _HttpError(400, "bad-request", "malformed request line")
         method, target, _version = parts
         path = target.split("?", 1)[0]
-        content_length = 0
+        headers: dict[str, str] = {}
         while True:
             line = (await reader.readline()).decode("latin-1")
             if line in ("\r\n", "\n", ""):
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _HttpError(
-                        400, "bad-request", "unparseable Content-Length"
-                    ) from None
+            # Last header wins on duplicates; header names are
+            # case-insensitive, stored lowercased.
+            headers[name.strip().lower()] = value.strip()
+        content_length = 0
+        if "content-length" in headers:
+            try:
+                content_length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(
+                    400, "bad-request", "unparseable Content-Length"
+                ) from None
         if content_length > MAX_BODY_BYTES:
             raise _HttpError(
                 413,
@@ -204,7 +300,7 @@ class ServiceServer:
             if content_length
             else b""
         )
-        return method, path, body
+        return method, path, body, headers
 
     async def _respond(
         self,
@@ -225,10 +321,103 @@ class ServiceServer:
         writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
         await writer.drain()
 
+    async def _respond_raw(
+        self, writer: asyncio.StreamWriter, response: _RawResponse
+    ) -> None:
+        headers = [
+            f"HTTP/1.1 {response.status} "
+            f"{_STATUS_TEXT.get(response.status, 'Unknown')}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            "Connection: close",
+        ]
+        writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + response.body)
+        await writer.drain()
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, stream: _EventStream
+    ) -> None:
+        """Serve one SSE connection off the manager's journal.
+
+        Per-job streams open with a synthetic un-id'd ``job.state``
+        snapshot (so a client always learns the current status, even
+        when resuming past the terminal event), replay journaled events
+        after ``Last-Event-ID``, then follow live appends and close
+        once the job's terminal event has been sent.  The firehose
+        (``job_id=None``) replays and then follows until the client
+        disconnects or the server shuts down, with ``: keepalive``
+        comments during idle stretches.  A resume gap (events already
+        evicted from the ring) is flagged with a comment — sequence
+        numbers are never reused, so the client can also see the gap in
+        the ``id:`` line.
+        """
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+        )
+        journal = self.manager.journal
+        cursor = stream.last_seq
+        job = None
+        if stream.job_id is not None:
+            job = self.manager.get(stream.job_id)
+            if job is not None:
+                writer.write(_sse_block(None, "job.state", job.view()))
+        events, truncated = journal.after(cursor, stream.job_id)
+        if truncated:
+            writer.write(
+                b": gap - events after the requested Last-Event-ID were "
+                b"evicted from the journal ring\n\n"
+            )
+        loop = asyncio.get_running_loop()
+        next_keepalive = loop.time() + STREAM_KEEPALIVE_SECONDS
+        first = True
+        while True:
+            terminal_sent = False
+            for event in events:
+                writer.write(_sse_block(event.seq, event.type, event.wire()))
+                cursor = event.seq
+                if event.type in TERMINAL_EVENTS:
+                    terminal_sent = True
+            if events:
+                next_keepalive = loop.time() + STREAM_KEEPALIVE_SECONDS
+            await writer.drain()
+            if stream.job_id is not None:
+                if terminal_sent:
+                    return
+                # Opening replay of an already-terminal job with no
+                # journaled events past the resume point: the terminal
+                # event predates Last-Event-ID or was evicted, so
+                # nothing more will ever arrive — the opening job.state
+                # already told the client how the job ended.  Only the
+                # *opening* replay may conclude this: mid-stream, a
+                # terminal status with no event yet means the terminal
+                # append (which happens just after the status flip) is
+                # still in flight.
+                if (
+                    first
+                    and not events
+                    and job is not None
+                    and job.status in ("completed", "failed")
+                ):
+                    return
+            first = False
+            if self._closing or writer.is_closing():
+                return
+            if loop.time() >= next_keepalive:
+                writer.write(b": keepalive\n\n")
+                await writer.drain()
+                next_keepalive = loop.time() + STREAM_KEEPALIVE_SECONDS
+            await asyncio.sleep(STREAM_POLL_SECONDS)
+            events, _ = journal.after(cursor, stream.job_id)
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    def _route(self, method: str, path: str, body: bytes, headers: dict):
         if path == "/v1/jobs":
             if method != "POST":
                 raise _HttpError(
@@ -236,20 +425,26 @@ class ServiceServer:
                     f"{method} not allowed on {path}", allow="POST",
                 )
             return self._submit(body)
+        if path in ("/v1/healthz", "/v1/metrics", "/v1/events") or (
+            path.startswith("/v1/jobs/")
+        ):
+            if method != "GET":
+                raise _HttpError(
+                    405, "method-not-allowed",
+                    f"{method} not allowed on {path}", allow="GET",
+                )
         if path == "/v1/healthz":
-            if method != "GET":
-                raise _HttpError(
-                    405, "method-not-allowed",
-                    f"{method} not allowed on {path}", allow="GET",
-                )
             return self._healthz()
+        if path == "/v1/metrics":
+            return self._metrics()
+        if path == "/v1/events":
+            return _EventStream(None, _last_event_id(headers))
         if path.startswith("/v1/jobs/"):
-            if method != "GET":
-                raise _HttpError(
-                    405, "method-not-allowed",
-                    f"{method} not allowed on {path}", allow="GET",
-                )
             rest = path[len("/v1/jobs/"):]
+            if rest.endswith("/events"):
+                job_id = rest[: -len("/events")].rstrip("/")
+                self._lookup(job_id)
+                return _EventStream(job_id, _last_event_id(headers))
             if rest.endswith("/result"):
                 return self._result(rest[: -len("/result")].rstrip("/"))
             if "/" not in rest:
@@ -300,13 +495,27 @@ class ServiceServer:
         )
 
     def _healthz(self) -> tuple[int, dict]:
+        # Uptime comes from the monotonic clock (satellite of PR 8): a
+        # wall-clock step must not make it jump or go negative.
         return 200, {
             "status": "ok",
-            "uptime_seconds": round(time.time() - self.manager.started_at, 3),
+            "uptime_seconds": round(self.manager.uptime_seconds(), 3),
             "queue_depth": self.manager.queue_depth(),
             "jobs": self.manager.counts(),
             "telemetry": _metrics_snapshot(),
         }
+
+    def _metrics(self) -> _RawResponse:
+        """``GET /v1/metrics``: the registry as Prometheus exposition
+        text — value-identical to the healthz telemetry block, just in
+        the format a standard scraper speaks.  Uptime is refreshed into
+        a gauge at scrape time so dashboards get it for free.
+        """
+        set_gauge("service.uptime_seconds", self.manager.uptime_seconds())
+        return _RawResponse(
+            render_prometheus(registry.snapshot()).encode(),
+            PROMETHEUS_CONTENT_TYPE,
+        )
 
 
 class BackgroundServer:

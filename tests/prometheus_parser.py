@@ -1,0 +1,215 @@
+"""A strict, minimal parser for the Prometheus text exposition format.
+
+The test suite round-trips :func:`repro.observability.export.render_prometheus`
+output through this parser, and the CI ``scrape-smoke`` step feeds it a
+live ``GET /v1/metrics`` page.  It deliberately implements only the
+subset the renderer emits (version 0.0.4: ``# HELP`` / ``# TYPE``
+comments, optionally-labelled samples, ``NaN`` / ``+Inf`` / ``-Inf``
+values) and raises :class:`ExpositionError` on anything malformed —
+a lenient parser would defeat the point of the round-trip check.
+
+Not a repro package module on purpose: the exposition *writer* ships in
+``repro.observability.export``; keeping the only reader out-of-tree
+guarantees the rendered text is validated against an independent
+reading of the spec, not against the writer's own assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_TYPES = frozenset({"counter", "gauge", "summary", "histogram", "untyped"})
+
+
+class ExpositionError(ValueError):
+    """The text violates the exposition format."""
+
+
+@dataclass
+class Family:
+    """One metric family: its declared type/help and its samples."""
+
+    name: str
+    type: str | None = None
+    help: str | None = None
+    #: ``(sample_name, labels, value)`` in page order.  For summaries the
+    #: sample name may be ``<name>_sum`` / ``<name>_count``.
+    samples: list[tuple[str, dict, float]] = field(default_factory=list)
+
+    def value(
+        self, suffix: str = "", labels: dict | None = None
+    ) -> float:
+        """The single sample matching ``name+suffix`` and ``labels``."""
+        wanted = labels or {}
+        matches = [
+            v
+            for (n, l, v) in self.samples
+            if n == self.name + suffix and l == wanted
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} samples match {self.name + suffix}"
+                f"{wanted or ''}"
+            )
+        return matches[0]
+
+
+def _parse_value(token: str, lineno: int) -> float:
+    if token == "NaN":
+        return math.nan
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    try:
+        return float(token)
+    except ValueError:
+        raise ExpositionError(
+            f"line {lineno}: unparseable sample value {token!r}"
+        ) from None
+
+
+def _parse_labels(block: str, lineno: int) -> dict:
+    """Parse the ``k="v",...`` inside one ``{...}`` label block."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(block):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', block[i:])
+        if not match:
+            raise ExpositionError(
+                f"line {lineno}: malformed label block at {block[i:]!r}"
+            )
+        name = match.group(1)
+        i += match.end()
+        value_chars: list[str] = []
+        while True:
+            if i >= len(block):
+                raise ExpositionError(
+                    f"line {lineno}: unterminated label value"
+                )
+            ch = block[i]
+            if ch == "\\":
+                if i + 1 >= len(block):
+                    raise ExpositionError(
+                        f"line {lineno}: dangling escape in label value"
+                    )
+                esc = block[i + 1]
+                if esc == "n":
+                    value_chars.append("\n")
+                elif esc in ('"', "\\"):
+                    value_chars.append(esc)
+                else:
+                    raise ExpositionError(
+                        f"line {lineno}: bad escape \\{esc} in label value"
+                    )
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            value_chars.append(ch)
+            i += 1
+        if name in labels:
+            raise ExpositionError(
+                f"line {lineno}: duplicate label {name!r}"
+            )
+        labels[name] = "".join(value_chars)
+        if i < len(block):
+            if block[i] != ",":
+                raise ExpositionError(
+                    f"line {lineno}: expected ',' between labels, "
+                    f"got {block[i]!r}"
+                )
+            i += 1
+    return labels
+
+
+def _family_of(sample_name: str, families: dict[str, Family]) -> str:
+    """Resolve ``_sum`` / ``_count`` samples onto their summary family."""
+    for suffix in ("_sum", "_count"):
+        base = sample_name.removesuffix(suffix)
+        if base != sample_name and base in families and families[
+            base
+        ].type in ("summary", "histogram"):
+            return base
+    return sample_name
+
+
+def parse_exposition(text: str) -> dict[str, Family]:
+    """Parse an exposition page into ``{family_name: Family}``.
+
+    Raises :class:`ExpositionError` on: illegal metric or label names,
+    unknown ``# TYPE`` values, a second ``# TYPE`` for the same family,
+    unparseable values, malformed label blocks, or two samples with the
+    same name *and* labels.
+    """
+    families: dict[str, Family] = {}
+    seen_samples: set[tuple[str, tuple]] = set()
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                kind, name = parts[1], parts[2]
+                rest = parts[3] if len(parts) > 3 else ""
+                if not _NAME_RE.match(name):
+                    raise ExpositionError(
+                        f"line {lineno}: illegal metric name {name!r}"
+                    )
+                family = families.setdefault(name, Family(name))
+                if kind == "TYPE":
+                    if rest not in _TYPES:
+                        raise ExpositionError(
+                            f"line {lineno}: unknown type {rest!r}"
+                        )
+                    if family.type is not None:
+                        raise ExpositionError(
+                            f"line {lineno}: duplicate TYPE for {name!r}"
+                        )
+                    if family.samples:
+                        raise ExpositionError(
+                            f"line {lineno}: TYPE for {name!r} after its "
+                            "samples"
+                        )
+                    family.type = rest
+                else:
+                    family.help = rest
+            continue  # other comments (keepalives, skip notices) ignored
+
+        # Sample line: name[{labels}] value [timestamp]
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                         r"(\s+-?\d+)?$", line)
+        if not match:
+            raise ExpositionError(
+                f"line {lineno}: malformed sample line {line!r}"
+            )
+        sample_name = match.group(1)
+        labels = (
+            _parse_labels(match.group(3), lineno)
+            if match.group(2) and match.group(3)
+            else {}
+        )
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                raise ExpositionError(
+                    f"line {lineno}: illegal label name {label_name!r}"
+                )
+        value = _parse_value(match.group(4), lineno)
+        key = (sample_name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            raise ExpositionError(
+                f"line {lineno}: duplicate sample {sample_name}{labels}"
+            )
+        seen_samples.add(key)
+        family_name = _family_of(sample_name, families)
+        family = families.setdefault(family_name, Family(family_name))
+        family.samples.append((sample_name, labels, value))
+
+    return families

@@ -25,6 +25,8 @@ import pytest
 
 from repro import observability
 from repro.service.jobs import JobManager
+from repro.service.journal import EventJournal
+from repro.service.loadgen import run_load
 from repro.service.server import BackgroundServer
 from repro.service.spec import (
     SpecError,
@@ -32,6 +34,7 @@ from repro.service.spec import (
     normalize_spec,
     spec_fingerprint,
 )
+from tests.prometheus_parser import parse_exposition
 
 #: Seconds-scale spec exercising the full real pipeline.
 TINY_SPEC = {
@@ -56,6 +59,63 @@ def request(
             return resp.status, json.loads(resp.read().decode())
     except urllib.error.HTTPError as exc:
         return exc.code, json.loads(exc.read().decode())
+
+
+def fetch_raw(
+    url: str, headers: dict | None = None, timeout: float = 30.0
+) -> tuple[int, dict, str]:
+    """GET a non-JSON endpoint; returns (status, headers, body text)."""
+    req = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode()
+
+
+def read_sse(
+    url: str,
+    last_event_id: int | None = None,
+    timeout: float = 120.0,
+    stop=None,
+) -> list[tuple[int | None, str | None, dict]]:
+    """Read an SSE stream into ``(id, event, payload)`` messages.
+
+    Reads until the server closes the stream (per-job streams close
+    after the terminal event) or ``stop(message)`` returns True — the
+    escape hatch for the never-ending global stream.
+    """
+    headers = {"Accept": "text/event-stream"}
+    if last_event_id is not None:
+        headers["Last-Event-ID"] = str(last_event_id)
+    req = urllib.request.Request(url, headers=headers)
+    messages: list[tuple[int | None, str | None, dict]] = []
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        assert "text/event-stream" in resp.headers.get("Content-Type", "")
+        event_id: int | None = None
+        event_type: str | None = None
+        data_lines: list[str] = []
+        for raw in resp:
+            line = raw.decode().rstrip("\r\n")
+            if not line:
+                if event_type is not None or data_lines:
+                    payload = (
+                        json.loads("\n".join(data_lines)) if data_lines else {}
+                    )
+                    message = (event_id, event_type, payload)
+                    messages.append(message)
+                    if stop is not None and stop(message):
+                        break
+                event_id, event_type, data_lines = None, None, []
+                continue
+            if line.startswith(":"):
+                continue  # comment / keepalive
+            field, _, value = line.partition(":")
+            value = value[1:] if value.startswith(" ") else value
+            if field == "id":
+                event_id = int(value)
+            elif field == "event":
+                event_type = value
+            elif field == "data":
+                data_lines.append(value)
+    return messages
 
 
 def wait_for(predicate, timeout: float = 60.0, interval: float = 0.05):
@@ -215,6 +275,100 @@ class TestJobManager:
             assert set(progress["counters"]) >= {"mc.samples", "solver.calls"}
         finally:
             manager.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Event journal, flight recorder, uptime (no HTTP)
+# ----------------------------------------------------------------------
+class TestEventJournal:
+    def test_ring_eviction_and_truncation(self):
+        journal = EventJournal(capacity=3)
+        for i in range(5):
+            journal.append("job.progress", job_id="j", i=i)
+        assert journal.last_seq == 5
+        assert journal.dropped == 2
+        events, truncated = journal.after(0)
+        assert truncated  # seqs 1-2 were evicted
+        assert [e.seq for e in events] == [3, 4, 5]
+        events, truncated = journal.after(3)
+        assert not truncated
+        assert [e.seq for e in events] == [4, 5]
+
+    def test_per_job_filter_and_wire_shape(self):
+        journal = EventJournal(capacity=16)
+        journal.append("job.accepted", job_id="a")
+        journal.append("job.accepted", job_id="b")
+        journal.append("job.completed", job_id="a", seconds=1.5)
+        events, truncated = journal.after(0, job_id="a")
+        assert not truncated
+        assert [e.type for e in events] == ["job.accepted", "job.completed"]
+        wire = events[-1].wire()
+        assert wire["job_id"] == "a"
+        assert wire["data"] == {"seconds": 1.5}
+        assert set(wire) == {"seq", "ts", "type", "job_id", "data"}
+
+    def test_overflow_counts_drops(self, metrics_on):
+        journal = EventJournal(capacity=1)
+        journal.append("job.accepted")
+        journal.append("job.accepted")
+        counters = observability.registry.snapshot()["counters"]
+        assert counters["service.events"] == 2.0
+        assert counters["service.events_dropped"] == 1.0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventJournal(capacity=0)
+
+
+class TestFlightRecorder:
+    def test_failed_job_dumps_journal_to_disk(self, metrics_on, tmp_path):
+        def runner(spec, **_opts):
+            raise RuntimeError("solver exploded")
+
+        manager = JobManager(runner=runner, flight_dir=str(tmp_path))
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            wait_for(lambda: manager.get(job.id).status == "failed")
+            flights = wait_for(
+                lambda: list(tmp_path.glob("flight-*.json")) or None,
+                timeout=10,
+            )
+        finally:
+            manager.shutdown()
+        [path] = flights
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.flight/1"
+        assert doc["job"]["id"] == job.id
+        assert doc["job"]["status"] == "failed"
+        assert doc["dropped_events"] == 0
+        types = [event["type"] for event in doc["events"]]
+        assert "job.accepted" in types
+        assert "job.started" in types
+        assert types[-1] == "job.failed"
+        assert "solver exploded" in doc["events"][-1]["data"]["error"]
+
+    def test_no_flight_dir_means_no_dump(self, metrics_on, tmp_path):
+        def runner(spec, **_opts):
+            raise RuntimeError("boom")
+
+        manager = JobManager(runner=runner)
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            wait_for(lambda: manager.get(job.id).status == "failed")
+        finally:
+            manager.shutdown()
+        assert not list(tmp_path.glob("flight-*.json"))
+
+
+def test_uptime_is_monotonic(metrics_on):
+    manager = JobManager(runner=lambda spec, **_opts: {"ok": True})
+    try:
+        first = manager.uptime_seconds()
+        assert first >= 0
+        time.sleep(0.02)
+        assert manager.uptime_seconds() > first
+    finally:
+        manager.shutdown()
 
 
 # ----------------------------------------------------------------------
@@ -380,6 +534,164 @@ class TestHttpApi:
         assert "service.request_seconds" in summaries
         # Healthz keeps the summary but drops the raw reservoir.
         assert "reservoir" not in summaries["service.request_seconds"]
+
+
+# ----------------------------------------------------------------------
+# SSE event streams
+# ----------------------------------------------------------------------
+class TestEventStreams:
+    def test_job_stream_replays_full_lifecycle(self, live_server):
+        spec = dict(TINY_SPEC, seed=53)
+        status, body = request("POST", f"{live_server}/v1/jobs", spec)
+        assert status in (200, 202)
+        job_id = body["job"]["id"]
+
+        messages = read_sse(f"{live_server}/v1/jobs/{job_id}/events")
+        # The framing snapshot opens the stream, un-id'd (it is not a
+        # journal event, so a reconnect must not resume past it).
+        first_id, first_type, first_payload = messages[0]
+        assert first_type == "job.state"
+        assert first_id is None
+        assert first_payload["id"] == job_id
+
+        ids = [i for i, _, _ in messages[1:]]
+        types = [t for _, t, _ in messages[1:]]
+        assert types[0] == "job.accepted"
+        assert "job.started" in types
+        assert "job.progress" in types
+        assert types[-1] == "job.completed"
+        assert ids == sorted(ids)  # seqs strictly ordered
+        assert len(set(ids)) == len(ids)
+        assert all(p["job_id"] == job_id for _, _, p in messages[1:])
+        assert messages[-1][2]["data"]["seconds"] > 0
+
+    def test_resume_with_last_event_id_skips_replay(self, live_server):
+        spec = dict(TINY_SPEC, seed=59)
+        status, body = request("POST", f"{live_server}/v1/jobs", spec)
+        assert status in (200, 202)
+        job_id = body["job"]["id"]
+        url = f"{live_server}/v1/jobs/{job_id}/events"
+
+        full = read_sse(url)
+        started_seq = next(
+            i for i, t, _ in full if t == "job.started"
+        )
+        resumed = read_sse(url, last_event_id=started_seq)
+        assert resumed[0][1] == "job.state"
+        types = [t for _, t, _ in resumed[1:]]
+        assert "job.accepted" not in types
+        assert "job.started" not in types
+        assert types[-1] == "job.completed"
+        assert all(i > started_seq for i, _, _ in resumed[1:])
+
+    def test_resume_past_the_end_closes_on_the_snapshot(self, live_server):
+        job_id = completed_job_id(live_server)
+        messages = read_sse(
+            f"{live_server}/v1/jobs/{job_id}/events",
+            last_event_id=10**9,
+            timeout=30,
+        )
+        [(event_id, event_type, payload)] = messages
+        assert event_id is None
+        assert event_type == "job.state"
+        assert payload["status"] == "completed"
+
+    def test_invalid_last_event_id_is_400(self, live_server):
+        job_id = completed_job_id(live_server)
+        req = urllib.request.Request(
+            f"{live_server}/v1/jobs/{job_id}/events",
+            headers={"Last-Event-ID": "banana"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+        assert (
+            json.loads(excinfo.value.read().decode())["error"]["code"]
+            == "invalid-last-event-id"
+        )
+
+    def test_stream_for_unknown_job_is_404(self, live_server):
+        status, body = request(
+            "GET", f"{live_server}/v1/jobs/deadbeef/events"
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown-job"
+
+    def test_global_stream_carries_every_job(self, live_server):
+        completed_job_id(live_server)
+        # The global stream never terminates; replay the journal from
+        # the start and hang up once a terminal event arrives.
+        messages = read_sse(
+            f"{live_server}/v1/events",
+            last_event_id=0,
+            timeout=30,
+            stop=lambda m: m[1] == "job.completed",
+        )
+        types = [t for _, t, _ in messages]
+        assert "job.accepted" in types
+        assert types[-1] == "job.completed"
+
+    def test_events_endpoint_is_get_only(self, live_server):
+        status, body = request("POST", f"{live_server}/v1/events", {})
+        assert status == 405
+        assert body["error"]["code"] == "method-not-allowed"
+
+    def test_loadgen_follow_rides_the_stream(self, live_server):
+        summary = run_load(
+            live_server,
+            spec=dict(TINY_SPEC, seed=61),
+            duplicates=2,
+            result_gets=2,
+            follow=True,
+        )
+        # At minimum: accepted, started, one progress, completed (the
+        # framing snapshot too, unless the job outran the connect).
+        assert summary["follow_events"] >= 4
+
+
+# ----------------------------------------------------------------------
+# Prometheus scrape endpoint
+# ----------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_page_parses_and_matches_healthz(self, live_server):
+        completed_job_id(live_server)
+        _, health = request("GET", f"{live_server}/v1/healthz")
+        status, headers, page = fetch_raw(f"{live_server}/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+
+        families = parse_exposition(page)
+        counters = health["telemetry"]["metrics"]["counters"]
+        # Nothing submits between the two reads, so job counters agree
+        # exactly; service.requests only ever moves up (the healthz GET
+        # itself is counted by the time the scrape renders).
+        for name in (
+            "service.jobs_accepted",
+            "service.jobs_completed",
+            "service.jobs_failed",
+            "service.events_dropped",
+        ):
+            family = families[name.replace(".", "_")]
+            assert family.type == "counter", name
+            assert family.value() == counters[name], name
+        assert (
+            families["service_requests"].value()
+            >= counters["service.requests"]
+        )
+        assert families["service_uptime_seconds"].type == "gauge"
+        assert families["service_uptime_seconds"].value() >= 0
+        summary = families["service_request_seconds"]
+        assert summary.type == "summary"
+        assert summary.value("_count") > 0
+        assert summary.value("_sum") > 0
+        assert summary.value("", {"quantile": "0.5"}) >= 0
+
+    def test_scrape_is_get_only(self, live_server):
+        status, body = request("POST", f"{live_server}/v1/metrics", {})
+        assert status == 405
+        assert body["error"]["code"] == "method-not-allowed"
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import statistics
 import time
+import uuid
 
 from repro import observability
 from repro.bench.registry import BenchProfile, Workload
@@ -45,26 +46,33 @@ def run_workload(
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    # Every measurement run gets a correlation id: stamped on the
+    # record's env fingerprint (and on any log events the workload
+    # emits), so a BENCH_*.json line can be joined to its uploaded
+    # telemetry/trace artifacts after the fact.
+    run_id = f"bench-{workload.name}-{uuid.uuid4().hex[:12]}"
     was_enabled = observability.enabled()
     state = workload.prepare(profile) if workload.prepare else None
     wall: list[float] = []
     telemetry: dict = {}
     try:
-        for _ in range(repeats):
-            observability.reset()
-            observability.enable()
-            start = time.perf_counter()
-            workload.run(profile, state)
-            elapsed = time.perf_counter() - start
-            if not wall or elapsed < min(wall):
-                telemetry = observability.snapshot()
-            wall.append(elapsed)
+        with observability.RunContext(run_id):
+            for _ in range(repeats):
+                observability.reset()
+                observability.enable()
+                start = time.perf_counter()
+                workload.run(profile, state)
+                elapsed = time.perf_counter() - start
+                if not wall or elapsed < min(wall):
+                    telemetry = observability.snapshot()
+                wall.append(elapsed)
     finally:
         observability.reset()
         if not was_enabled:
             observability.disable()
         if workload.cleanup:
             workload.cleanup(state)
+    telemetry["run_id"] = run_id
     return {
         "schema": RECORD_SCHEMA,
         "workload": workload.name,
@@ -78,5 +86,6 @@ def run_workload(
         "environment": {
             **observability.environment_fingerprint(),
             "workers": profile.workers,
+            "run_id": run_id,
         },
     }

@@ -265,6 +265,15 @@ def main(argv: list[str] | None = None) -> int:
         help="allow --trace-out to replace an existing file",
     )
     parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="ID",
+        help="correlation id for this run: stamped as run_id= on every "
+        "structured log event (human and --log-json), into the "
+        "--metrics-out report, and into the --trace-out metadata — "
+        "one key to join a run's logs, metrics, and traces offline",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
         metavar="DIR",
@@ -316,6 +325,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             "--min-ess/--max-ci-halfwidth need --diagnostics, "
             "--strict-diagnostics, or --metrics-out"
+        )
+    if args.run_id is not None and not args.run_id.strip():
+        parser.error("--run-id must be a non-empty string")
+    if args.run_id is not None:
+        # Scope the whole process lifetime (the CLI is one run): every
+        # log event below — and in every pool worker — carries
+        # run_id=<ID>, with or without metric collection.
+        observability.context.activate(
+            observability.RunScope(args.run_id)
         )
     collect = args.metrics_out is not None
     profiling = args.profile_out is not None
@@ -394,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
     if collect:
         report = observability.snapshot()
         report["experiment"] = args.figure
+        if args.run_id is not None:
+            report["run_id"] = args.run_id
         report["elapsed_seconds"] = round(elapsed, 3)
         report["invocation"] = {
             "fast": args.fast,
@@ -409,6 +429,7 @@ def main(argv: list[str] | None = None) -> int:
             **observability.environment_fingerprint(),
             "seed": ctx.seed,
             "workers": args.workers,
+            "run_id": args.run_id,
         }
         logger = observability.get_logger("experiments.cli")
         metrics_path = _resolve_metrics_path(
@@ -433,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
             observability.timeline_snapshot(),
             meta={
                 "experiment": args.figure,
+                "run_id": args.run_id,
                 "elapsed_seconds": round(elapsed, 3),
                 "workers": args.workers,
                 "git_sha": observability.git_sha(),

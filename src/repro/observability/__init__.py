@@ -31,9 +31,16 @@ schema and a worked walkthrough live in ``docs/observability.md``.
 from __future__ import annotations
 
 from repro.observability import _state
+from repro.observability import context
 from repro.observability import diagnostics
 from repro.observability import export
 from repro.observability import log
+from repro.observability.context import (
+    RunContext,
+    RunScope,
+    current_run_id,
+    current_scope,
+)
 from repro.observability.diagnostics import (
     BatchDiagnostics,
     DiagnosticThresholds,
@@ -77,8 +84,10 @@ from repro.observability.tracing import (
     tracer,
 )
 
-#: Version tag written into every ``--metrics-out`` report.
-SCHEMA = "repro.telemetry/1"
+#: Version tag written into every ``--metrics-out`` report (defined in
+#: :mod:`repro.observability.context`, which cannot import this
+#: package without a cycle).
+SCHEMA = context.SCHEMA
 
 #: Counters that every report must contain even when the code path
 #: that would create them never ran (a run without ``--cache-dir``
@@ -159,15 +168,20 @@ def snapshot() -> dict:
 # ----------------------------------------------------------------------
 # Cross-process plumbing (used by repro.parallel.executor)
 # ----------------------------------------------------------------------
-def worker_begin() -> None:
+def worker_begin(run_id: str | None = None) -> None:
     """Start an isolated collection scope inside a worker process.
 
     Called at the top of every fanned-out task: enables collection and
     clears any state inherited from the parent at fork time, so the
     snapshot taken at task end contains exactly that task's telemetry.
+    ``run_id`` is the parent's active run id, shipped across the
+    pickle boundary in the task payload; installing it here keeps
+    worker-side log events stamped with the run that owns the fan-out
+    (and works identically under fork and spawn start methods).
     """
     reset()
     _state.set_enabled(True)
+    context.enter_worker_scope(run_id)
 
 
 def worker_snapshot() -> dict:
@@ -192,13 +206,21 @@ def merge_worker(snapshot_dict: dict) -> None:
     Metrics accumulate into the process-wide registry; the worker's
     trace subtree is grafted under the span open at the call site, so
     fanned-out work lands in the tree exactly where the fan-out
-    happened.
+    happened.  The merge runs on the thread that owns the fan-out, so
+    when that thread is inside a :class:`RunContext` the same snapshot
+    also lands in the owning scope — worker telemetry routes back to
+    the run that dispatched it, not just to the process totals.
     """
     registry.merge(snapshot_dict["metrics"])
     tracer.merge_at_current(snapshot_dict["trace"])
     # Additive keys: snapshots from older workers simply lack them.
     diagnostics.recorder.merge(snapshot_dict.get("diagnostics", {}))
     merge_timeline(snapshot_dict.get("timeline"))
+    scope = context.current_scope()
+    if scope is not None:
+        scope.registry.merge(snapshot_dict["metrics"])
+        scope.tracer.merge_at_current(snapshot_dict["trace"])
+        scope.recorder.merge(snapshot_dict.get("diagnostics", {}))
 
 
 __all__ = [
@@ -213,9 +235,14 @@ __all__ = [
     "Timeline",
     "Tracer",
     "WeightDiagnostics",
+    "RunContext",
+    "RunScope",
     "clopper_pearson_interval",
     "configure",
     "configure_logging",
+    "context",
+    "current_run_id",
+    "current_scope",
     "diagnostics",
     "disable",
     "disable_profiling",

@@ -7,12 +7,15 @@ renders any such snapshot for a human::
     python -m repro.experiments fig2c --fast --metrics-out /tmp/m.json
     python -m repro.observability report /tmp/m.json
     python -m repro.observability report /tmp/m.json --top 20
+    python -m repro.observability report /tmp/m.json --format json
 
 The report shows where the run spent its life (slowest spans by self
 time), what it did (top counters), and whether the numbers can be
 trusted (per-scope estimator-health verdicts with ESS / CI summaries) —
 the triage view you want before opening the raw JSON or a Perfetto
 trace.  It is read-only and needs no collection to be armed.
+``--format json`` emits the same summary as a JSON object, for CI
+steps and scripts that would otherwise scrape the text.
 """
 
 from __future__ import annotations
@@ -124,6 +127,43 @@ def render_report(report: dict, top: int = 10) -> str:
     return "\n".join(lines) + "\n"
 
 
+def summarize_report(report: dict, top: int = 10) -> dict:
+    """The machine-readable form of :func:`render_report`.
+
+    Same selection and the same ordering as the text report — slowest
+    spans by self time, top counters by value, per-scope estimator
+    health — as one JSON-ready dict (``repro.report/1``), so a CI step
+    can assert on it with ``jq`` instead of scraping lines.
+    """
+    metrics = report.get("metrics", {})
+    trace = report.get("trace", {})
+    diagnostics = report.get("diagnostics", {})
+    rows = sorted(
+        span_rows(trace), key=lambda r: r["self_seconds"], reverse=True
+    )
+    counters = sorted(
+        metrics.get("counters", {}).items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    scopes = diagnostics.get("scopes", {})
+    return {
+        "schema": "repro.report/1",
+        "snapshot_schema": report.get("schema"),
+        "experiment": report.get("experiment"),
+        "run_id": report.get("run_id"),
+        "elapsed_seconds": report.get("elapsed_seconds"),
+        "meta": report.get("meta", {}),
+        "slowest_spans": rows[:top],
+        "top_counters": [
+            {"name": name, "value": value} for name, value in counters[:top]
+        ],
+        "diagnostics": {
+            "thresholds": diagnostics.get("thresholds", {}),
+            "unconverged_scopes": diagnostics.get("unconverged_scopes", []),
+            "scopes": {name: scopes[name] for name in sorted(scopes)},
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.observability",
@@ -143,6 +183,13 @@ def main(argv: list[str] | None = None) -> int:
         default=10,
         metavar="N",
         help="rows per section (default 10)",
+    )
+    report_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output form: the human text report (default) or the same "
+        "summary as one JSON object (repro.report/1)",
     )
     args = parser.parse_args(argv)
 
@@ -164,7 +211,10 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(render_report(report, top=args.top), end="")
+    if args.format == "json":
+        print(json.dumps(summarize_report(report, top=args.top), indent=2))
+    else:
+        print(render_report(report, top=args.top), end="")
     return 0
 
 

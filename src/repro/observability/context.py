@@ -1,0 +1,150 @@
+"""Run-scoped telemetry: a ``run_id`` plus an isolated collection scope.
+
+The process-wide registry answers *what has this process done*; a
+:class:`RunScope` answers *what did this run do* — the question a
+service fielding concurrent jobs ("why was job X slow?") needs an
+exact, isolated answer to.  A scope bundles a ``run_id`` with its own
+:class:`~repro.observability.metrics.MetricsRegistry`,
+:class:`~repro.observability.tracing.Tracer`, and
+:class:`~repro.observability.diagnostics.DiagnosticsRecorder`; while a
+scope is active (via :class:`RunContext`), every guarded instrument
+helper **dual-writes**: the process-global collectors keep their
+whole-process totals, and the scope receives an exact copy of the
+run's own measurements.
+
+Activation rides on a :class:`contextvars.ContextVar`
+(:data:`repro.observability._state.scope_var`), so scopes are isolated
+per thread the way request telemetry is in an inference server: the
+:class:`~repro.service.jobs.JobManager` runs each job inside
+``RunContext(run_id=job_id)`` on its own worker thread, and two jobs
+executing concurrently each see only their own counters, spans, and
+diagnostics.  Across the
+:class:`~repro.parallel.executor.ParallelExecutor` fork/pickle
+boundary the run_id travels in the task payload and the worker's
+snapshot is merged back into both the global collectors *and* the
+scope that owned the fan-out (the merge happens on the owning thread,
+where the context variable is still set).
+
+Beyond attribution, the active run_id is stamped onto every structured
+log event (``run_id=`` in both the human and ``--log-json``
+renderings) and onto every service journal/SSE event — one key to join
+logs, traces, metrics, and events of a single run.  Log stamping works
+even while metric collection is off (``--log-json --run-id smoke``
+without ``--metrics-out``); the scope's collectors simply stay empty.
+"""
+
+from __future__ import annotations
+
+from repro.observability import _state
+from repro.observability.diagnostics import DiagnosticsRecorder
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
+
+#: Version tag of the telemetry snapshot schema (kept in lockstep with
+#: :data:`repro.observability.SCHEMA`, which re-exports it).
+SCHEMA = "repro.telemetry/1"
+
+
+class RunScope:
+    """One run's identity plus its isolated telemetry collectors."""
+
+    __slots__ = ("run_id", "registry", "tracer", "recorder")
+
+    def __init__(self, run_id: str) -> None:
+        if not isinstance(run_id, str):
+            raise TypeError(f"run_id must be a string, got {type(run_id).__name__}")
+        if not run_id.strip():
+            raise ValueError("run_id must be a non-empty string")
+        self.run_id = run_id
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.recorder = DiagnosticsRecorder()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunScope(run_id={self.run_id!r})"
+
+    def counter_value(self, name: str) -> float:
+        """This run's total for counter ``name`` (0.0 if never bumped)."""
+        return self.registry.counter_value(name)
+
+    def snapshot(self) -> dict:
+        """The run's telemetry as a ``repro.telemetry/1`` dict.
+
+        Same shape as :func:`repro.observability.snapshot` plus a
+        ``run_id`` key — an additive field under the unchanged schema,
+        so every existing consumer (``python -m repro.observability
+        report``, the export helpers) reads a per-run snapshot
+        unchanged.
+        """
+        return {
+            "schema": SCHEMA,
+            "run_id": self.run_id,
+            "metrics": self.registry.snapshot(),
+            "trace": self.tracer.snapshot(),
+            "diagnostics": self.recorder.snapshot(),
+        }
+
+
+class RunContext:
+    """Context manager activating a :class:`RunScope` on this context.
+
+    ``RunContext("run-7")`` creates a fresh scope; ``RunContext(
+    scope=existing)`` adopts one created earlier (how the service keeps
+    a handle on a job's scope while the job thread runs inside it).
+    Entry sets the context variable and returns the scope; exit
+    restores whatever was active before, so contexts nest.
+    """
+
+    __slots__ = ("scope", "_token")
+
+    def __init__(self, run_id: str | None = None, scope: RunScope | None = None):
+        if scope is None:
+            if run_id is None:
+                raise ValueError("RunContext needs a run_id or a scope")
+            scope = RunScope(run_id)
+        self.scope = scope
+        self._token = None
+
+    def __enter__(self) -> RunScope:
+        self._token = _state.scope_var.set(self.scope)
+        return self.scope
+
+    def __exit__(self, *exc) -> bool:
+        if self._token is not None:
+            _state.scope_var.reset(self._token)
+            self._token = None
+        return False
+
+
+def current_scope() -> RunScope | None:
+    """The active scope in this context, or ``None``."""
+    return _state.scope_var.get()
+
+
+def current_run_id() -> str | None:
+    """The active run id, or ``None`` outside any :class:`RunContext`."""
+    return _state.current_run_id()
+
+
+def activate(scope: RunScope | None):
+    """Set ``scope`` active for the rest of this context; returns the
+    reset token.
+
+    The non-scoped sibling of :class:`RunContext`, for call sites with
+    no natural ``with`` block: a CLI process that wants its whole
+    lifetime scoped (``--run-id``), or a pool worker whose task should
+    inherit the parent's run id (:func:`enter_worker_scope`).
+    """
+    return _state.scope_var.set(scope)
+
+
+def enter_worker_scope(run_id: str | None) -> None:
+    """Install the propagated run scope inside a pool worker.
+
+    Called by the worker entry point with the ``run_id`` the parent
+    embedded in the task payload.  Always (re)sets the variable: a
+    forked worker inherits the parent's context, so an explicit
+    install keeps fork and spawn start methods behaving identically —
+    and clears a stale scope when the parent had none.
+    """
+    activate(RunScope(run_id) if run_id else None)

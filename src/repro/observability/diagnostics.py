@@ -469,12 +469,22 @@ recorder = DiagnosticsRecorder()
 
 
 def record(scope: str, result) -> None:
-    """Record ``result`` under ``scope`` — no-op while collection is off."""
+    """Record ``result`` under ``scope`` — no-op while collection is off.
+
+    Dual-write: an active run scope's recorder receives the same
+    observation, so per-run convergence verdicts are exact.
+    """
     if _state.enabled:
         recorder.record(scope, result)
+        run_scope = _state.scope_var.get()
+        if run_scope is not None:
+            run_scope.recorder.record(scope, result)
 
 
 def record_batch(scope: str, batch: BatchDiagnostics | None) -> None:
     """Record a stored batch summary — no-op while collection is off."""
     if _state.enabled and batch is not None:
         recorder.record_batch(scope, batch)
+        run_scope = _state.scope_var.get()
+        if run_scope is not None:
+            run_scope.recorder.record_batch(scope, batch)

@@ -215,7 +215,11 @@ def chrome_trace(timeline: dict, meta: dict | None = None) -> dict:
         },
     }
     if meta:
-        document["otherData"].update(meta)
+        # Unset metadata (e.g. no --run-id was passed) is omitted, not
+        # written as null — the document stays join-key clean.
+        document["otherData"].update(
+            {key: value for key, value in meta.items() if value is not None}
+        )
     return document
 
 

@@ -30,6 +30,8 @@ import logging
 import sys
 import time
 
+from repro.observability import _state
+
 #: Root of the library's logger namespace.
 ROOT = "repro"
 
@@ -73,7 +75,13 @@ class JsonLinesFormatter(logging.Formatter):
 def _render(value) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
-    return str(value)
+    text = str(value)
+    # Values a k=v grammar cannot carry bare — spaces, '=', quotes, or
+    # an empty string — are double-quoted with backslash escapes, so
+    # the human line stays machine-splittable on whitespace.
+    if text == "" or any(ch in text for ch in ' ="'):
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return text
 
 
 class EventLogger:
@@ -86,6 +94,14 @@ class EventLogger:
 
     def _emit(self, level: int, event: str, fields: dict) -> None:
         if self._logger.isEnabledFor(level):
+            # Stamp the active run id (leading position, for eyeballs
+            # and grep alike).  Reads the context variable directly —
+            # not the metrics switch — so `--log-json --run-id X`
+            # correlates even when metric collection is off.  An
+            # explicit run_id field wins over the ambient one.
+            run_id = _state.current_run_id()
+            if run_id is not None and "run_id" not in fields:
+                fields = {"run_id": run_id, **fields}
             self._logger.log(level, event, extra={"event_fields": fields})
 
     def debug(self, event: str, **fields) -> None:

@@ -188,6 +188,15 @@ class MetricsRegistry:
         """Get-or-create the histogram called ``name``."""
         return self._get(name, Histogram)
 
+    def counter_value(self, name: str) -> float:
+        """Read counter ``name`` without creating it (0.0 when absent).
+
+        A pure read: safe for another thread to poll (job progress off
+        a live run scope) without mutating the instrument table.
+        """
+        instrument = self._instruments.get(name)
+        return instrument.value if isinstance(instrument, Counter) else 0.0
+
     def reset(self) -> None:
         """Drop every instrument."""
         self._instruments.clear()
@@ -248,18 +257,32 @@ registry = MetricsRegistry()
 
 
 def incr(name: str, amount: float = 1.0) -> None:
-    """Bump counter ``name`` — no-op while collection is disabled."""
+    """Bump counter ``name`` — no-op while collection is disabled.
+
+    Dual-write: inside a :class:`~repro.observability.context
+    .RunContext` the active scope's registry receives the same bump,
+    so per-run attribution is exact without touching the global totals.
+    """
     if _state.enabled:
         registry.counter(name).inc(amount)
+        scope = _state.scope_var.get()
+        if scope is not None:
+            scope.registry.counter(name).inc(amount)
 
 
 def set_gauge(name: str, value: float) -> None:
     """Set gauge ``name`` — no-op while collection is disabled."""
     if _state.enabled:
         registry.gauge(name).set(value)
+        scope = _state.scope_var.get()
+        if scope is not None:
+            scope.registry.gauge(name).set(value)
 
 
 def observe(name: str, value: float) -> None:
     """Observe ``value`` in histogram ``name`` — no-op when disabled."""
     if _state.enabled:
         registry.histogram(name).observe(value)
+        scope = _state.scope_var.get()
+        if scope is not None:
+            scope.registry.histogram(name).observe(value)

@@ -269,14 +269,26 @@ def merge_timeline(snapshot: dict | None) -> None:
         tracer.timeline.merge(snapshot)
 
 
+def _scope_tracer() -> Tracer | None:
+    """The active run scope's tracer, or ``None`` outside any scope.
+
+    Spans mirror into it with the *same* elapsed reading as the global
+    pop, so a run's scoped tree is an exact subtree of the global one
+    (identical calls, identical seconds) rather than a re-measurement.
+    """
+    scope = _state.scope_var.get()
+    return scope.tracer if scope is not None else None
+
+
 class trace:
     """Span marker, usable as a context manager or a decorator."""
 
-    __slots__ = ("name", "_active", "_start")
+    __slots__ = ("name", "_active", "_start", "_scoped")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._active = False
+        self._scoped = None
 
     def __call__(self, fn):
         name = self.name
@@ -285,26 +297,41 @@ class trace:
         def wrapper(*args, **kwargs):
             if not _state.enabled:
                 return fn(*args, **kwargs)
+            # Latch the scope tracer across the call so an inner
+            # RunContext entry/exit cannot unbalance the scoped stack.
+            scoped = _scope_tracer()
             tracer.push(name)
+            if scoped is not None:
+                scoped.push(name)
             start = time.perf_counter()
             try:
                 return fn(*args, **kwargs)
             finally:
-                tracer.pop(time.perf_counter() - start)
+                elapsed = time.perf_counter() - start
+                tracer.pop(elapsed)
+                if scoped is not None:
+                    scoped.pop(elapsed)
 
         return wrapper
 
     def __enter__(self) -> "trace":
-        # The enabled state is latched on entry so a mid-span flip
-        # cannot unbalance the span stack.
+        # The enabled state (and the scope tracer) is latched on entry
+        # so a mid-span flip cannot unbalance either span stack.
         self._active = _state.enabled
         if self._active:
+            self._scoped = _scope_tracer()
             tracer.push(self.name)
+            if self._scoped is not None:
+                self._scoped.push(self.name)
             self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
         if self._active:
-            tracer.pop(time.perf_counter() - self._start)
+            elapsed = time.perf_counter() - self._start
+            tracer.pop(elapsed)
+            if self._scoped is not None:
+                self._scoped.pop(elapsed)
+            self._scoped = None
             self._active = False
         return False

@@ -130,16 +130,20 @@ class TaskError(RuntimeError):
 def _pool_task(payload: tuple) -> tuple:
     """Worker entry point: apply any injected fault, run, snapshot.
 
-    ``payload`` is ``(fn, task, action, collect)`` where ``action`` is
-    the fault directive the parent computed for this attempt (or None)
-    and ``collect`` says whether the parent wants a telemetry snapshot
-    shipped home alongside the result.
+    ``payload`` is ``(fn, task, action, collect, run_id)`` where
+    ``action`` is the fault directive the parent computed for this
+    attempt (or None), ``collect`` says whether the parent wants a
+    telemetry snapshot shipped home alongside the result, and
+    ``run_id`` is the run scope active at the fan-out call site (or
+    None) — installed here so worker-side log events carry the same
+    ``run_id=`` stamp as the parent's, across fork and spawn alike.
     """
-    fn, task, action, collect = payload
+    fn, task, action, collect, run_id = payload
     faults.apply_task_action(action, in_worker=True)
     if not collect:
+        observability.context.enter_worker_scope(run_id)
         return fn(task), None
-    observability.worker_begin()
+    observability.worker_begin(run_id)
     result = fn(task)
     return result, observability.worker_snapshot()
 
@@ -292,6 +296,10 @@ class ParallelExecutor:
     ) -> list:
         n = len(task_list)
         collect = observability.enabled()
+        # The run scope active *here* owns every task of this map call;
+        # its id travels in the payload so worker logs correlate, and
+        # snapshots merged back on this thread land in the same scope.
+        run_id = observability.current_run_id()
         results: list = [_UNSET] * n
         attempts = [0] * n
         pending = set(range(n))
@@ -306,7 +314,10 @@ class ParallelExecutor:
                     try:
                         futures[i] = pool.submit(
                             _pool_task,
-                            (fn, task_list[i], self._task_action(i), collect),
+                            (
+                                fn, task_list[i], self._task_action(i),
+                                collect, run_id,
+                            ),
                         )
                     except BrokenProcessPool:
                         # A worker died while this round was still being

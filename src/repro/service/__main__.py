@@ -6,7 +6,10 @@
 ``--port 0`` binds an ephemeral port; the chosen one is printed on the
 ``listening on`` line (machine-readable, used by the test harness and
 CI).  ``--workers`` sets the in-job ``ParallelExecutor`` fan-out —
-results are bit-identical at any count.  ``--cache-dir`` makes
+results are bit-identical at any count.  ``--job-workers`` sets how
+many *jobs* execute concurrently — per-job attribution is run-scoped
+(run_id == job_id), so results and telemetry are likewise identical
+at any width.  ``--cache-dir`` makes
 completed surfaces survive restarts (a resubmitted spec is served warm)
 and ``--checkpoint-dir`` makes in-flight builds resumable (a spec
 resubmitted after a crash continues from the last flush instead of
@@ -52,6 +55,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="ParallelExecutor fan-out inside each job (default 1; "
         "results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="jobs executing concurrently (default 1). Attribution is "
+        "run-scoped, so per-job progress, results, and telemetry are "
+        "identical at any width",
     )
     parser.add_argument(
         "--cache-dir",
@@ -106,6 +118,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.job_workers < 1:
+        parser.error(f"--job-workers must be >= 1, got {args.job_workers}")
     if args.checkpoint_every < 1:
         parser.error(
             f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
@@ -120,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     manager = JobManager(
         workers=args.workers,
+        job_workers=args.job_workers,
         cache_dir=args.cache_dir,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,

@@ -3,12 +3,18 @@
 A job is one normalized spec (see :mod:`repro.service.spec`) moving
 through ``queued -> running -> completed | failed``.  The
 :class:`JobManager` owns the registry of jobs, dedupes submissions by
-the spec fingerprint (which *is* the job id), and executes jobs one at
-a time on a dedicated worker thread — concurrency inside a job comes
-from the :class:`~repro.parallel.executor.ParallelExecutor` fan-out
-over grid cells, not from racing jobs against each other (racing would
-also corrupt the per-job telemetry deltas the progress report is
-derived from).
+the spec fingerprint (which *is* the job id), and executes each job
+inside its own :class:`~repro.observability.context.RunContext` with
+``run_id == job_id``: every counter bump, span, and diagnostic the
+job produces lands in the job's own scope (exactly — not
+reconstructed from global-counter deltas), alongside the process-wide
+totals.  Because attribution is scoped, jobs may execute concurrently
+(``job_workers > 1``) with per-job progress, results, and telemetry
+identical to a serial run; concurrency *inside* a job still comes from
+the :class:`~repro.parallel.executor.ParallelExecutor` fan-out over
+grid cells.  A job's final scope snapshot is frozen at the terminal
+transition, persisted beside the flight-recorder dumps, and served at
+``GET /v1/jobs/{id}/telemetry``.
 
 Service counters (all under the ``repro.telemetry/1`` schema, see
 ``docs/service.md``):
@@ -35,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.context import ExperimentContext
+from repro.observability.context import RunContext, RunScope
 from repro.observability.log import get_logger
 from repro.observability.metrics import incr, observe, registry, set_gauge
 from repro.service.journal import EventJournal
@@ -42,10 +49,9 @@ from repro.service.spec import job_cells, normalize_spec, spec_fingerprint
 
 _log = get_logger("service.jobs")
 
-#: Counters whose per-job delta the progress report carries.  The
-#: baseline is snapshotted when the job starts; because jobs execute
-#: serially on one worker thread, everything these counters gain until
-#: the job finishes is attributable to it.
+#: Counters the per-job progress report carries, read from the job's
+#: own run scope — exact attribution regardless of how many jobs are
+#: executing concurrently.
 PROGRESS_COUNTERS = (
     "mc.samples",
     "mc.estimates",
@@ -59,10 +65,6 @@ PROGRESS_COUNTERS = (
 
 #: Job lifecycle states (terminal: ``completed``, ``failed``).
 JOB_STATUSES = ("queued", "running", "completed", "failed")
-
-
-def _counter_values() -> dict[str, float]:
-    return {name: registry.counter(name).value for name in PROGRESS_COUNTERS}
 
 
 def run_spec(
@@ -166,30 +168,36 @@ class Job:
     finished_at: float | None = None
     error: str | None = None
     result: dict | None = None
-    #: Counter values when the job started (progress baseline).
-    baseline: dict[str, float] = field(default_factory=dict)
-    #: Final counter deltas, frozen when the job finishes.
+    #: The job's run scope (``run_id == id``), created when execution
+    #: starts; everything the job does is collected here, exactly.
+    scope: RunScope | None = field(default=None, repr=False)
+    #: Final per-job counter values, frozen at the terminal transition.
     final_counters: dict[str, float] | None = None
+    #: Final scope snapshot (``repro.telemetry/1`` + ``run_id``),
+    #: frozen at the terminal transition and served at
+    #: ``GET /v1/jobs/{id}/telemetry``.
+    telemetry: dict | None = field(default=None, repr=False)
 
     def progress(self) -> dict:
         """The wire-format progress block (see docs/service.md).
 
+        Counters are read live from the job's own run scope — exact
+        per-job attribution at any ``job_workers`` width.
         ``cells_done`` is exact when the server runs with a checkpoint
         directory (the checkpoint store counts completed/resumed cells
         at the same granularity the build shards in); without one it is
-        ``None`` and the raw counter deltas still tell the story.
+        ``None`` and the raw counters still tell the story.
         """
         cells_total = job_cells(self.spec)
-        if self.status == "queued":
-            counters: dict[str, float] = {name: 0.0 for name in PROGRESS_COUNTERS}
-        elif self.final_counters is not None:
+        if self.final_counters is not None:
             counters = dict(self.final_counters)
-        else:
-            now = _counter_values()
+        elif self.scope is not None:
             counters = {
-                name: now[name] - self.baseline.get(name, 0.0)
+                name: self.scope.counter_value(name)
                 for name in PROGRESS_COUNTERS
             }
+        else:  # queued: nothing attributable yet
+            counters = {name: 0.0 for name in PROGRESS_COUNTERS}
         checkpointed = (
             counters["checkpoint.completed_cells"]
             + counters["checkpoint.resumed_cells"]
@@ -215,6 +223,7 @@ class Job:
             elapsed = round(end - self.started_at, 6)
         return {
             "id": self.id,
+            "run_id": self.id,
             "kind": self.spec["kind"],
             "status": self.status,
             "spec": self.spec,
@@ -227,12 +236,36 @@ class Job:
             "progress": self.progress(),
         }
 
+    def telemetry_snapshot(self) -> dict | None:
+        """The job's telemetry: frozen if terminal, live if running.
+
+        ``None`` while the job is still queued (no scope exists yet).
+        A live snapshot races the job thread's writes, so dict
+        iteration may transiently fail; retried a few times — the
+        scope is only ever appended to, never torn down mid-run.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        if self.scope is None:
+            return None
+        for _ in range(5):
+            try:
+                return self.scope.snapshot()
+            except RuntimeError:  # pragma: no cover - write race
+                continue
+        return self.scope.snapshot()  # pragma: no cover - write race
+
 
 class JobManager:
-    """Owns job state, dedupe, and the single-job-at-a-time executor.
+    """Owns job state, dedupe, and the job execution pool.
 
     Args:
         workers: ``ParallelExecutor`` fan-out width inside each job.
+        job_workers: how many jobs may execute concurrently (default
+            1 — serial, the pre-existing behaviour).  Safe to raise
+            because attribution is run-scoped: each job's progress and
+            telemetry come from its own scope, so results and per-job
+            snapshots are identical at any width.
         cache_dir: result-cache directory; warm resubmissions of a
             completed-and-evicted job reload from here instead of
             recomputing (and two jobs sharing sub-artifacts share them).
@@ -246,8 +279,9 @@ class JobManager:
         progress_interval: seconds between ``job.progress`` events for
             a running job.
         flight_dir: where failed jobs dump their flight-recorder JSON
+            and completed/failed jobs persist their telemetry snapshot
             (defaults to ``checkpoint_dir``, then ``cache_dir``; with
-            neither configured the recorder is disabled).
+            neither configured both stay in-memory only).
     """
 
     def __init__(
@@ -260,8 +294,12 @@ class JobManager:
         journal_capacity: int = 1024,
         progress_interval: float = 0.5,
         flight_dir: str | None = None,
+        job_workers: int = 1,
     ) -> None:
+        if job_workers < 1:
+            raise ValueError(f"job_workers must be >= 1, got {job_workers}")
         self.workers = workers
+        self.job_workers = job_workers
         self.cache_dir = cache_dir
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
@@ -269,7 +307,7 @@ class JobManager:
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-service-job"
+            max_workers=job_workers, thread_name_prefix="repro-service-job"
         )
         self.journal = EventJournal(journal_capacity)
         self.progress_interval = progress_interval
@@ -324,8 +362,8 @@ class JobManager:
                     submissions=job.submissions,
                 )
                 self.journal.append(
-                    "job.deduped", job_id=job_id, status=job.status,
-                    submissions=job.submissions,
+                    "job.deduped", job_id=job_id, run_id=job_id,
+                    status=job.status, submissions=job.submissions,
                 )
                 return job, False
             if job is None:
@@ -341,11 +379,14 @@ class JobManager:
                 job.started_at = None
                 job.finished_at = None
                 job.final_counters = None
+                job.scope = None
+                job.telemetry = None
             incr("service.jobs_accepted")
             self._update_queue_depth_locked()
-        _log.info("job.accepted", job_id=job_id, kind=spec["kind"])
+        _log.info("job.accepted", job_id=job_id, run_id=job_id,
+                  kind=spec["kind"])
         self.journal.append(
-            "job.accepted", job_id=job_id, kind=spec["kind"],
+            "job.accepted", job_id=job_id, run_id=job_id, kind=spec["kind"],
             submissions=job.submissions,
         )
         self._pool.submit(self._execute, job_id)
@@ -392,10 +433,24 @@ class JobManager:
         self.journal.append(
             "job.progress",
             job_id=job.id,
+            run_id=job.id,
             cells_done=progress["cells_done"],
             cells_total=progress["cells_total"],
             counters=progress["counters"],
         )
+
+    def _freeze_scope_locked(self, job: Job) -> None:
+        """Freeze the job's final counters and telemetry off its scope.
+
+        Called before the terminal service accounting (``incr`` of
+        ``service.jobs_completed`` etc. happens inside the job's
+        RunContext), so the frozen snapshot contains exactly the job's
+        own work and nothing of the manager's bookkeeping.
+        """
+        job.final_counters = {
+            name: job.scope.counter_value(name) for name in PROGRESS_COUNTERS
+        }
+        job.telemetry = job.scope.snapshot()
 
     def _execute(self, job_id: str) -> None:
         with self._lock:
@@ -404,66 +459,82 @@ class JobManager:
                 return
             job.status = "running"
             job.started_at = time.time()
-            job.baseline = _counter_values()
-        _log.info("job.start", job_id=job_id, kind=job.spec["kind"])
-        self.journal.append("job.started", job_id=job_id, kind=job.spec["kind"])
-        # Every job emits at least one progress event (even one that
-        # finishes inside the first ticker interval), so stream clients
-        # always see accepted -> started -> progress -> terminal.
-        self._progress_event(job)
-        ticker_stop = threading.Event()
-
-        def _tick() -> None:
-            while not ticker_stop.wait(self.progress_interval):
-                self._progress_event(job)
-
-        ticker = threading.Thread(
-            target=_tick, name="repro-service-progress", daemon=True
-        )
-        ticker.start()
-        try:
-            result = self._runner(
-                job.spec,
-                workers=self.workers,
-                cache_dir=self.cache_dir,
-                checkpoint_dir=self.checkpoint_dir,
-                checkpoint_every=self.checkpoint_every,
+            job.scope = RunScope(job_id)
+        # The whole execution — including terminal logging — runs
+        # inside the job's RunContext: instrumentation dual-writes into
+        # the job's scope and every log event is stamped run_id=job_id.
+        with RunContext(scope=job.scope):
+            _log.info("job.start", job_id=job_id, kind=job.spec["kind"])
+            self.journal.append(
+                "job.started", job_id=job_id, run_id=job_id,
+                kind=job.spec["kind"],
             )
-        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            # Every job emits at least one progress event (even one
+            # that finishes inside the first ticker interval), so
+            # stream clients always see accepted -> started ->
+            # progress -> terminal.
+            self._progress_event(job)
+            ticker_stop = threading.Event()
+
+            def _tick() -> None:
+                while not ticker_stop.wait(self.progress_interval):
+                    self._progress_event(job)
+
+            ticker = threading.Thread(
+                target=_tick, name="repro-service-progress", daemon=True
+            )
+            ticker.start()
+            try:
+                result = self._runner(
+                    job.spec,
+                    workers=self.workers,
+                    cache_dir=self.cache_dir,
+                    checkpoint_dir=self.checkpoint_dir,
+                    checkpoint_every=self.checkpoint_every,
+                )
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                ticker_stop.set()
+                ticker.join()
+                with self._lock:
+                    job.status = "failed"
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finished_at = time.time()
+                    self._freeze_scope_locked(job)
+                    self._update_queue_depth_locked()
+                incr("service.jobs_failed")
+                observe(
+                    "service.job_seconds", job.finished_at - job.started_at
+                )
+                _log.warning("job.failed", job_id=job_id, error=job.error)
+                self.journal.append(
+                    "job.failed", job_id=job_id, run_id=job_id,
+                    error=job.error,
+                )
+                self._dump_flight(job)
+                self._dump_telemetry(job)
+                return
             ticker_stop.set()
             ticker.join()
             with self._lock:
-                job.status = "failed"
-                job.error = f"{type(exc).__name__}: {exc}"
+                job.result = result
+                job.status = "completed"
                 job.finished_at = time.time()
-                job.final_counters = self._deltas_locked(job)
+                self._freeze_scope_locked(job)
                 self._update_queue_depth_locked()
-            incr("service.jobs_failed")
+            incr("service.jobs_completed")
             observe("service.job_seconds", job.finished_at - job.started_at)
-            _log.warning("job.failed", job_id=job_id, error=job.error)
-            self.journal.append("job.failed", job_id=job_id, error=job.error)
-            self._dump_flight(job)
-            return
-        ticker_stop.set()
-        ticker.join()
-        with self._lock:
-            job.result = result
-            job.status = "completed"
-            job.finished_at = time.time()
-            job.final_counters = self._deltas_locked(job)
-            self._update_queue_depth_locked()
-        incr("service.jobs_completed")
-        observe("service.job_seconds", job.finished_at - job.started_at)
-        _log.info(
-            "job.completed",
-            job_id=job_id,
-            seconds=round(job.finished_at - job.started_at, 3),
-        )
-        self.journal.append(
-            "job.completed",
-            job_id=job_id,
-            seconds=round(job.finished_at - job.started_at, 6),
-        )
+            _log.info(
+                "job.completed",
+                job_id=job_id,
+                seconds=round(job.finished_at - job.started_at, 3),
+            )
+            self.journal.append(
+                "job.completed",
+                job_id=job_id,
+                run_id=job_id,
+                seconds=round(job.finished_at - job.started_at, 6),
+            )
+            self._dump_telemetry(job)
 
     def _dump_flight(self, job: Job) -> None:
         """Flight recorder: persist the journal ring beside a failure.
@@ -504,9 +575,25 @@ class JobManager:
             return
         _log.info("flight.written", job_id=job.id, path=path)
 
-    def _deltas_locked(self, job: Job) -> dict[str, float]:
-        now = _counter_values()
-        return {
-            name: now[name] - job.baseline.get(name, 0.0)
-            for name in PROGRESS_COUNTERS
-        }
+    def _dump_telemetry(self, job: Job) -> None:
+        """Persist the job's frozen telemetry snapshot beside the
+        flight-recorder dumps (``telemetry-{id16}.json``), so a
+        post-mortem or an offline join against logs/traces does not
+        need the server process alive.  Best-effort, like the flight
+        recorder: a disk error is logged and swallowed.
+        """
+        if not self.flight_dir or job.telemetry is None:
+            return
+        try:
+            os.makedirs(self.flight_dir, exist_ok=True)
+            path = os.path.join(
+                self.flight_dir, f"telemetry-{job.id[:16]}.json"
+            )
+            with open(path, "w") as fh:
+                json.dump(job.telemetry, fh, indent=2)
+        except OSError as exc:  # pragma: no cover - disk trouble
+            _log.warning(
+                "telemetry.write_failed", job_id=job.id, error=str(exc)
+            )
+            return
+        _log.debug("telemetry.written", job_id=job.id, path=path)

@@ -28,6 +28,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.observability import _state
 from repro.observability.metrics import incr
 
 #: Event types the manager emits, in lifecycle order.  ``job.progress``
@@ -54,6 +55,9 @@ class Event:
     ts: float
     type: str
     job_id: str | None
+    #: The run this event belongs to (the job id for job lifecycle
+    #: events — the manager runs every job as run_id == job_id).
+    run_id: str | None = None
     data: dict = field(default_factory=dict)
 
     def wire(self) -> dict:
@@ -63,6 +67,7 @@ class Event:
             "ts": self.ts,
             "type": self.type,
             "job_id": self.job_id,
+            "run_id": self.run_id,
             "data": self.data,
         }
 
@@ -81,8 +86,22 @@ class EventJournal:
         #: ``service.events_dropped``).
         self.dropped = 0
 
-    def append(self, type_: str, job_id: str | None = None, **data) -> Event:
-        """Append one event; evicts the oldest when the ring is full."""
+    def append(
+        self,
+        type_: str,
+        job_id: str | None = None,
+        run_id: str | None = None,
+        **data,
+    ) -> Event:
+        """Append one event; evicts the oldest when the ring is full.
+
+        ``run_id`` defaults to the run scope active on the appending
+        thread (None outside any), so events emitted from inside a
+        :class:`~repro.observability.context.RunContext` correlate
+        without every call site threading the id through.
+        """
+        if run_id is None:
+            run_id = _state.current_run_id()
         with self._lock:
             self._seq += 1
             event = Event(
@@ -90,6 +109,7 @@ class EventJournal:
                 ts=time.time(),
                 type=type_,
                 job_id=job_id,
+                run_id=run_id,
                 data=data,
             )
             if len(self._events) >= self.capacity:

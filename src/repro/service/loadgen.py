@@ -229,6 +229,18 @@ def run_load(
         if status != 200 or body["status"] != "completed":
             raise LoadError(f"warm result read failed: HTTP {status}")
 
+    # Per-job attribution: the completed job must serve its own
+    # telemetry snapshot, keyed by run_id == job_id.
+    status, telemetry = _request(
+        "GET", f"{base_url}/v1/jobs/{job_id}/telemetry"
+    )
+    if status != 200:
+        raise LoadError(f"job telemetry failed: HTTP {status} {telemetry}")
+    if telemetry.get("run_id") != job_id:
+        raise LoadError(
+            f"job telemetry run_id mismatch: {telemetry.get('run_id')!r}"
+        )
+
     status, health = _request("GET", f"{base_url}/v1/healthz")
     if status != 200:
         raise LoadError(f"healthz failed: HTTP {status}")
@@ -244,6 +256,7 @@ def run_load(
         "result_gets": result_gets,
         "follow_events": follow_events,
         "healthz": health,
+        "job_telemetry": telemetry,
     }
 
 
@@ -351,8 +364,13 @@ def main(argv: list[str] | None = None) -> int:
         client = observability.registry.snapshot()
         report = {
             "schema": observability.SCHEMA,
-            "summary": {k: v for k, v in summary.items() if k != "healthz"},
+            "summary": {
+                k: v
+                for k, v in summary.items()
+                if k not in ("healthz", "job_telemetry")
+            },
             "server": summary["healthz"],
+            "job_telemetry": summary["job_telemetry"],
             "client_metrics": client,
         }
         logger = observability.get_logger("service.loadgen")

@@ -5,10 +5,13 @@ A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`
 
 * ``POST /v1/jobs`` — submit a spec; 202 on a new job, 200 when the
   submission deduped onto an existing one;
-* ``GET /v1/jobs/{id}`` — status + progress derived from telemetry
-  counter deltas;
+* ``GET /v1/jobs/{id}`` — status + progress read from the job's own
+  run scope (exact per-job attribution at any ``--job-workers`` width);
 * ``GET /v1/jobs/{id}/result`` — the computed surface (409 until the
   job completes);
+* ``GET /v1/jobs/{id}/telemetry`` — the job's isolated telemetry
+  snapshot (``repro.telemetry/1`` + ``run_id``): live while running,
+  frozen once terminal, 409 while still queued;
 * ``GET /v1/jobs/{id}/events`` — Server-Sent-Events stream of one
   job's lifecycle (closes after the terminal event);
 * ``GET /v1/events`` — the firehose: every journal event as SSE, until
@@ -447,6 +450,10 @@ class ServiceServer:
                 return _EventStream(job_id, _last_event_id(headers))
             if rest.endswith("/result"):
                 return self._result(rest[: -len("/result")].rstrip("/"))
+            if rest.endswith("/telemetry"):
+                return self._telemetry(
+                    rest[: -len("/telemetry")].rstrip("/")
+                )
             if "/" not in rest:
                 return self._status(rest)
         raise _HttpError(404, "not-found", f"no route for {method} {path}")
@@ -493,6 +500,27 @@ class ServiceServer:
             409, "not-completed",
             f"job {job_id} is {job.status}; poll GET /v1/jobs/{job_id}",
         )
+
+    def _telemetry(self, job_id: str) -> tuple[int, dict]:
+        """``GET /v1/jobs/{id}/telemetry``: the job's own scope.
+
+        Live (a point-in-time read of the running job's scope) until
+        the job reaches a terminal state, then the frozen snapshot —
+        so "why is job X slow" can be asked while X is still slow.
+        """
+        job = self._lookup(job_id)
+        snapshot = job.telemetry_snapshot()
+        if snapshot is None:
+            raise _HttpError(
+                409, "not-started",
+                f"job {job_id} is queued; telemetry exists once it starts",
+            )
+        return 200, {
+            "job_id": job.id,
+            "run_id": job.id,
+            "status": job.status,
+            "telemetry": snapshot,
+        }
 
     def _healthz(self) -> tuple[int, dict]:
         # Uptime comes from the monotonic clock (satellite of PR 8): a

@@ -424,3 +424,16 @@ class TestProfileSmoke:
     def test_write_without_data_raises(self, tmp_path):
         with pytest.raises(ValueError):
             observability.write_profile(str(tmp_path / "empty.pstats"))
+
+
+def test_record_carries_a_run_id():
+    rec = run_workload(TOY, QUICK, repeats=2)
+    run_id = rec["environment"]["run_id"]
+    assert run_id.startswith("bench-toy-")
+    # The same id is stamped on the kept telemetry snapshot, so a
+    # BENCH_*.json line joins to its artifacts by one key.
+    assert rec["telemetry"]["run_id"] == run_id
+    # Fresh id per measurement run.
+    assert run_workload(TOY, QUICK, repeats=1)["environment"][
+        "run_id"
+    ] != run_id

@@ -431,3 +431,34 @@ class TestReportCommand:
 
     def test_rejects_missing_file(self, tmp_path):
         assert obs_cli.main(["report", str(tmp_path / "nope.json")]) == 1
+
+    def test_json_format_mirrors_the_text_report(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        snapshot = dict(_SNAPSHOT, run_id="smoke")
+        path.write_text(json.dumps(snapshot))
+        assert obs_cli.main(["report", str(path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == "repro.report/1"
+        assert summary["snapshot_schema"] == "repro.telemetry/1"
+        assert summary["experiment"] == "fig2a"
+        assert summary["run_id"] == "smoke"
+        # Same selection and ordering as the text renderer: spans by
+        # self time, counters by value.
+        assert [r["path"] for r in summary["slowest_spans"]] == [
+            "build/solve", "build"
+        ]
+        assert summary["top_counters"][0] == {
+            "name": "mc.samples", "value": 4096.0
+        }
+        assert summary["diagnostics"]["unconverged_scopes"] == ["cell1"]
+        assert set(summary["diagnostics"]["scopes"]) == {"cell0", "cell1"}
+
+    def test_json_format_respects_top(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(_SNAPSHOT))
+        assert obs_cli.main(
+            ["report", str(path), "--format", "json", "--top", "1"]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert len(summary["slowest_spans"]) == 1
+        assert len(summary["top_counters"]) == 1

@@ -298,14 +298,15 @@ class TestEventJournal:
         journal = EventJournal(capacity=16)
         journal.append("job.accepted", job_id="a")
         journal.append("job.accepted", job_id="b")
-        journal.append("job.completed", job_id="a", seconds=1.5)
+        journal.append("job.completed", job_id="a", run_id="a", seconds=1.5)
         events, truncated = journal.after(0, job_id="a")
         assert not truncated
         assert [e.type for e in events] == ["job.accepted", "job.completed"]
         wire = events[-1].wire()
         assert wire["job_id"] == "a"
+        assert wire["run_id"] == "a"
         assert wire["data"] == {"seconds": 1.5}
-        assert set(wire) == {"seq", "ts", "type", "job_id", "data"}
+        assert set(wire) == {"seq", "ts", "type", "job_id", "run_id", "data"}
 
     def test_overflow_counts_drops(self, metrics_on):
         journal = EventJournal(capacity=1)
@@ -782,3 +783,320 @@ def test_kill_and_restart_resumes_from_checkpoint(tmp_path):
     finally:
         proc.send_signal(signal.SIGKILL)
         proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Run-scoped attribution: journal under concurrency, per-job telemetry,
+# and concurrent execution (--job-workers) vs. the serial baseline
+# ----------------------------------------------------------------------
+class TestJournalConcurrency:
+    def _interleave(self, journal, per_job=50):
+        """Two threads, each emitting ``per_job`` events for its own job
+        from inside that job's RunContext, started on a barrier so the
+        appends genuinely interleave."""
+        barrier = threading.Barrier(2)
+
+        def emit(job_id: str) -> None:
+            with observability.RunContext(job_id):
+                barrier.wait(timeout=10)
+                for i in range(per_job):
+                    journal.append("job.progress", job_id=job_id, i=i)
+
+        threads = [
+            threading.Thread(target=emit, args=(job,))
+            for job in ("job-a", "job-b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+    def test_interleaved_seqs_stay_unique_and_monotone(self):
+        journal = EventJournal(capacity=256)
+        self._interleave(journal)
+        events, truncated = journal.after(0)
+        assert not truncated
+        assert len(events) == 100
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 100
+
+    def test_per_job_filter_sees_only_its_run(self):
+        journal = EventJournal(capacity=256)
+        self._interleave(journal)
+        for job in ("job-a", "job-b"):
+            events, truncated = journal.after(0, job_id=job)
+            assert not truncated
+            assert len(events) == 50
+            # Ambient stamping: the run scope active on the emitting
+            # thread supplied the run_id, no explicit argument.
+            assert all(e.run_id == job for e in events)
+            assert [e.data["i"] for e in events] == list(range(50))
+
+    def test_per_job_resume_has_no_spurious_truncation_gap(self):
+        # A job's events are sparse in the global sequence space (the
+        # gaps belong to the other job).  Resuming from the last seen
+        # seq must not read those gaps as eviction loss.
+        journal = EventJournal(capacity=256)
+        self._interleave(journal, per_job=20)
+        events, _ = journal.after(0, job_id="job-a")
+        midpoint = events[9].seq
+        resumed, truncated = journal.after(midpoint, job_id="job-a")
+        assert not truncated
+        assert [e.data["i"] for e in resumed] == list(range(10, 20))
+
+    def test_resume_after_eviction_flags_the_gap(self):
+        journal = EventJournal(capacity=8)
+        self._interleave(journal, per_job=20)  # 40 appends, 32 evicted
+        assert journal.dropped == 32
+        events, truncated = journal.after(0, job_id="job-a")
+        assert truncated  # resume-from-zero lost events: flagged
+        # Resuming from a still-buffered position is clean even though
+        # earlier events (of both jobs) were evicted.
+        all_events, _ = journal.after(0)
+        events, truncated = journal.after(all_events[0].seq - 1)
+        assert not truncated
+        assert [e.seq for e in events] == [e.seq for e in all_events]
+        # One seq earlier crosses the eviction boundary.
+        events, truncated = journal.after(all_events[0].seq - 2)
+        assert truncated
+
+
+def _scope_probe_runner(barrier=None):
+    """An injected runner with deterministic instrumentation: counter
+    and span volume derived from the spec, so two different specs have
+    provably different (and predictable) telemetry."""
+
+    def runner(spec, **_opts):
+        if barrier is not None:
+            barrier.wait(timeout=60)
+        from repro.observability.metrics import incr
+        from repro.observability.tracing import trace
+
+        with trace("probe.job"):
+            for _ in range(spec["table_grid"]):
+                with trace("probe.cell"):
+                    incr("probe.cells")
+            incr("mc.samples", spec["analysis_samples"])
+        return {"grid": spec["table_grid"]}
+
+    return runner
+
+
+def _canon_trace(node):
+    return {
+        "name": node["name"],
+        "calls": node["calls"],
+        "children": [_canon_trace(child) for child in node["children"]],
+    }
+
+
+def _canon_telemetry(snapshot):
+    """A telemetry snapshot with every timing stripped: identical for
+    identical work, regardless of scheduling."""
+    return {
+        "schema": snapshot["schema"],
+        "run_id": snapshot["run_id"],
+        "counters": snapshot["metrics"]["counters"],
+        "gauges": snapshot["metrics"]["gauges"],
+        "trace": _canon_trace(snapshot["trace"]),
+        "diagnostics": sorted(snapshot["diagnostics"].get("scopes", {})),
+    }
+
+
+class TestConcurrentJobs:
+    SPEC_A = dict(TINY_SPEC, table_grid=5)
+    SPEC_B = dict(TINY_SPEC, table_grid=7, seed=777)
+
+    def _run_jobs(self, manager, specs):
+        jobs = [manager.submit(dict(spec))[0] for spec in specs]
+        for job in jobs:
+            wait_for(lambda j=job: manager.get(j.id).status == "completed")
+        return jobs
+
+    def test_concurrent_results_and_telemetry_match_serial(self, metrics_on):
+        serial = JobManager(runner=_scope_probe_runner(), job_workers=1)
+        try:
+            baseline = {
+                job.id: (job.result, _canon_telemetry(job.telemetry_snapshot()))
+                for job in self._run_jobs(serial, [self.SPEC_A, self.SPEC_B])
+            }
+        finally:
+            serial.shutdown()
+
+        observability.reset()
+        observability.enable()
+        # The barrier holds each job until BOTH occupy a worker slot:
+        # the two jobs provably execute concurrently.
+        barrier = threading.Barrier(2)
+        concurrent = JobManager(
+            runner=_scope_probe_runner(barrier), job_workers=2
+        )
+        try:
+            jobs = self._run_jobs(concurrent, [self.SPEC_A, self.SPEC_B])
+            assert {job.id for job in jobs} == set(baseline)
+            for job in jobs:
+                want_result, want_telemetry = baseline[job.id]
+                assert job.result == want_result
+                assert _canon_telemetry(job.telemetry_snapshot()) == want_telemetry
+            counters = observability.registry.snapshot()["counters"]
+            assert counters.get("service.jobs_failed", 0.0) == 0.0
+            assert counters["service.jobs_completed"] == 2.0
+            assert counters.get("service.events_dropped", 0.0) == 0.0
+        finally:
+            concurrent.shutdown()
+
+    def test_attribution_is_disjoint_and_exact(self, metrics_on):
+        barrier = threading.Barrier(2)
+        manager = JobManager(
+            runner=_scope_probe_runner(barrier), job_workers=2
+        )
+        try:
+            job_a, job_b = self._run_jobs(manager, [self.SPEC_A, self.SPEC_B])
+            telem_a = manager.get(job_a.id).telemetry_snapshot()
+            telem_b = manager.get(job_b.id).telemetry_snapshot()
+        finally:
+            manager.shutdown()
+        # Each scope holds exactly its own job's work — not a share of
+        # the global totals, not a delta polluted by the neighbour.
+        assert telem_a["run_id"] == job_a.id
+        assert telem_b["run_id"] == job_b.id
+        assert telem_a["metrics"]["counters"]["probe.cells"] == 5.0
+        assert telem_b["metrics"]["counters"]["probe.cells"] == 7.0
+        assert telem_a["metrics"]["counters"]["mc.samples"] == 600.0
+        assert telem_b["metrics"]["counters"]["mc.samples"] == 600.0
+        for telem, cells in ((telem_a, 5), (telem_b, 7)):
+            (root,) = [
+                c for c in telem["trace"]["children"]
+                if c["name"] == "probe.job"
+            ]
+            (cell,) = root["children"]
+            assert cell["calls"] == cells
+        # The global registry still has the whole-process totals.
+        counters = observability.registry.snapshot()["counters"]
+        assert counters["probe.cells"] == 12.0
+        # Progress reads the scope: exact per-job counters.
+        assert manager.get(job_a.id).progress()["counters"]["mc.samples"] == 600.0
+
+    def test_queued_job_has_no_telemetry_yet(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+
+        def runner(spec, **_opts):
+            started.set()
+            assert release.wait(timeout=30)
+            return {"ok": True}
+
+        manager = JobManager(runner=runner, job_workers=1)
+        try:
+            first, _ = manager.submit(dict(self.SPEC_A))
+            assert started.wait(timeout=10)
+            queued, _ = manager.submit(dict(self.SPEC_B))
+            assert manager.get(queued.id).status == "queued"
+            assert manager.get(queued.id).telemetry_snapshot() is None
+            # The running job already serves a live snapshot.
+            live = manager.get(first.id).telemetry_snapshot()
+            assert live["run_id"] == first.id
+            release.set()
+            wait_for(lambda: manager.get(queued.id).status == "completed")
+            assert manager.get(queued.id).telemetry_snapshot()["run_id"] == queued.id
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_job_workers_validated(self):
+        with pytest.raises(ValueError):
+            JobManager(runner=lambda spec, **_o: {}, job_workers=0)
+
+    def test_completed_job_persists_telemetry_beside_flights(
+        self, metrics_on, tmp_path
+    ):
+        manager = JobManager(
+            runner=_scope_probe_runner(), flight_dir=str(tmp_path)
+        )
+        try:
+            [job] = self._run_jobs(manager, [self.SPEC_A])
+        finally:
+            manager.shutdown()
+        [path] = list(tmp_path.glob("telemetry-*.json"))
+        doc = json.loads(path.read_text())
+        assert doc["run_id"] == job.id
+        assert doc["schema"] == observability.SCHEMA
+        assert doc["metrics"]["counters"]["probe.cells"] == 5.0
+        assert not list(tmp_path.glob("flight-*.json"))  # no failure
+
+
+class TestTelemetryEndpoint:
+    def test_serves_the_jobs_own_snapshot(self, live_server):
+        job_id = completed_job_id(live_server)
+        status, body = request(
+            "GET", f"{live_server}/v1/jobs/{job_id}/telemetry"
+        )
+        assert status == 200
+        assert body["job_id"] == job_id
+        assert body["run_id"] == job_id
+        assert body["status"] == "completed"
+        telemetry = body["telemetry"]
+        assert telemetry["schema"] == observability.SCHEMA
+        assert telemetry["run_id"] == job_id
+        counters = telemetry["metrics"]["counters"]
+        assert counters["mc.samples"] > 0
+        # The progress block and the telemetry endpoint agree exactly:
+        # both read the same frozen scope.
+        _, view = request("GET", f"{live_server}/v1/jobs/{job_id}")
+        for name, value in view["job"]["progress"]["counters"].items():
+            assert counters.get(name, 0.0) == value
+
+    def test_unknown_job_is_404(self, live_server):
+        status, body = request(
+            "GET", f"{live_server}/v1/jobs/deadbeef/telemetry"
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown-job"
+
+    def test_queued_job_is_409(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+
+        def runner(spec, **_opts):
+            started.set()
+            assert release.wait(timeout=30)
+            return {"ok": True}
+
+        manager = JobManager(runner=runner, job_workers=1)
+        background = BackgroundServer(manager)
+        url = background.start()
+        try:
+            first, _ = manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            queued, _ = manager.submit(
+                dict(TINY_SPEC, seed=4242)
+            )
+            status, body = request(
+                "GET", f"{url}/v1/jobs/{queued.id}/telemetry"
+            )
+            assert status == 409
+            assert body["error"]["code"] == "not-started"
+            # The running neighbour serves live telemetry meanwhile.
+            status, body = request(
+                "GET", f"{url}/v1/jobs/{first.id}/telemetry"
+            )
+            assert status == 200
+            assert body["status"] == "running"
+            assert body["telemetry"]["run_id"] == first.id
+        finally:
+            release.set()
+            background.stop()
+
+
+class TestServiceEventRunIds:
+    def test_lifecycle_events_carry_the_job_run_id(self, metrics_on):
+        manager = JobManager(runner=_scope_probe_runner())
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            wait_for(lambda: manager.get(job.id).status == "completed")
+            events, _ = manager.journal.after(0, job_id=job.id)
+        finally:
+            manager.shutdown()
+        assert [e.type for e in events][0] == "job.accepted"
+        assert events[-1].type == "job.completed"
+        assert all(e.run_id == job.id for e in events)
+        assert all(e.wire()["run_id"] == job.id for e in events)

@@ -526,6 +526,13 @@ WORKLOADS: dict[str, Workload] = {
             # an accidental recompute blows this bound by orders of
             # magnitude).
             Gate("service.jobs_failed", "==", 0),
+            # Lifecycle invariants: the standard burst runs with no
+            # queue bound and no crash, so nothing may be shed at
+            # admission and no ledger replay may ever declare a job
+            # unrecoverable (absent counters read as zero on records
+            # from before these existed).
+            Gate("service.jobs_lost", "==", 0),
+            Gate("service.jobs_rejected", "==", 0),
             Gate("service.jobs_deduped", ">", 0),
             Gate("service.requests", ">", 0),
             # The event journal must absorb the standard burst without

@@ -1,0 +1,136 @@
+"""Cooperative cancellation and deadlines for long-running builds.
+
+The paper's self-repair loop only works because every repair action
+happens at a *safe point* — a March-test pass boundary, a refresh
+window.  Cancellation here follows the same discipline: a running job
+is never killed mid-cell; instead a :class:`CancelToken` is installed
+for the duration of the build and the computation polls it at its
+checkpoint boundaries (:meth:`repro.checkpoint.CheckpointStore.
+resumable_map` checks between flush slices, the service job runner
+checks between surfaces).  A cancelled or expired token raises at the
+next safe point, after the current slice has been flushed — so a
+cancelled build loses at most one slice of work and resumes exactly
+through its checkpoint if resubmitted.
+
+Two terminal conditions share the mechanism:
+
+* :class:`JobCancelled` — an operator asked for the job to stop
+  (``DELETE /v1/jobs/{id}``, or a drain that gave up waiting).
+* :class:`DeadlineExceeded` — the job's ``deadline_s`` budget (measured
+  from submission) ran out.
+
+Tokens travel through a :class:`contextvars.ContextVar`, so library
+code deep in the stack calls the module-level :func:`check_active`
+without threading a token through every signature; code running with
+no token installed is never affected.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from contextvars import ContextVar
+from typing import Callable, Iterator
+
+
+class CancelledError(RuntimeError):
+    """Base class for cooperative-stop conditions.
+
+    Attributes:
+        code: stable wire-error identifier for the service layer.
+    """
+
+    code = "cancelled"
+
+
+class JobCancelled(CancelledError):
+    """The token was explicitly cancelled (operator request)."""
+
+    code = "cancelled"
+
+
+class DeadlineExceeded(CancelledError):
+    """The token's deadline passed before the work finished."""
+
+    code = "deadline-exceeded"
+
+
+class CancelToken:
+    """A thread-safe stop request plus an optional monotonic deadline.
+
+    Args:
+        clock: monotonic time source (injectable for tests).
+
+    The token starts inert: not cancelled, no deadline.  ``cancel()``
+    may be called from any thread; ``set_deadline()`` arms a relative
+    deadline against the token's clock.  :meth:`check` raises the
+    matching :class:`CancelledError` subclass once either condition
+    holds, and is otherwise free.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._event = threading.Event()
+        self._clock = clock
+        self._deadline: float | None = None
+
+    def cancel(self) -> None:
+        """Request a stop at the next safe point (idempotent)."""
+        self._event.set()
+
+    def set_deadline(self, seconds: float) -> None:
+        """Arm a deadline ``seconds`` from now (replaces any previous)."""
+        self._deadline = self._clock() + float(seconds)
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+    @property
+    def expired(self) -> bool:
+        """True once the armed deadline (if any) has passed."""
+        return self._deadline is not None and self._clock() >= self._deadline
+
+    def check(self) -> None:
+        """Raise :class:`JobCancelled` / :class:`DeadlineExceeded` if due.
+
+        Explicit cancellation wins over expiry when both hold — the
+        operator's intent is the more specific signal.
+        """
+        if self._event.is_set():
+            raise JobCancelled("job cancelled at a checkpoint boundary")
+        if self.expired:
+            raise DeadlineExceeded("job deadline exceeded")
+
+
+_active: ContextVar[CancelToken | None] = ContextVar(
+    "repro_cancel_token", default=None
+)
+
+
+@contextlib.contextmanager
+def active(token: CancelToken) -> Iterator[CancelToken]:
+    """Install ``token`` as the ambient cancel token for this context."""
+    handle = _active.set(token)
+    try:
+        yield token
+    finally:
+        _active.reset(handle)
+
+
+def current() -> CancelToken | None:
+    """The ambient token, or None when no job scope is active."""
+    return _active.get()
+
+
+def check_active() -> None:
+    """Safe-point poll: raise if the ambient token (if any) is due.
+
+    Library code calls this at checkpoint boundaries.  With no token
+    installed it is a no-op, so the core stack never pays for (or is
+    surprised by) cancellation outside a service job.
+    """
+    token = _active.get()
+    if token is not None:
+        token.check()

@@ -26,7 +26,7 @@ from __future__ import annotations
 import pathlib
 from typing import Callable, Sequence
 
-from repro import durable
+from repro import cancellation, durable
 from repro.observability.log import get_logger
 from repro.observability.metrics import incr
 
@@ -152,6 +152,12 @@ class CheckpointStore:
         recomputed; the rest are computed in slices of :attr:`every`
         with a flush after each slice; the checkpoint is cleared once
         every index is present.
+
+        Slice boundaries are the build's cancellation safe points: the
+        ambient :mod:`repro.cancellation` token (if any) is polled
+        before each slice, so a cancelled or deadline-expired job stops
+        with its last completed slice already flushed — resuming the
+        same fingerprint later recomputes nothing that was persisted.
         """
         completed = self.load(kind, fingerprint)
         results: list = [None] * n
@@ -160,6 +166,7 @@ class CheckpointStore:
                 results[index] = decode(raw)
         missing = [i for i in range(n) if results[i] is None]
         for start in range(0, len(missing), self.every):
+            cancellation.check_active()
             chunk = missing[start : start + self.every]
             for index, value in zip(chunk, compute(chunk)):
                 results[index] = value

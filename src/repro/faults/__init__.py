@@ -25,6 +25,9 @@ cookbook of plans.
 
 from repro.faults.plan import (
     ENV_VAR,
+    SERVICE_KINDS,
+    TASK_KINDS,
+    WRITE_KINDS,
     FaultInjected,
     FaultPlan,
     FaultSpec,
@@ -37,6 +40,9 @@ from repro.faults.plan import (
 
 __all__ = [
     "ENV_VAR",
+    "SERVICE_KINDS",
+    "TASK_KINDS",
+    "WRITE_KINDS",
     "FaultInjected",
     "FaultPlan",
     "FaultSpec",

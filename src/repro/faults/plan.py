@@ -11,7 +11,13 @@ points:
   run clean, deterministically;
 * the durable-write helper asks :meth:`FaultPlan.write_action` once per
   file write, matching the spec's ``path_pattern`` against both the
-  file name and the full path.
+  file name and the full path;
+* the job service asks :meth:`FaultPlan.service_action` at its own
+  lifecycle sites — job admission (``admission``), each durable ledger
+  append (``ledger.accepted``, ``ledger.started``, ...), and job start
+  (``job.start``) — matching the spec's ``site`` pattern so chaos runs
+  can pin exactly where a crash, forced rejection, or deadline
+  squeeze lands.
 
 Budgets are consumed in the process that consults the plan (the
 parent), so a plan is exact: ``times=1`` means exactly one injection
@@ -39,6 +45,13 @@ ENV_VAR = "REPRO_FAULT_PLAN"
 TASK_KINDS = ("worker_crash", "task_hang", "task_slow")
 #: Fault kinds applied to durable writes (keyed by path pattern).
 WRITE_KINDS = ("torn_write", "corrupt_write")
+#: Fault kinds applied to service lifecycle sites (keyed by ``site``):
+#: ``service_crash`` hard-kills the process right after a matching
+#: durable ledger append (the write is on disk, the process is not);
+#: ``job_deadline`` overrides a starting job's effective deadline to
+#: ``seconds``; ``reject_burst`` forces admission rejections (429) for
+#: the next ``times`` new-job submissions.
+SERVICE_KINDS = ("service_crash", "job_deadline", "reject_burst")
 
 
 class FaultInjected(RuntimeError):
@@ -56,25 +69,32 @@ class FaultSpec:
             targets every task until the budget runs out.
         path_pattern: for write kinds — an ``fnmatch`` pattern tested
             against the target file's name and full path.
+        site: for service kinds — an ``fnmatch`` pattern tested
+            against the lifecycle site name (``admission``,
+            ``ledger.started``, ``job.start``, ...); ``None`` matches
+            every site the kind is consulted at.
         times: injection budget; each strike consumes one.
         seconds: sleep duration for ``task_hang`` / ``task_slow``
             (a hang should exceed the retry policy's timeout, a slow
-            task should not).
-        exit_code: process exit status for an injected worker crash.
+            task should not); for ``job_deadline``, the forced
+            effective deadline in seconds.
+        exit_code: process exit status for an injected worker crash or
+            ``service_crash``.
     """
 
     kind: str
     task_index: int | None = None
     path_pattern: str | None = None
+    site: str | None = None
     times: int = 1
     seconds: float = 0.25
     exit_code: int = 13
 
     def __post_init__(self) -> None:
-        if self.kind not in TASK_KINDS + WRITE_KINDS:
+        if self.kind not in TASK_KINDS + WRITE_KINDS + SERVICE_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; "
-                f"known: {TASK_KINDS + WRITE_KINDS}"
+                f"known: {TASK_KINDS + WRITE_KINDS + SERVICE_KINDS}"
             )
         if self.kind in WRITE_KINDS and self.path_pattern is None:
             raise ValueError(f"{self.kind} spec needs a path_pattern")
@@ -147,6 +167,34 @@ class FaultPlan:
                 remaining=self._remaining[slot],
             )
             return spec.kind
+        return None
+
+    def service_action(self, kind: str, site: str) -> FaultSpec | None:
+        """The armed spec of ``kind`` striking at ``site``, or None.
+
+        The service consults this with the *specific* kind each
+        lifecycle site understands (``reject_burst`` at admission,
+        ``service_crash`` after ledger appends, ``job_deadline`` at job
+        start), so a plan mixing service kinds never fires one at a
+        site that cannot honor it.  Consumes one unit of the first
+        matching armed spec.
+        """
+        if kind not in SERVICE_KINDS:
+            raise ValueError(f"not a service fault kind: {kind!r}")
+        for slot, spec in enumerate(self.specs):
+            if spec.kind != kind or self._remaining[slot] <= 0:
+                continue
+            if spec.site is not None and not fnmatch.fnmatch(site, spec.site):
+                continue
+            self._remaining[slot] -= 1
+            incr("faults.injected")
+            _log.warning(
+                "faults.service_injected",
+                kind=spec.kind,
+                site=site,
+                remaining=self._remaining[slot],
+            )
+            return spec
         return None
 
     @property

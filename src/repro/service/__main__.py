@@ -15,6 +15,17 @@ and ``--checkpoint-dir`` makes in-flight builds resumable (a spec
 resubmitted after a crash continues from the last flush instead of
 restarting).  See ``docs/service.md`` for the API this serves.
 
+Crash safety: ``--state-dir`` arms the durable job ledger — every
+accepted job survives SIGKILL and is re-enqueued on the next boot,
+resuming through its checkpoints.  SIGTERM/SIGINT trigger a graceful
+drain: ``/v1/readyz`` flips to 503, new submissions are rejected,
+running jobs get ``--drain-timeout`` seconds to checkpoint-and-finish,
+then the process exits 0 (stragglers resume on the next boot).
+``--max-queue-depth`` bounds admission (429 + ``Retry-After``).
+``REPRO_FAULT_PLAN`` arms a chaos plan (``service_crash``,
+``job_deadline``, ``reject_burst``, and the task/write kinds) exactly
+as the experiments CLI does.
+
 Telemetry collection is always on in the server process — the
 ``service.*`` counters are part of the healthz contract, not an
 optional extra; ``-v``/``--log-json`` additionally stream structured
@@ -25,9 +36,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
+import signal
 import sys
 
-from repro import observability
+from repro import faults, observability
 from repro.service.jobs import JobManager
 from repro.service.server import ServiceServer
 
@@ -104,6 +117,31 @@ def main(argv: list[str] | None = None) -> int:
         "with neither)",
     )
     parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable job-ledger directory; accepted jobs survive "
+        "SIGKILL and are re-enqueued on the next boot with the same "
+        "DIR (disabled when unset)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, how long running jobs may "
+        "checkpoint-and-finish before the process exits anyway "
+        "(default 30; stragglers resume on the next boot)",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on jobs queued or running; new submissions beyond "
+        "it get 429 with Retry-After (default: unbounded)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="count",
@@ -128,10 +166,22 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             f"--journal-capacity must be >= 1, got {args.journal_capacity}"
         )
+    if args.drain_timeout < 0:
+        parser.error(
+            f"--drain-timeout must be >= 0, got {args.drain_timeout}"
+        )
+    if args.max_queue_depth is not None and args.max_queue_depth < 1:
+        parser.error(
+            f"--max-queue-depth must be >= 1, got {args.max_queue_depth}"
+        )
 
     observability.configure(
         verbosity=args.verbose, json_lines=args.log_json, metrics=True
     )
+    try:
+        faults.install(faults.plan_from_env())
+    except ValueError as exc:
+        parser.error(str(exc))
     manager = JobManager(
         workers=args.workers,
         job_workers=args.job_workers,
@@ -140,23 +190,48 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_every=args.checkpoint_every,
         journal_capacity=args.journal_capacity,
         flight_dir=args.flight_dir,
+        state_dir=args.state_dir,
+        max_queue_depth=args.max_queue_depth,
     )
     server = ServiceServer(manager, host=args.host, port=args.port)
 
-    async def run() -> None:
+    async def run() -> bool:
+        """Serve until a signal arrives, then drain; True = clean drain."""
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                signal.signal(sig, lambda *_: stop.set())
         await server.start()
         # Machine-readable: the harness parses the URL off this line.
         print(f"listening on {server.base_url}", flush=True)
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:  # pragma: no cover - shutdown
-            pass
+        await stop.wait()
+        # Graceful drain: readiness flips to 503 and new submissions
+        # reject immediately; running jobs then get the drain window.
+        print("draining", file=sys.stderr, flush=True)
+        manager.begin_drain()
+        drained = await asyncio.to_thread(manager.drain, args.drain_timeout)
+        await server.stop()
+        return drained
 
     try:
-        asyncio.run(run())
-    except KeyboardInterrupt:
+        drained = asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - second ^C mid-drain
         print("shutting down", file=sys.stderr)
         manager.shutdown()
+        return 0
+    if not drained:
+        # Jobs are still running past the drain window.  Their ledger
+        # records and checkpoint flushes are durable, so the next boot
+        # resumes them; exiting through os._exit skips joining the
+        # non-daemon pool threads that would otherwise hang exit.
+        print("drain timeout; exiting (jobs resume on next boot)",
+              file=sys.stderr, flush=True)
+        sys.stderr.flush()
+        sys.stdout.flush()
+        os._exit(0)
     return 0
 
 

@@ -1,7 +1,7 @@
 """Job lifecycle for the yield-analysis service.
 
 A job is one normalized spec (see :mod:`repro.service.spec`) moving
-through ``queued -> running -> completed | failed``.  The
+through ``queued -> running -> completed | failed | cancelled``.  The
 :class:`JobManager` owns the registry of jobs, dedupes submissions by
 the spec fingerprint (which *is* the job id), and executes each job
 inside its own :class:`~repro.observability.context.RunContext` with
@@ -16,13 +16,35 @@ grid cells.  A job's final scope snapshot is frozen at the terminal
 transition, persisted beside the flight-recorder dumps, and served at
 ``GET /v1/jobs/{id}/telemetry``.
 
+Crash-safe lifecycle (see ``docs/robustness.md``):
+
+* with a ``state_dir``, every accepted/started/terminal transition is
+  appended to a durable :class:`~repro.service.ledger.JobLedger`
+  before it is acted on; on boot the ledger is replayed and every job
+  the previous process still owed is re-enqueued
+  (``service.jobs_recovered``) to resume through its checkpoints;
+* :meth:`JobManager.begin_drain` / :meth:`JobManager.drain` implement
+  graceful shutdown — new work is rejected (503 upstream), running
+  jobs checkpoint-and-finish within a timeout;
+* ``max_queue_depth`` bounds admission (429 upstream), a spec-borne
+  ``deadline_s`` bounds job runtime, and :meth:`JobManager.cancel`
+  stops a job cooperatively at its next checkpoint boundary.
+
 Service counters (all under the ``repro.telemetry/1`` schema, see
 ``docs/service.md``):
 
-* ``service.jobs_accepted`` — new (or failed-and-retried) specs queued;
+* ``service.jobs_accepted`` — new (or retried) specs queued;
 * ``service.jobs_deduped`` — submissions attached to an existing job;
-* ``service.jobs_completed`` / ``service.jobs_failed`` — terminal states;
+* ``service.jobs_completed`` / ``service.jobs_failed`` /
+  ``service.jobs_cancelled`` — terminal states;
+* ``service.jobs_recovered`` — jobs re-enqueued from the ledger on
+  boot; ``service.jobs_lost`` — ledger entries that could *not* be
+  recovered (torn accepted record);
+* ``service.jobs_rejected`` — submissions refused by admission
+  control (queue full, draining, or an injected ``reject_burst``);
+* ``service.jobs_deadline_exceeded`` — jobs stopped by ``deadline_s``;
 * ``service.queue_depth`` (gauge) — jobs currently queued or running;
+* ``service.draining`` (gauge) — 1 once drain has begun;
 * ``service.job_seconds`` (histogram) — per-job wall time;
 * ``service.events`` / ``service.events_dropped`` — journal appends and
   ring-buffer evictions (see :mod:`repro.service.journal`).
@@ -40,12 +62,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import cancellation, faults
 from repro.experiments.context import ExperimentContext
 from repro.observability.context import RunContext, RunScope
 from repro.observability.log import get_logger
 from repro.observability.metrics import incr, observe, registry, set_gauge
 from repro.service.journal import EventJournal
-from repro.service.spec import job_cells, normalize_spec, spec_fingerprint
+from repro.service.ledger import JobLedger
+from repro.service.spec import (
+    SpecError,
+    job_cells,
+    normalize_spec,
+    spec_fingerprint,
+)
 
 _log = get_logger("service.jobs")
 
@@ -63,8 +92,43 @@ PROGRESS_COUNTERS = (
     "checkpoint.completed_cells",
 )
 
-#: Job lifecycle states (terminal: ``completed``, ``failed``).
-JOB_STATUSES = ("queued", "running", "completed", "failed")
+#: Job lifecycle states.
+JOB_STATUSES = ("queued", "running", "completed", "failed", "cancelled")
+
+#: States a job never leaves on its own (a resubmission of a failed or
+#: cancelled job retries it in place; a completed job serves warm).
+TERMINAL_STATUSES = ("completed", "failed", "cancelled")
+
+#: Terminal states a resubmission restarts instead of attaching to.
+RETRYABLE_STATUSES = ("failed", "cancelled")
+
+
+class AdmissionError(RuntimeError):
+    """A submission was refused before any work was queued.
+
+    Attributes:
+        code: stable wire-error code (``queue-full`` / ``draining``).
+        retry_after: seconds the client should wait before retrying —
+            surfaced as the HTTP ``Retry-After`` header.
+    """
+
+    code = "rejected"
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class QueueFullError(AdmissionError):
+    """The bounded queue is at ``max_queue_depth`` (HTTP 429)."""
+
+    code = "queue-full"
+
+
+class DrainingError(AdmissionError):
+    """The service is draining and accepts no new work (HTTP 503)."""
+
+    code = "draining"
 
 
 def run_spec(
@@ -81,7 +145,13 @@ def run_spec(
     over the executor, persists to the result cache, and checkpoints
     mid-build) and evaluates the requested surface at its own grid
     nodes.
+
+    Cancellation safe points: the ambient
+    :mod:`repro.cancellation` token is polled between surfaces here
+    and between checkpoint slices inside each build, so a cancelled or
+    deadline-expired job stops with its last flush already durable.
     """
+    cancellation.check_active()
     ctx = ExperimentContext.from_spec(
         spec,
         workers=workers,
@@ -95,6 +165,7 @@ def run_spec(
         surfaces = []
         corner_grid: list[float] = []
         for vbody in spec["vbody_levels"]:
+            cancellation.check_active()
             table = ctx.table(vbody)
             corner_grid = [float(x) for x in table.grid]
             surfaces.append(
@@ -167,7 +238,19 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     error: str | None = None
+    #: Wire error code for a terminal non-success (``cancelled`` /
+    #: ``deadline-exceeded``; ``None`` for an ordinary failure).
+    error_code: str | None = None
+    #: True when this job was re-enqueued from the durable ledger on
+    #: boot rather than submitted over HTTP in this process's lifetime.
+    recovered: bool = False
     result: dict | None = None
+    #: Cooperative stop signal, polled by the build at checkpoint
+    #: boundaries; replaced on retry so an old cancellation cannot
+    #: leak into the new attempt.
+    cancel_token: cancellation.CancelToken = field(
+        default_factory=cancellation.CancelToken, repr=False
+    )
     #: The job's run scope (``run_id == id``), created when execution
     #: starts; everything the job does is collected here, exactly.
     scope: RunScope | None = field(default=None, repr=False)
@@ -233,6 +316,8 @@ class Job:
             "finished_at": self.finished_at,
             "elapsed_seconds": elapsed,
             "error": self.error,
+            "error_code": self.error_code,
+            "recovered": self.recovered,
             "progress": self.progress(),
         }
 
@@ -282,6 +367,16 @@ class JobManager:
             and completed/failed jobs persist their telemetry snapshot
             (defaults to ``checkpoint_dir``, then ``cache_dir``; with
             neither configured both stay in-memory only).
+        state_dir: durable-ledger directory; every lifecycle transition
+            is WAL'd here and replayed on construction, so jobs the
+            previous process accepted but never finished are
+            re-enqueued automatically.  ``None`` (default) disables
+            the ledger — the pre-existing in-memory behaviour.
+        max_queue_depth: bound on jobs queued-or-running; a new-job
+            submission beyond it raises :class:`QueueFullError`
+            (mapped to HTTP 429).  ``None`` (default) is unbounded.
+        retry_after_s: the ``Retry-After`` hint attached to admission
+            rejections.
     """
 
     def __init__(
@@ -295,9 +390,16 @@ class JobManager:
         progress_interval: float = 0.5,
         flight_dir: str | None = None,
         job_workers: int = 1,
+        state_dir: str | None = None,
+        max_queue_depth: int | None = None,
+        retry_after_s: float = 1.0,
     ) -> None:
         if job_workers < 1:
             raise ValueError(f"job_workers must be >= 1, got {job_workers}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
         self.workers = workers
         self.job_workers = job_workers
         self.cache_dir = cache_dir
@@ -306,6 +408,9 @@ class JobManager:
         self._runner = runner
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
+        self._draining = False
+        self.max_queue_depth = max_queue_depth
+        self.retry_after_s = float(retry_after_s)
         self._pool = ThreadPoolExecutor(
             max_workers=job_workers, thread_name_prefix="repro-service-job"
         )
@@ -327,12 +432,20 @@ class JobManager:
             "service.jobs_deduped",
             "service.jobs_completed",
             "service.jobs_failed",
+            "service.jobs_cancelled",
+            "service.jobs_recovered",
+            "service.jobs_rejected",
+            "service.jobs_deadline_exceeded",
+            "service.jobs_lost",
             "service.requests",
             "service.events",
             "service.events_dropped",
         ):
             registry.counter(name)
         registry.gauge("service.queue_depth")
+        set_gauge("service.draining", 0)
+        self._ledger = JobLedger(state_dir) if state_dir else None
+        self._recover()
 
     def uptime_seconds(self) -> float:
         """Monotonic seconds since this manager was constructed."""
@@ -346,15 +459,20 @@ class JobManager:
 
         Returns ``(job, created)`` — ``created`` is False when the
         submission deduped onto a live or completed job.  A job that
-        previously *failed* is retried: same id, state reset to
-        queued.  Raises :class:`~repro.service.spec.SpecError` on an
-        invalid spec.
+        previously *failed* (or was cancelled) is retried: same id,
+        state reset to queued.  Raises
+        :class:`~repro.service.spec.SpecError` on an invalid spec and
+        :class:`AdmissionError` when new work is refused (bounded
+        queue, drain in progress, or an injected ``reject_burst``).
+        Dedupes are never refused — attaching to existing work costs
+        nothing and is exactly what a retrying client needs.
         """
         spec = normalize_spec(raw_spec)
         job_id = spec_fingerprint(spec)
+        plan = faults.active_plan()
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is not None and job.status != "failed":
+            if job is not None and job.status not in RETRYABLE_STATUSES:
                 job.submissions += 1
                 incr("service.jobs_deduped")
                 _log.info(
@@ -366,23 +484,34 @@ class JobManager:
                     status=job.status, submissions=job.submissions,
                 )
                 return job, False
+            self._admit_locked(job_id, plan)
             if job is None:
                 job = Job(id=job_id, spec=spec, created_at=time.time())
                 self._jobs[job_id] = job
             else:
-                # Retry of a failed job: keep the id and submission
-                # count, clear the failure.
+                # Retry of a failed/cancelled job: keep the id and
+                # submission count, clear the old terminal state.
                 job.submissions += 1
                 job.status = "queued"
                 job.error = None
+                job.error_code = None
                 job.result = None
                 job.started_at = None
                 job.finished_at = None
                 job.final_counters = None
                 job.scope = None
                 job.telemetry = None
+                job.recovered = False
+                job.cancel_token = cancellation.CancelToken()
             incr("service.jobs_accepted")
             self._update_queue_depth_locked()
+        # The accepted record is durable before the client hears "201":
+        # a crash after this point owes the job; a crash before it
+        # never acknowledged the submission.
+        self._ledger_record(
+            "accepted", job_id, spec=job.spec,
+            submissions=job.submissions, created_at=job.created_at,
+        )
         _log.info("job.accepted", job_id=job_id, run_id=job_id,
                   kind=spec["kind"])
         self.journal.append(
@@ -391,6 +520,92 @@ class JobManager:
         )
         self._pool.submit(self._execute, job_id)
         return job, True
+
+    def _admit_locked(self, job_id: str, plan) -> None:
+        """Admission control for genuinely new work (lock held)."""
+        if self._draining:
+            incr("service.jobs_rejected")
+            _log.warning("job.rejected", job_id=job_id, reason="draining")
+            raise DrainingError(
+                "service is draining; no new work accepted",
+                retry_after=self.retry_after_s,
+            )
+        if (
+            plan is not None
+            and plan.service_action("reject_burst", "admission") is not None
+        ):
+            incr("service.jobs_rejected")
+            _log.warning(
+                "job.rejected", job_id=job_id, reason="reject_burst"
+            )
+            raise QueueFullError(
+                "queue full (injected reject burst)",
+                retry_after=self.retry_after_s,
+            )
+        if self.max_queue_depth is not None:
+            depth = sum(
+                1
+                for j in self._jobs.values()
+                if j.status in ("queued", "running")
+            )
+            if depth >= self.max_queue_depth:
+                incr("service.jobs_rejected")
+                _log.warning(
+                    "job.rejected", job_id=job_id,
+                    reason="queue-full", depth=depth,
+                )
+                raise QueueFullError(
+                    f"queue full ({depth}/{self.max_queue_depth} jobs "
+                    "queued or running)",
+                    retry_after=self.retry_after_s,
+                )
+
+    def cancel(self, job_id: str) -> tuple[Job | None, str]:
+        """Request cancellation of one job (``DELETE /v1/jobs/{id}``).
+
+        Returns ``(job, outcome)``:
+
+        * ``("missing")`` — no such job (404 upstream);
+        * ``("terminal")`` — already completed/failed/cancelled; the
+          transition is refused (409 upstream) because terminal state,
+          including a completed result, is immutable;
+        * ``("cancelled")`` — the job was still queued and is now
+          terminally cancelled (200 upstream);
+        * ``("cancelling")`` — the job is running; its token is
+          cancelled and the build will stop at the next checkpoint
+          boundary (202 upstream).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None, "missing"
+            if job.status in TERMINAL_STATUSES:
+                return job, "terminal"
+            if job.status == "queued":
+                job.status = "cancelled"
+                job.error = "cancelled before start"
+                job.error_code = "cancelled"
+                job.finished_at = time.time()
+                job.cancel_token.cancel()
+                self._update_queue_depth_locked()
+                outcome = "cancelled"
+            else:
+                job.cancel_token.cancel()
+                outcome = "cancelling"
+        if outcome == "cancelled":
+            incr("service.jobs_cancelled")
+            _log.info("job.cancelled", job_id=job_id, phase="queued")
+            self.journal.append(
+                "job.cancelled", job_id=job_id, run_id=job_id,
+                phase="queued",
+            )
+            self._ledger_record("cancelled", job_id, error=job.error)
+        else:
+            _log.info("job.cancel_requested", job_id=job_id)
+            self.journal.append(
+                "job.cancel_requested", job_id=job_id, run_id=job_id,
+            )
+        return job, outcome
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:
@@ -416,6 +631,145 @@ class JobManager:
         """Stop accepting work; running jobs are abandoned (their
         checkpoints make a later resubmission resume, not restart)."""
         self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Graceful drain
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` has been called."""
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Flip the manager into drain mode (idempotent).
+
+        New-job submissions raise :class:`DrainingError` from here on
+        (dedupes onto existing jobs still work — a retrying client must
+        be able to find its job), ``/v1/readyz`` goes 503 upstream, and
+        the ``service.draining`` gauge goes to 1.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        set_gauge("service.draining", 1)
+        _log.warning("service.draining")
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: let running jobs finish, strand nothing.
+
+        Queued-but-unstarted jobs have their pool futures cancelled —
+        with a ledger they stay ``accepted`` on disk and are recovered
+        on the next boot; running jobs get up to ``timeout`` seconds to
+        checkpoint-and-finish.  Returns True when nothing is left
+        running (a False return still exits cleanly upstream: the
+        stragglers' checkpoints plus ledger records make the next boot
+        resume them).
+        """
+        self.begin_drain()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                running = sum(
+                    1
+                    for job in self._jobs.values()
+                    if job.status == "running"
+                )
+            if running == 0:
+                _log.info("service.drained")
+                return True
+            if time.monotonic() >= deadline:
+                _log.warning("service.drain_timeout", running=running)
+                return False
+            time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    # Durable ledger (crash recovery)
+    # ------------------------------------------------------------------
+    def _ledger_record(self, type_: str, job_id: str, **fields) -> None:
+        """Append one transition to the ledger, if one is configured.
+
+        Disk trouble is logged and degrades to in-memory operation —
+        a full disk must not turn a completing job into a failed one.
+        """
+        if self._ledger is None:
+            return
+        try:
+            self._ledger.record(type_, job_id, **fields)
+        except OSError as exc:  # pragma: no cover - disk trouble
+            _log.warning(
+                "ledger.write_failed", type=type_, job_id=job_id,
+                error=str(exc),
+            )
+
+    def _recover(self) -> None:
+        """Replay the ledger; re-enqueue every job the last boot owed.
+
+        Jobs whose latest record is terminal are dropped (their results
+        live in the result cache).  A non-terminal job without an
+        intact ``accepted`` record (torn write on the only line that
+        carries the spec) cannot be re-run and is counted as
+        ``service.jobs_lost`` — loudly, in logs and healthz, rather
+        than silently forgotten.  The ledger is then compacted to the
+        live set.
+        """
+        if self._ledger is None:
+            return
+        states, skipped = self._ledger.replay()
+        live: dict[str, dict] = {}
+        lost = 0
+        for job_id, state in sorted(states.items()):
+            if state["status"] in TERMINAL_STATUSES:
+                continue
+            raw_spec = state.get("spec")
+            try:
+                if not isinstance(raw_spec, dict):
+                    raise SpecError(
+                        "invalid-spec", "no intact accepted record"
+                    )
+                spec = normalize_spec(raw_spec)
+                if spec_fingerprint(spec) != job_id:
+                    raise SpecError(
+                        "invalid-spec", "spec does not match job id"
+                    )
+            except SpecError as exc:
+                lost += 1
+                _log.warning(
+                    "ledger.job_lost", job_id=job_id, reason=str(exc)
+                )
+                continue
+            state["spec"] = spec
+            live[job_id] = state
+        if lost:
+            incr("service.jobs_lost", lost)
+        self._ledger.compact(live)
+        if not live:
+            return
+        order = sorted(
+            live.items(), key=lambda kv: (kv[1]["created_at"] or 0.0, kv[0])
+        )
+        for job_id, state in order:
+            job = Job(
+                id=job_id,
+                spec=state["spec"],
+                submissions=int(state["submissions"]),
+                created_at=float(state["created_at"] or time.time()),
+                recovered=True,
+            )
+            with self._lock:
+                self._jobs[job_id] = job
+                self._update_queue_depth_locked()
+            incr("service.jobs_recovered")
+            _log.info(
+                "job.recovered", job_id=job_id, run_id=job_id,
+                kind=job.spec["kind"],
+            )
+            self.journal.append(
+                "job.recovered", job_id=job_id, run_id=job_id,
+                kind=job.spec["kind"], submissions=job.submissions,
+            )
+            self._pool.submit(self._execute, job_id)
 
     # ------------------------------------------------------------------
     # Execution (worker thread)
@@ -455,11 +809,30 @@ class JobManager:
     def _execute(self, job_id: str) -> None:
         with self._lock:
             job = self._jobs[job_id]
-            if job.status != "queued":  # pragma: no cover - retry race
+            if job.status != "queued":  # cancelled-while-queued, retry race
                 return
             job.status = "running"
             job.started_at = time.time()
             job.scope = RunScope(job_id)
+            token = job.cancel_token
+            deadline_s = job.spec.get("deadline_s")
+        plan = faults.active_plan()
+        if plan is not None:
+            hit = plan.service_action("job_deadline", "job.start")
+            if hit is not None:
+                deadline_s = hit.seconds
+                _log.warning(
+                    "job.deadline_injected", job_id=job_id,
+                    seconds=deadline_s,
+                )
+        if deadline_s is not None:
+            # The budget runs from *submission*, so queue time counts —
+            # a job recovered after a long outage can be already due.
+            remaining = job.created_at + float(deadline_s) - time.time()
+            token.set_deadline(max(0.0, remaining))
+        # The started record is durable before any work happens: a
+        # crash mid-build replays as "owed" and resumes on next boot.
+        self._ledger_record("started", job_id)
         # The whole execution — including terminal logging — runs
         # inside the job's RunContext: instrumentation dual-writes into
         # the job's scope and every log event is stamped run_id=job_id.
@@ -485,13 +858,20 @@ class JobManager:
             )
             ticker.start()
             try:
-                result = self._runner(
-                    job.spec,
-                    workers=self.workers,
-                    cache_dir=self.cache_dir,
-                    checkpoint_dir=self.checkpoint_dir,
-                    checkpoint_every=self.checkpoint_every,
-                )
+                with cancellation.active(token):
+                    token.check()
+                    result = self._runner(
+                        job.spec,
+                        workers=self.workers,
+                        cache_dir=self.cache_dir,
+                        checkpoint_dir=self.checkpoint_dir,
+                        checkpoint_every=self.checkpoint_every,
+                    )
+            except cancellation.CancelledError as exc:
+                ticker_stop.set()
+                ticker.join()
+                self._finish_stopped(job, exc)
+                return
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
                 ticker_stop.set()
                 ticker.join()
@@ -510,6 +890,7 @@ class JobManager:
                     "job.failed", job_id=job_id, run_id=job_id,
                     error=job.error,
                 )
+                self._ledger_record("failed", job_id, error=job.error)
                 self._dump_flight(job)
                 self._dump_telemetry(job)
                 return
@@ -534,7 +915,53 @@ class JobManager:
                 run_id=job_id,
                 seconds=round(job.finished_at - job.started_at, 6),
             )
+            self._ledger_record("completed", job_id)
             self._dump_telemetry(job)
+
+    def _finish_stopped(self, job: Job, exc: cancellation.CancelledError) -> None:
+        """Terminal transition for a cooperatively stopped job.
+
+        A deadline expiry counts as a *failure* (the service broke its
+        budget promise, the client should see an error) with wire code
+        ``deadline-exceeded``; an operator cancellation gets its own
+        terminal ``cancelled`` status.  Either way the last checkpoint
+        flush is already on disk, so a resubmission resumes rather
+        than restarts.
+        """
+        deadline = isinstance(exc, cancellation.DeadlineExceeded)
+        with self._lock:
+            job.status = "failed" if deadline else "cancelled"
+            job.error = str(exc)
+            job.error_code = exc.code
+            job.finished_at = time.time()
+            self._freeze_scope_locked(job)
+            self._update_queue_depth_locked()
+        observe("service.job_seconds", job.finished_at - job.started_at)
+        if deadline:
+            incr("service.jobs_failed")
+            incr("service.jobs_deadline_exceeded")
+            _log.warning(
+                "job.deadline_exceeded", job_id=job.id, error=job.error
+            )
+            self.journal.append(
+                "job.failed", job_id=job.id, run_id=job.id,
+                error=job.error, error_code=job.error_code,
+            )
+            self._ledger_record(
+                "failed", job.id, error=job.error, error_code=job.error_code
+            )
+            self._dump_flight(job)
+        else:
+            incr("service.jobs_cancelled")
+            _log.info("job.cancelled", job_id=job.id, phase="running")
+            self.journal.append(
+                "job.cancelled", job_id=job.id, run_id=job.id,
+                phase="running",
+            )
+            self._ledger_record(
+                "cancelled", job.id, error=job.error
+            )
+        self._dump_telemetry(job)
 
     def _dump_flight(self, job: Job) -> None:
         """Flight recorder: persist the journal ring beside a failure.

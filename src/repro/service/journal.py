@@ -32,19 +32,25 @@ from repro.observability import _state
 from repro.observability.metrics import incr
 
 #: Event types the manager emits, in lifecycle order.  ``job.progress``
-#: repeats while a job runs; ``job.completed`` / ``job.failed`` are
-#: terminal for their job.
+#: repeats while a job runs; ``job.completed`` / ``job.failed`` /
+#: ``job.cancelled`` are terminal for their job.  ``job.recovered``
+#: marks a job re-enqueued from the durable ledger on boot, and
+#: ``job.cancel_requested`` marks a running job asked to stop at its
+#: next checkpoint boundary.
 EVENT_TYPES = (
     "job.accepted",
+    "job.recovered",
     "job.deduped",
     "job.started",
     "job.progress",
+    "job.cancel_requested",
     "job.completed",
     "job.failed",
+    "job.cancelled",
 )
 
 #: Event types after which a per-job stream has nothing more to say.
-TERMINAL_EVENTS = frozenset({"job.completed", "job.failed"})
+TERMINAL_EVENTS = frozenset({"job.completed", "job.failed", "job.cancelled"})
 
 
 @dataclass(frozen=True)

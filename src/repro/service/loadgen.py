@@ -23,20 +23,33 @@ Shell use (the CI ``service-smoke`` job)::
 
 The CLI exits 0 only when the burst completed the job, every duplicate
 deduped onto it, and the server reports ``service.jobs_failed == 0``.
+
+Resilience: requests retry with exponential backoff and
+*deterministic* jitter (hash-derived from the request key and attempt
+number, so two identical runs back off identically — no flaky CI).
+Admission rejections (429/503) honour the server's ``Retry-After``
+header; connection errors cover a server mid-restart.  A ``--follow``
+stream whose server dies with the connection open falls back to the
+poll loop instead of giving up (counter
+``service.client_stream_fallbacks``); each retry counts
+``service.client_retries``.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import http.client
 import json
 import sys
 import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
 
 from repro import observability
 from repro.observability.log import get_logger
-from repro.observability.metrics import observe
+from repro.observability.metrics import incr, observe, registry
 from repro.observability.output import resolve_out_path
 
 _log = get_logger("service.loadgen")
@@ -60,18 +73,65 @@ class LoadError(RuntimeError):
     """The burst hit a response the contract forbids."""
 
 
-def _follow(base_url: str, job_id: str, timeout: float) -> int:
+@dataclass(frozen=True)
+class ClientRetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``attempts`` bounds total tries per request.  Delay for retry ``k``
+    is ``base_delay * 2**k``, capped at ``max_delay``, scaled by a
+    jitter factor in ``[0.5, 1.0)`` derived from a SHA-256 of the
+    request key and attempt number — deterministic (two identical runs
+    back off identically; CI never flakes on timing randomness) yet
+    decorrelated across different requests, so a rejected burst does
+    not retry in lockstep.  A server ``Retry-After`` always wins when
+    it asks for longer.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.2
+    max_delay: float = 5.0
+
+    def delay(self, key: str, attempt: int) -> float:
+        raw = hashlib.sha256(f"{key}:{attempt}".encode()).hexdigest()[:8]
+        jitter = 0.5 + 0.5 * (int(raw, 16) / 0xFFFFFFFF)
+        return min(self.max_delay, self.base_delay * (2.0 ** attempt)) * jitter
+
+
+#: Policy used when the caller does not supply one.
+DEFAULT_RETRY_POLICY = ClientRetryPolicy()
+
+
+def _retry_after_seconds(exc: urllib.error.HTTPError) -> float:
+    """The server's Retry-After hint, in seconds (0 when absent)."""
+    raw = exc.headers.get("Retry-After") if exc.headers else None
+    try:
+        return max(0.0, float(raw)) if raw is not None else 0.0
+    except ValueError:
+        return 0.0
+
+
+def _follow(base_url: str, job_id: str, timeout: float) -> int | None:
     """Follow a job's SSE stream to its terminal event; no polling.
 
     A minimal Server-Sent-Events client over urllib: reads the
     ``GET /v1/jobs/{id}/events`` stream line by line, parses
     ``event:`` / ``data:`` fields (ignoring ``id:`` and comment
     keepalives), and returns the number of events seen once the job
-    completes.  Raises :class:`LoadError` when the job fails, the
-    stream ends without a terminal event, or nothing arrives within
-    ``timeout`` seconds (the server keepalives every ~15s, so a silent
-    stream means a dead server, not a slow job).
+    completes.  Raises :class:`LoadError` when the job fails or is
+    cancelled.
+
+    Returns ``None`` — *fall back to polling* — when the stream dies
+    under the client: a socket error or EOF mid-stream (server killed
+    with the connection open), or silence past the read timeout (the
+    server keepalives every ~15s, so a silent open stream means a dead
+    server, not a slow job).  The caller's poll loop then sorts out
+    whether the server is gone or merely restarting.
     """
+    # Per-read timeout, not the whole-job budget: keepalives mean a
+    # healthy stream is never silent for long, so a short read timeout
+    # detects a dead-but-open connection quickly while a slow job can
+    # still be followed for the caller's full budget.
+    read_timeout = min(timeout, 30.0)
     req = urllib.request.Request(
         f"{base_url}/v1/jobs/{job_id}/events",
         headers={"Accept": "text/event-stream"},
@@ -80,7 +140,7 @@ def _follow(base_url: str, job_id: str, timeout: float) -> int:
     event_type: str | None = None
     data_lines: list[str] = []
     try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
+        with urllib.request.urlopen(req, timeout=read_timeout) as resp:
             content_type = resp.headers.get("Content-Type", "")
             if "text/event-stream" not in content_type:
                 raise LoadError(
@@ -106,6 +166,8 @@ def _follow(base_url: str, job_id: str, timeout: float) -> int:
                                 "job failed: "
                                 f"{payload.get('data', {}).get('error')}"
                             )
+                        if event_type == "job.cancelled":
+                            raise LoadError(f"job {job_id} was cancelled")
                         if event_type == "job.completed":
                             return events_seen
                         if event_type == "job.state":
@@ -115,6 +177,10 @@ def _follow(base_url: str, job_id: str, timeout: float) -> int:
                             if payload.get("status") == "failed":
                                 raise LoadError(
                                     f"job failed: {payload.get('error')}"
+                                )
+                            if payload.get("status") == "cancelled":
+                                raise LoadError(
+                                    f"job {job_id} was cancelled"
                                 )
                             if payload.get("status") == "completed":
                                 return events_seen
@@ -128,29 +194,97 @@ def _follow(base_url: str, job_id: str, timeout: float) -> int:
                     event_type = value
                 elif field == "data":
                     data_lines.append(value)
-    except TimeoutError:
+    except LoadError:
+        raise
+    except urllib.error.HTTPError as exc:
         raise LoadError(
-            f"no events from job {job_id} within {timeout}s"
+            f"event stream rejected: HTTP {exc.code}"
         ) from None
-    raise LoadError("event stream ended without a terminal event")
+    except (
+        TimeoutError,
+        ConnectionError,
+        http.client.HTTPException,
+        OSError,
+    ) as exc:
+        # The server died (or went silent) with the stream open —
+        # exactly the case a held connection cannot distinguish from a
+        # slow job without the keepalive contract.  Hand control back
+        # to the poll loop rather than failing the whole burst.
+        _log.warning(
+            "loadgen.stream_broken", job_id=job_id,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        incr("service.client_stream_fallbacks")
+        return None
+    # EOF without a terminal event: the server closed the connection
+    # mid-stream (shutdown, kill).  Same recovery: fall back to polling.
+    _log.warning("loadgen.stream_ended_early", job_id=job_id)
+    incr("service.client_stream_fallbacks")
+    return None
 
 
 def _request(
-    method: str, url: str, payload: dict | None = None, timeout: float = 30.0
+    method: str,
+    url: str,
+    payload: dict | None = None,
+    timeout: float = 30.0,
+    retry: ClientRetryPolicy | None = None,
 ) -> tuple[int, dict]:
-    """One HTTP exchange; returns (status, decoded JSON body)."""
+    """One HTTP exchange; returns (status, decoded JSON body).
+
+    With a ``retry`` policy, 429/503 responses are retried after
+    ``max(Retry-After, backoff)`` seconds and connection-level errors
+    (refused, reset, timed out — a server mid-restart) after the
+    backoff alone; each retry counts ``service.client_retries``.  The
+    final attempt's rejection (or connection error) surfaces to the
+    caller unchanged.
+    """
     data = json.dumps(payload).encode() if payload is not None else None
-    req = urllib.request.Request(
-        url,
-        data=data,
-        method=method,
-        headers={"Content-Type": "application/json"} if data else {},
-    )
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return resp.status, json.loads(resp.read().decode())
-    except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read().decode())
+    attempts = retry.attempts if retry is not None else 1
+    for attempt in range(attempts):
+        req = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                body = {}
+            if (
+                retry is not None
+                and exc.code in (429, 503)
+                and attempt + 1 < attempts
+            ):
+                delay = max(
+                    _retry_after_seconds(exc), retry.delay(url, attempt)
+                )
+                incr("service.client_retries")
+                _log.info(
+                    "loadgen.retry", url=url, status=exc.code,
+                    attempt=attempt + 1, delay=round(delay, 3),
+                )
+                time.sleep(delay)
+                continue
+            return exc.code, body
+        except (urllib.error.URLError, TimeoutError, ConnectionError) as exc:
+            if retry is not None and attempt + 1 < attempts:
+                delay = retry.delay(url, attempt)
+                incr("service.client_retries")
+                _log.info(
+                    "loadgen.retry", url=url,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempt=attempt + 1, delay=round(delay, 3),
+                )
+                time.sleep(delay)
+                continue
+            raise
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def run_load(
@@ -161,36 +295,48 @@ def run_load(
     poll_interval: float = 0.1,
     timeout: float = 300.0,
     follow: bool = False,
+    retry: ClientRetryPolicy | None = DEFAULT_RETRY_POLICY,
 ) -> dict:
     """Submit ``spec``, wait for completion, then burst the warm path.
 
     ``follow=True`` waits on the job's SSE event stream (one held
     connection, event-driven) instead of polling ``GET /v1/jobs/{id}``
-    every ``poll_interval`` seconds.
+    every ``poll_interval`` seconds; a stream that dies under the
+    client falls back to the poll loop.  ``retry`` governs
+    backoff-and-retry of rejected (429/503) or connection-failed
+    requests; ``None`` disables retries.
 
     Returns a summary dict (job id, phase latencies, the final healthz
     payload).  Raises :class:`LoadError` on any contract violation:
-    a submission rejected, a duplicate that did not dedupe, a warm
-    result that is not served, or the job failing.
+    a submission rejected past the retry budget, a duplicate that did
+    not dedupe, a warm result that is not served, or the job failing.
     """
     base_url = base_url.rstrip("/")
     spec = spec if spec is not None else QUICK_SPEC
+    registry.counter("service.client_retries")
+    registry.counter("service.client_stream_fallbacks")
 
     start = time.perf_counter()
-    status, body = _request("POST", f"{base_url}/v1/jobs", spec)
+    status, body = _request("POST", f"{base_url}/v1/jobs", spec, retry=retry)
     observe("service.client_submit_seconds", time.perf_counter() - start)
     if status not in (200, 202):
         raise LoadError(f"submit rejected: HTTP {status} {body}")
     job_id = body["job"]["id"]
     _log.info("loadgen.submitted", job_id=job_id, status=status)
 
+    wait_deadline = time.monotonic() + timeout
     follow_events = None
+    followed = False
     if follow:
         follow_events = _follow(base_url, job_id, timeout)
-    else:
-        deadline = time.monotonic() + timeout
+        followed = follow_events is not None
+        if not followed:
+            _log.warning("loadgen.follow_fallback", job_id=job_id)
+    if not followed:
         while True:
-            status, body = _request("GET", f"{base_url}/v1/jobs/{job_id}")
+            status, body = _request(
+                "GET", f"{base_url}/v1/jobs/{job_id}", retry=retry
+            )
             if status != 200:
                 raise LoadError(f"status poll failed: HTTP {status} {body}")
             job_status = body["job"]["status"]
@@ -198,7 +344,9 @@ def run_load(
                 break
             if job_status == "failed":
                 raise LoadError(f"job failed: {body['job']['error']}")
-            if time.monotonic() > deadline:
+            if job_status == "cancelled":
+                raise LoadError(f"job {job_id} was cancelled")
+            if time.monotonic() > wait_deadline:
                 raise LoadError(f"job {job_id} not done within {timeout}s")
             time.sleep(poll_interval)
     cold_seconds = time.perf_counter() - start
@@ -208,7 +356,9 @@ def run_load(
     # Warm phase 1: duplicate submissions must attach, never recompute.
     for _ in range(duplicates):
         t0 = time.perf_counter()
-        status, body = _request("POST", f"{base_url}/v1/jobs", spec)
+        status, body = _request(
+            "POST", f"{base_url}/v1/jobs", spec, retry=retry
+        )
         observe("service.client_submit_seconds", time.perf_counter() - t0)
         if status != 200 or not body["deduped"]:
             raise LoadError(
@@ -224,7 +374,7 @@ def run_load(
     result_url = f"{base_url}/v1/jobs/{job_id}/result"
     for _ in range(result_gets):
         t0 = time.perf_counter()
-        status, body = _request("GET", result_url)
+        status, body = _request("GET", result_url, retry=retry)
         observe("service.client_result_seconds", time.perf_counter() - t0)
         if status != 200 or body["status"] != "completed":
             raise LoadError(f"warm result read failed: HTTP {status}")
@@ -232,7 +382,7 @@ def run_load(
     # Per-job attribution: the completed job must serve its own
     # telemetry snapshot, keyed by run_id == job_id.
     status, telemetry = _request(
-        "GET", f"{base_url}/v1/jobs/{job_id}/telemetry"
+        "GET", f"{base_url}/v1/jobs/{job_id}/telemetry", retry=retry
     )
     if status != 200:
         raise LoadError(f"job telemetry failed: HTTP {status} {telemetry}")
@@ -241,7 +391,7 @@ def run_load(
             f"job telemetry run_id mismatch: {telemetry.get('run_id')!r}"
         )
 
-    status, health = _request("GET", f"{base_url}/v1/healthz")
+    status, health = _request("GET", f"{base_url}/v1/healthz", retry=retry)
     if status != 200:
         raise LoadError(f"healthz failed: HTTP {status}")
     counters = health["telemetry"]["metrics"]["counters"]
@@ -306,6 +456,16 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds to wait for the job to complete (default 300)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=DEFAULT_RETRY_POLICY.attempts,
+        metavar="N",
+        help="attempts per request when the server answers 429/503 or "
+        "the connection fails; backoff is exponential with "
+        "deterministic jitter and honours Retry-After (default "
+        f"{DEFAULT_RETRY_POLICY.attempts}; 1 disables retries)",
+    )
+    parser.add_argument(
         "--telemetry-out",
         default=None,
         metavar="FILE",
@@ -324,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
         help="progress logs on stderr",
     )
     args = parser.parse_args(argv)
+    if args.retries < 1:
+        parser.error(f"--retries must be >= 1, got {args.retries}")
 
     spec = None
     if args.spec is not None:
@@ -341,6 +503,7 @@ def main(argv: list[str] | None = None) -> int:
             result_gets=args.gets,
             timeout=args.timeout,
             follow=args.follow,
+            retry=ClientRetryPolicy(attempts=args.retries),
         )
     except (LoadError, urllib.error.URLError, OSError) as exc:
         print(f"FAIL: {exc}", file=sys.stderr)

@@ -16,10 +16,18 @@ A deliberately small HTTP/1.1 server on :func:`asyncio.start_server`
   job's lifecycle (closes after the terminal event);
 * ``GET /v1/events`` — the firehose: every journal event as SSE, until
   the client disconnects.  Both streams honour ``Last-Event-ID``;
+* ``DELETE /v1/jobs/{id}`` — cancel: 200 for a queued job (now
+  terminal), 202 for a running one (stops at its next checkpoint
+  boundary), 409 for a terminal one;
 * ``GET /v1/healthz`` — liveness, job counts, and the full metrics
   snapshot under the ``repro.telemetry/1`` schema;
+* ``GET /v1/readyz`` — readiness: 200 while accepting work, 503 once
+  a drain has begun (load balancers stop routing, clients back off);
 * ``GET /v1/metrics`` — the same registry in Prometheus text
   exposition format, for standard scrapers.
+
+Admission rejections (queue full → 429 ``queue-full``, draining → 503
+``draining``) carry a ``Retry-After`` header the loadgen honours.
 
 The wire format (schemas, error codes, dedupe semantics) is specified
 in ``docs/service.md``; this module is an implementation of that
@@ -37,6 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
 
@@ -44,7 +53,7 @@ from repro.observability import SCHEMA, registry
 from repro.observability.export import render_prometheus
 from repro.observability.log import get_logger
 from repro.observability.metrics import incr, observe, set_gauge
-from repro.service.jobs import JobManager
+from repro.service.jobs import TERMINAL_STATUSES, AdmissionError, JobManager
 from repro.service.journal import TERMINAL_EVENTS
 from repro.service.spec import SpecError
 
@@ -62,7 +71,9 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -70,12 +81,28 @@ class _HttpError(Exception):
     """Terminate request handling with a structured error response."""
 
     def __init__(
-        self, status: int, code: str, message: str, allow: str | None = None
+        self,
+        status: int,
+        code: str,
+        message: str,
+        allow: str | None = None,
+        retry_after: float | None = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.allow = allow
+        self.retry_after = retry_after
+
+    def headers(self) -> dict[str, str] | None:
+        extra: dict[str, str] = {}
+        if self.allow is not None:
+            extra["Allow"] = self.allow
+        if self.retry_after is not None:
+            # Retry-After is delta-seconds; round up so "0.4s" does not
+            # invite an instant retry.
+            extra["Retry-After"] = str(max(1, math.ceil(self.retry_after)))
+        return extra or None
 
 
 def _metrics_snapshot() -> dict:
@@ -173,10 +200,17 @@ class ServiceServer:
         #: streams check it each poll so ``wait_closed()`` (which waits
         #: for connection handlers on Python >= 3.12) returns promptly.
         self._closing = False
+        #: In-flight connection handlers; :meth:`stop` waits for this
+        #: to reach zero after closing the listener, so a request
+        #: accepted just before shutdown is answered, never dropped.
+        self._active_handlers = 0
+        self._handlers_idle: asyncio.Event | None = None
 
     async def start(self) -> None:
         """Bind and start serving; ``self.port`` holds the real port
         afterwards (relevant when constructed with port 0)."""
+        self._handlers_idle = asyncio.Event()
+        self._handlers_idle.set()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -188,12 +222,32 @@ class ServiceServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self) -> None:
+    async def stop(self, handler_timeout: float = 5.0) -> None:
+        """Shut down in dependency order: listener, writers, manager.
+
+        The listener closes first (no new connections), then in-flight
+        handlers get up to ``handler_timeout`` seconds to finish
+        writing (``wait_closed()`` only waits for them on
+        Python >= 3.12, so the explicit drain matters on 3.10/3.11),
+        and only then does the manager stop — a request accepted just
+        before shutdown is answered from live state, never dropped on
+        the floor.
+        """
         self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._handlers_idle is not None and self._active_handlers > 0:
+            try:
+                await asyncio.wait_for(
+                    self._handlers_idle.wait(), timeout=handler_timeout
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - slow client
+                _log.warning(
+                    "service.stop.handlers_stuck",
+                    active=self._active_handlers,
+                )
         self.manager.shutdown()
 
     @property
@@ -209,6 +263,9 @@ class ServiceServer:
         start = time.perf_counter()
         status = 500
         method = path = "?"
+        self._active_handlers += 1
+        if self._handlers_idle is not None:
+            self._handlers_idle.clear()
         try:
             try:
                 method, path, body, headers = await self._read_request(reader)
@@ -216,10 +273,7 @@ class ServiceServer:
             except _HttpError as exc:
                 status = exc.status
                 payload = {"error": {"code": exc.code, "message": str(exc)}}
-                extra = (
-                    {"Allow": exc.allow} if exc.allow is not None else None
-                )
-                await self._respond(writer, status, payload, extra)
+                await self._respond(writer, status, payload, exc.headers())
                 return
             except (asyncio.IncompleteReadError, ConnectionError):
                 return  # client went away; nothing to answer
@@ -263,6 +317,9 @@ class ServiceServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+            self._active_handlers -= 1
+            if self._active_handlers <= 0 and self._handlers_idle is not None:
+                self._handlers_idle.set()
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -404,7 +461,7 @@ class ServiceServer:
                     first
                     and not events
                     and job is not None
-                    and job.status in ("completed", "failed")
+                    and job.status in TERMINAL_STATUSES
                 ):
                     return
             first = False
@@ -428,9 +485,7 @@ class ServiceServer:
                     f"{method} not allowed on {path}", allow="POST",
                 )
             return self._submit(body)
-        if path in ("/v1/healthz", "/v1/metrics", "/v1/events") or (
-            path.startswith("/v1/jobs/")
-        ):
+        if path in ("/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/events"):
             if method != "GET":
                 raise _HttpError(
                     405, "method-not-allowed",
@@ -438,12 +493,22 @@ class ServiceServer:
                 )
         if path == "/v1/healthz":
             return self._healthz()
+        if path == "/v1/readyz":
+            return self._readyz()
         if path == "/v1/metrics":
             return self._metrics()
         if path == "/v1/events":
             return _EventStream(None, _last_event_id(headers))
         if path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]
+            if "/" not in rest and method == "DELETE":
+                return self._cancel(rest)
+            if method != "GET":
+                allow = "GET, DELETE" if "/" not in rest else "GET"
+                raise _HttpError(
+                    405, "method-not-allowed",
+                    f"{method} not allowed on {path}", allow=allow,
+                )
             if rest.endswith("/events"):
                 job_id = rest[: -len("/events")].rstrip("/")
                 self._lookup(job_id)
@@ -469,10 +534,31 @@ class ServiceServer:
             job, created = self.manager.submit(raw)
         except SpecError as exc:
             raise _HttpError(400, exc.code, str(exc)) from None
+        except AdmissionError as exc:
+            status = 503 if exc.code == "draining" else 429
+            raise _HttpError(
+                status, exc.code, str(exc), retry_after=exc.retry_after
+            ) from None
         return (202 if created else 200), {
             "job": job.view(),
             "deduped": not created,
         }
+
+    def _cancel(self, job_id: str) -> tuple[int, dict]:
+        job, outcome = self.manager.cancel(job_id)
+        if outcome == "missing":
+            raise _HttpError(404, "unknown-job", f"no job {job_id!r}")
+        if outcome == "terminal":
+            raise _HttpError(
+                409, "job-terminal",
+                f"job {job_id} is already {job.status}; terminal state "
+                "is immutable",
+            )
+        # "cancelled" (was queued, now terminal) answers 200;
+        # "cancelling" (running, stops at the next checkpoint
+        # boundary) answers 202.
+        status = 200 if outcome == "cancelled" else 202
+        return status, {"job": job.view(), "cancelling": outcome == "cancelling"}
 
     def _lookup(self, job_id: str):
         job = self.manager.get(job_id)
@@ -492,9 +578,16 @@ class ServiceServer:
                 "result": job.result,
             }
         if job.status == "failed":
+            # Deadline expiries carry their own wire code so a client
+            # can tell "budget ran out" from "the build blew up".
             raise _HttpError(
-                409, "job-failed",
+                409, job.error_code or "job-failed",
                 f"job {job_id} failed: {job.error}",
+            )
+        if job.status == "cancelled":
+            raise _HttpError(
+                409, "cancelled",
+                f"job {job_id} was cancelled: {job.error}",
             )
         raise _HttpError(
             409, "not-completed",
@@ -532,6 +625,21 @@ class ServiceServer:
             "jobs": self.manager.counts(),
             "telemetry": _metrics_snapshot(),
         }
+
+    def _readyz(self) -> tuple[int, dict]:
+        """``GET /v1/readyz``: 200 while accepting work, 503 draining.
+
+        Distinct from healthz on purpose — a draining server is still
+        *alive* (healthz 200, results and streams served) but must
+        stop receiving new work from load balancers.
+        """
+        draining = self.manager.draining
+        payload = {
+            "status": "draining" if draining else "ready",
+            "draining": draining,
+            "queue_depth": self.manager.queue_depth(),
+        }
+        return (503 if draining else 200), payload
 
     def _metrics(self) -> _RawResponse:
         """``GET /v1/metrics``: the registry as Prometheus exposition

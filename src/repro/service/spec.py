@@ -12,6 +12,13 @@ is what makes the service's dedupe exact rather than heuristic: two
 submissions that would compute the same surface hash to the same job,
 regardless of field order or ``1e-5`` vs ``0.00001`` spelling, while
 any field that changes the numbers changes the id.
+
+*Execution* knobs are the exception: ``deadline_s`` bounds how long the
+service may spend on the job but has no effect on the surface computed,
+so it is validated and carried in the normalized spec yet **excluded**
+from the fingerprint — resubmitting the same surface with a different
+deadline attaches to the in-flight job (which keeps its original
+deadline) instead of computing a duplicate.
 """
 
 from __future__ import annotations
@@ -30,7 +37,16 @@ _COMMON_DEFAULTS = {
     "sampler": "adaptive-is",
     "table_grid": 9,
     "seed": 2006,
+    "deadline_s": None,
 }
+
+#: Execution-only fields: validated, carried in the normalized spec,
+#: but excluded from the job-id fingerprint (they do not change the
+#: computed surface) and never forwarded to the experiment context.
+EXECUTION_FIELDS = ("deadline_s",)
+
+#: Upper bound on a per-job deadline (one day).
+_MAX_DEADLINE_S = 86_400.0
 
 #: Kind-specific fields with their defaults.
 _KIND_DEFAULTS = {
@@ -179,6 +195,10 @@ def normalize_spec(raw: object) -> dict:
     )
     spec["table_grid"] = _require_int(spec, "table_grid", 4, _MAX_GRID)
     spec["seed"] = _require_int(spec, "seed", 0, 2**31 - 1)
+    if spec["deadline_s"] is not None:
+        spec["deadline_s"] = _require_number(
+            spec, "deadline_s", 0.001, _MAX_DEADLINE_S
+        )
     if spec["sampler"] not in SAMPLER_NAMES:
         raise SpecError(
             "invalid-value",
@@ -200,8 +220,15 @@ def normalize_spec(raw: object) -> dict:
 
 
 def spec_fingerprint(spec: dict) -> str:
-    """The job id of a normalized spec (24-hex cache fingerprint)."""
-    return fingerprint(spec)
+    """The job id of a normalized spec (24-hex cache fingerprint).
+
+    Execution-only fields (:data:`EXECUTION_FIELDS`) are excluded: the
+    id identifies the *surface*, so the same work submitted with a
+    different ``deadline_s`` dedupes onto the existing job.
+    """
+    return fingerprint(
+        {k: v for k, v in spec.items() if k not in EXECUTION_FIELDS}
+    )
 
 
 def job_cells(spec: dict) -> int:

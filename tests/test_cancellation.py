@@ -1,0 +1,111 @@
+"""Tests for the cooperative-cancellation primitives.
+
+The :class:`~repro.cancellation.CancelToken` is the safe-point stop
+mechanism the service's ``DELETE /v1/jobs/{id}`` and ``deadline_s``
+ride on; these tests pin its semantics (idempotent cancel, injectable
+clock for deadlines, explicit-cancel-wins) and the ambient contextvar
+plumbing that lets checkpoint code poll without threading a token
+through every signature.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import cancellation
+from repro.cancellation import (
+    CancelledError,
+    CancelToken,
+    DeadlineExceeded,
+    JobCancelled,
+)
+
+
+class TestCancelToken:
+    def test_inert_by_default(self):
+        token = CancelToken()
+        assert not token.cancelled
+        assert not token.expired
+        token.check()  # no raise
+
+    def test_cancel_raises_at_check(self):
+        token = CancelToken()
+        token.cancel()
+        token.cancel()  # idempotent
+        assert token.cancelled
+        with pytest.raises(JobCancelled) as excinfo:
+            token.check()
+        assert excinfo.value.code == "cancelled"
+        assert isinstance(excinfo.value, CancelledError)
+
+    def test_deadline_expiry_with_injected_clock(self):
+        now = [100.0]
+        token = CancelToken(clock=lambda: now[0])
+        token.set_deadline(5.0)
+        token.check()  # 100.0 < 105.0
+        now[0] = 104.999
+        assert not token.expired
+        now[0] = 105.0
+        assert token.expired
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            token.check()
+        assert excinfo.value.code == "deadline-exceeded"
+
+    def test_set_deadline_replaces_previous(self):
+        now = [0.0]
+        token = CancelToken(clock=lambda: now[0])
+        token.set_deadline(1.0)
+        token.set_deadline(10.0)
+        now[0] = 5.0
+        token.check()  # the rearmed deadline governs
+
+    def test_explicit_cancel_wins_over_expiry(self):
+        token = CancelToken(clock=lambda: 10.0)
+        token.set_deadline(-1.0)  # already expired
+        token.cancel()
+        with pytest.raises(JobCancelled):
+            token.check()
+
+    def test_cancel_from_another_thread(self):
+        token = CancelToken()
+        thread = threading.Thread(target=token.cancel)
+        thread.start()
+        thread.join(timeout=10)
+        with pytest.raises(JobCancelled):
+            token.check()
+
+
+class TestAmbientToken:
+    def test_no_token_is_a_no_op(self):
+        assert cancellation.current() is None
+        cancellation.check_active()  # never raises outside a job scope
+
+    def test_active_installs_and_restores(self):
+        token = CancelToken()
+        with cancellation.active(token) as installed:
+            assert installed is token
+            assert cancellation.current() is token
+            cancellation.check_active()
+        assert cancellation.current() is None
+
+    def test_check_active_raises_for_the_installed_token(self):
+        token = CancelToken()
+        token.cancel()
+        with cancellation.active(token):
+            with pytest.raises(JobCancelled):
+                cancellation.check_active()
+        cancellation.check_active()  # token uninstalled again
+
+    def test_nested_scopes_restore_outer(self):
+        outer, inner = CancelToken(), CancelToken()
+        with cancellation.active(outer):
+            with cancellation.active(inner):
+                assert cancellation.current() is inner
+            assert cancellation.current() is outer
+
+    def test_wire_codes_are_stable(self):
+        # The service maps these 1:1 onto HTTP error payloads.
+        assert JobCancelled("x").code == "cancelled"
+        assert DeadlineExceeded("x").code == "deadline-exceeded"

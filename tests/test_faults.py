@@ -69,10 +69,38 @@ class TestFaultPlan:
             [
                 FaultSpec(kind="worker_crash", task_index=1, times=2),
                 FaultSpec(kind="torn_write", path_pattern="*.json"),
+                FaultSpec(kind="service_crash", site="ledger.started"),
             ]
         )
         clone = FaultPlan.from_json(plan.to_json())
         assert clone.specs == plan.specs
+
+    def test_service_action_matches_site_and_consumes_budget(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(kind="service_crash", site="ledger.*", times=2),
+                FaultSpec(kind="reject_burst", site="admission"),
+            ]
+        )
+        # Site patterns are fnmatch globs over the lifecycle site name.
+        assert plan.service_action("service_crash", "admission") is None
+        hit = plan.service_action("service_crash", "ledger.accepted")
+        assert hit is not None and hit.kind == "service_crash"
+        assert plan.service_action("service_crash", "ledger.started") is not None
+        assert plan.service_action("service_crash", "ledger.started") is None
+        assert plan.service_action("reject_burst", "admission") is not None
+        assert plan.service_action("reject_burst", "admission") is None
+        assert plan.exhausted
+
+    def test_service_action_site_none_matches_everywhere(self):
+        plan = FaultPlan([FaultSpec(kind="job_deadline", seconds=0.5)])
+        hit = plan.service_action("job_deadline", "job.start")
+        assert hit is not None and hit.seconds == 0.5
+
+    def test_service_action_rejects_non_service_kinds(self):
+        plan = FaultPlan([FaultSpec(kind="worker_crash")])
+        with pytest.raises(ValueError, match="not a service fault kind"):
+            plan.service_action("worker_crash", "admission")
 
     def test_dict_specs_accepted(self):
         plan = FaultPlan([{"kind": "task_slow", "seconds": 0.01}])
@@ -238,3 +266,36 @@ class TestCheckpointStore:
         )
         assert results == [0, 1, 4, 9, 16]
         assert computed == [2, 4]  # only the missing cells ran
+
+    def test_resumable_map_stops_at_slice_boundary_when_cancelled(
+        self, tmp_path
+    ):
+        from repro import cancellation
+
+        store = checkpoint_mod.CheckpointStore(tmp_path, every=2)
+        token = cancellation.CancelToken()
+        computed = []
+
+        def compute(indices):
+            computed.extend(indices)
+            token.cancel()  # operator cancels mid-build
+            return [i * i for i in indices]
+
+        with cancellation.active(token):
+            with pytest.raises(cancellation.JobCancelled):
+                store.resumable_map(
+                    "squares", "fp9", 6, compute, lambda v: v, lambda v: v
+                )
+        # Exactly one slice ran, and its flush is durable: a retry
+        # resumes from the checkpoint instead of restarting.
+        assert computed == [0, 1]
+        assert store.load("squares", "fp9") == {0: 0, 1: 1}
+
+        fresh_token = cancellation.CancelToken()
+        with cancellation.active(fresh_token):
+            results = store.resumable_map(
+                "squares", "fp9", 6,
+                lambda idx: [i * i for i in idx],
+                lambda v: v, lambda v: v,
+            )
+        assert results == [0, 1, 4, 9, 16, 25]

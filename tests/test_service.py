@@ -23,10 +23,20 @@ import urllib.request
 
 import pytest
 
-from repro import observability
-from repro.service.jobs import JobManager
+from repro import cancellation, observability
+from repro.service.jobs import (
+    DrainingError,
+    JobManager,
+    QueueFullError,
+)
 from repro.service.journal import EventJournal
-from repro.service.loadgen import run_load
+from repro.service.ledger import JobLedger
+from repro.service.loadgen import (
+    ClientRetryPolicy,
+    _follow,
+    _retry_after_seconds,
+    run_load,
+)
 from repro.service.server import BackgroundServer
 from repro.service.spec import (
     SpecError,
@@ -189,12 +199,27 @@ class TestSpec:
             ({"kind": "table", "vbody_levels": [0.0, True]}, "invalid-value"),
             ({"kind": "hold-surface", "vsb_levels": [0.4]}, "invalid-value"),
             ({"kind": "hold-surface", "corner_points": 1}, "invalid-value"),
+            ({"kind": "table", "deadline_s": 0}, "invalid-value"),
+            ({"kind": "table", "deadline_s": -5}, "invalid-value"),
+            ({"kind": "table", "deadline_s": "soon"}, "invalid-value"),
+            ({"kind": "table", "deadline_s": 1e9}, "invalid-value"),
         ],
     )
     def test_rejections_carry_wire_codes(self, raw, code):
         with pytest.raises(SpecError) as excinfo:
             normalize_spec(raw)
         assert excinfo.value.code == code
+
+    def test_deadline_is_execution_only(self):
+        # Validated and carried in the normalized spec, but excluded
+        # from the job id: the same surface with a different budget
+        # must dedupe onto the in-flight job, and pre-deadline job
+        # ids (and their cache entries) must be unchanged.
+        bare = normalize_spec({"kind": "table"})
+        bounded = normalize_spec({"kind": "table", "deadline_s": 30})
+        assert bare["deadline_s"] is None
+        assert bounded["deadline_s"] == 30.0
+        assert spec_fingerprint(bounded) == spec_fingerprint(bare)
 
 
 # ----------------------------------------------------------------------
@@ -273,6 +298,348 @@ class TestJobManager:
             assert progress["cells_total"] == job_cells(job.spec)
             assert progress["cells_done"] == progress["cells_total"]
             assert set(progress["counters"]) >= {"mc.samples", "solver.calls"}
+        finally:
+            manager.shutdown()
+
+
+def _blocking_runner(started: threading.Event, release: threading.Event):
+    """A runner that parks at a cancellation safe point until released."""
+
+    def runner(spec, **_opts):
+        started.set()
+        deadline = time.monotonic() + 60
+        while not release.is_set() and time.monotonic() < deadline:
+            cancellation.check_active()
+            time.sleep(0.01)
+        return {"ok": True}
+
+    return runner
+
+
+class TestJobLedger:
+    def test_record_replay_folds_latest_state(self, tmp_path):
+        ledger = JobLedger(tmp_path)
+        spec = normalize_spec(TINY_SPEC)
+        ledger.record(
+            "accepted", "job-a", spec=spec, submissions=2, created_at=10.0
+        )
+        ledger.record("started", "job-a")
+        ledger.record("accepted", "job-b", spec=spec, created_at=11.0)
+        ledger.record("started", "job-b")
+        ledger.record("completed", "job-b")
+        states, skipped = ledger.replay()
+        assert skipped == 0
+        assert states["job-a"]["status"] == "started"
+        assert states["job-a"]["spec"] == spec
+        assert states["job-a"]["submissions"] == 2
+        assert states["job-a"]["created_at"] == 10.0
+        assert states["job-b"]["status"] == "completed"
+
+    def test_corrupt_lines_skipped_not_fatal(self, tmp_path):
+        ledger = JobLedger(tmp_path)
+        spec = normalize_spec(TINY_SPEC)
+        ledger.record(
+            "accepted", "job-a", spec=spec, submissions=1, created_at=1.0
+        )
+        with open(ledger.path, "a") as fh:
+            fh.write("{ torn line\n")  # undecodable JSON
+            fh.write('{"type": "started", "job_id": "job-a"}\n')  # no seal
+        ledger.record("started", "job-a")
+        states, skipped = ledger.replay()
+        assert skipped == 2
+        assert states["job-a"]["status"] == "started"
+        assert states["job-a"]["spec"] == spec
+
+    def test_compact_bounds_the_file(self, tmp_path):
+        ledger = JobLedger(tmp_path)
+        spec = normalize_spec(TINY_SPEC)
+        for _ in range(5):
+            ledger.record(
+                "accepted", "job-a", spec=spec, submissions=1, created_at=1.0
+            )
+        ledger.record("accepted", "gone", spec=spec, created_at=2.0)
+        ledger.record("completed", "gone")
+        states, _ = ledger.replay()
+        live = {"job-a": states["job-a"]}
+        ledger.compact(live)
+        assert len(ledger.path.read_text().splitlines()) == 1
+        states, skipped = ledger.replay()
+        assert skipped == 0
+        assert set(states) == {"job-a"}
+        assert states["job-a"]["status"] == "accepted"
+        assert states["job-a"]["spec"] == spec
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown ledger record type"):
+            JobLedger(tmp_path).record("paused", "job-a")
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_with_retry_after(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(
+            runner=_blocking_runner(started, release),
+            max_queue_depth=1,
+            retry_after_s=2.5,
+        )
+        try:
+            manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            with pytest.raises(QueueFullError) as excinfo:
+                manager.submit(dict(TINY_SPEC, seed=31))
+            assert excinfo.value.code == "queue-full"
+            assert excinfo.value.retry_after == 2.5
+            counters = observability.registry.snapshot()["counters"]
+            assert counters["service.jobs_rejected"] == 1
+            # The shed spec was never registered as a job.
+            assert manager.queue_depth() == 1
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_dedupe_is_never_rejected(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(
+            runner=_blocking_runner(started, release), max_queue_depth=1
+        )
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            # The queue is at its bound, but a retrying client must be
+            # able to re-attach to its own in-flight job.
+            dup, created = manager.submit(dict(TINY_SPEC))
+            assert not created
+            assert dup.id == job.id
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_queue_depth_validated(self):
+        with pytest.raises(ValueError):
+            JobManager(runner=lambda s, **_o: {}, max_queue_depth=0)
+
+
+class TestCancellationAndDeadline:
+    def test_cancel_queued_job_is_terminal(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(
+            runner=_blocking_runner(started, release), job_workers=1
+        )
+        try:
+            manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            queued, _ = manager.submit(dict(TINY_SPEC, seed=31))
+            assert manager.get(queued.id).status == "queued"
+            job, outcome = manager.cancel(queued.id)
+            assert outcome == "cancelled"
+            assert job.status == "cancelled"
+            assert job.error_code == "cancelled"
+            counters = observability.registry.snapshot()["counters"]
+            assert counters["service.jobs_cancelled"] == 1
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_cancel_running_job_stops_at_safe_point(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(runner=_blocking_runner(started, release))
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            _, outcome = manager.cancel(job.id)
+            assert outcome == "cancelling"
+            # The runner's next check_active() raises: the job lands
+            # terminally cancelled without being released.
+            wait_for(lambda: manager.get(job.id).status == "cancelled")
+            assert manager.get(job.id).error_code == "cancelled"
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_cancel_terminal_and_missing(self, metrics_on):
+        manager = JobManager(runner=lambda spec, **_o: {"ok": True})
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            wait_for(lambda: manager.get(job.id).status == "completed")
+            _, outcome = manager.cancel(job.id)
+            assert outcome == "terminal"
+            assert manager.get(job.id).status == "completed"  # untouched
+            assert manager.cancel("no-such-job") == (None, "missing")
+        finally:
+            manager.shutdown()
+
+    def test_cancelled_job_can_be_retried(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(
+            runner=_blocking_runner(started, release), job_workers=1
+        )
+        try:
+            manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            queued, _ = manager.submit(dict(TINY_SPEC, seed=31))
+            manager.cancel(queued.id)
+            release.set()
+            retry, created = manager.submit(dict(TINY_SPEC, seed=31))
+            assert created  # a cancelled job is retried, not deduped
+            assert retry.id == queued.id
+            wait_for(lambda: manager.get(retry.id).status == "completed")
+            assert manager.get(retry.id).error is None
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_deadline_exceeded_fails_with_wire_code(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(runner=_blocking_runner(started, release))
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC, deadline_s=0.2))
+            assert started.wait(timeout=10)
+            wait_for(lambda: manager.get(job.id).status == "failed")
+            assert manager.get(job.id).error_code == "deadline-exceeded"
+            counters = observability.registry.snapshot()["counters"]
+            assert counters["service.jobs_deadline_exceeded"] == 1
+            assert counters["service.jobs_failed"] == 1
+        finally:
+            release.set()
+            manager.shutdown()
+
+
+class TestDrain:
+    def test_drain_rejects_new_work_but_dedupes(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(runner=_blocking_runner(started, release))
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            manager.begin_drain()
+            assert manager.draining
+            with pytest.raises(DrainingError) as excinfo:
+                manager.submit(dict(TINY_SPEC, seed=31))
+            assert excinfo.value.code == "draining"
+            dup, created = manager.submit(dict(TINY_SPEC))
+            assert not created and dup.id == job.id
+            gauges = observability.registry.snapshot()["gauges"]
+            assert gauges["service.draining"] == 1
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_drain_waits_for_running_jobs(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(runner=_blocking_runner(started, release))
+        try:
+            job, _ = manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            done = []
+            thread = threading.Thread(
+                target=lambda: done.append(manager.drain(timeout=30))
+            )
+            thread.start()
+            time.sleep(0.1)
+            assert not done  # still waiting on the running job
+            release.set()
+            thread.join(timeout=30)
+            assert done == [True]
+            assert manager.get(job.id).status == "completed"
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_drain_timeout_reports_stragglers(self, metrics_on):
+        started, release = threading.Event(), threading.Event()
+        manager = JobManager(runner=_blocking_runner(started, release))
+        try:
+            manager.submit(dict(TINY_SPEC))
+            assert started.wait(timeout=10)
+            assert manager.drain(timeout=0.2) is False
+        finally:
+            release.set()
+            manager.shutdown()
+
+
+class TestRecovery:
+    def test_boot_recovers_accepted_jobs(self, metrics_on, tmp_path):
+        spec = normalize_spec(TINY_SPEC)
+        job_id = spec_fingerprint(spec)
+        ledger = JobLedger(tmp_path)
+        ledger.record(
+            "accepted", job_id, spec=spec, submissions=2, created_at=10.0
+        )
+        ledger.record("started", job_id)
+
+        manager = JobManager(
+            runner=lambda s, **_o: {"ok": True}, state_dir=str(tmp_path)
+        )
+        try:
+            job = manager.get(job_id)
+            assert job is not None and job.recovered
+            assert job.submissions == 2
+            wait_for(lambda: manager.get(job_id).status == "completed")
+            assert manager.get(job_id).result == {"ok": True}
+            counters = observability.registry.snapshot()["counters"]
+            assert counters["service.jobs_recovered"] == 1
+            assert counters.get("service.jobs_lost", 0) == 0
+        finally:
+            manager.shutdown()
+        # The completion was journaled: a third boot recovers nothing.
+        states, _ = JobLedger(tmp_path).replay()
+        assert states[job_id]["status"] == "completed"
+
+    def test_terminal_jobs_are_not_recovered(self, metrics_on, tmp_path):
+        spec = normalize_spec(TINY_SPEC)
+        job_id = spec_fingerprint(spec)
+        ledger = JobLedger(tmp_path)
+        ledger.record("accepted", job_id, spec=spec, created_at=1.0)
+        ledger.record("completed", job_id)
+        manager = JobManager(
+            runner=lambda s, **_o: {"ok": True}, state_dir=str(tmp_path)
+        )
+        try:
+            assert manager.get(job_id) is None
+            counters = observability.registry.snapshot()["counters"]
+            assert counters.get("service.jobs_recovered", 0) == 0
+        finally:
+            manager.shutdown()
+
+    def test_unrecoverable_job_counts_lost(self, metrics_on, tmp_path):
+        # A "started" record without any intact "accepted" line: the
+        # spec is gone, so the job cannot be re-run — it must be
+        # surfaced as lost, not silently dropped.
+        ledger = JobLedger(tmp_path)
+        ledger.record("started", "deadbeef" * 3)
+        manager = JobManager(
+            runner=lambda s, **_o: {"ok": True}, state_dir=str(tmp_path)
+        )
+        try:
+            assert manager.get("deadbeef" * 3) is None
+            counters = observability.registry.snapshot()["counters"]
+            assert counters["service.jobs_lost"] == 1
+            assert counters.get("service.jobs_recovered", 0) == 0
+        finally:
+            manager.shutdown()
+
+    def test_recovery_preserves_submission_order(self, metrics_on, tmp_path):
+        spec_a = normalize_spec(TINY_SPEC)
+        spec_b = normalize_spec(dict(TINY_SPEC, seed=31))
+        ledger = JobLedger(tmp_path)
+        # Written out of order; created_at must decide execution order.
+        ledger.record(
+            "accepted", spec_fingerprint(spec_b), spec=spec_b,
+            created_at=20.0,
+        )
+        ledger.record(
+            "accepted", spec_fingerprint(spec_a), spec=spec_a,
+            created_at=10.0,
+        )
+        ran = []
+        manager = JobManager(
+            runner=lambda s, **_o: ran.append(s["seed"]) or {"ok": True},
+            state_dir=str(tmp_path),
+            job_workers=1,
+        )
+        try:
+            wait_for(lambda: len(ran) == 2)
+            assert ran == [spec_a["seed"], spec_b["seed"]]
         finally:
             manager.shutdown()
 
@@ -516,7 +883,7 @@ class TestHttpApi:
         assert health["status"] == "ok"
         assert health["uptime_seconds"] >= 0
         assert set(health["jobs"]) == {
-            "queued", "running", "completed", "failed",
+            "queued", "running", "completed", "failed", "cancelled",
         }
         telemetry = health["telemetry"]
         assert telemetry["schema"] == "repro.telemetry/1"
@@ -527,10 +894,16 @@ class TestHttpApi:
             "service.jobs_deduped",
             "service.jobs_completed",
             "service.jobs_failed",
+            "service.jobs_cancelled",
+            "service.jobs_recovered",
+            "service.jobs_rejected",
+            "service.jobs_deadline_exceeded",
+            "service.jobs_lost",
             "service.requests",
         ):
             assert name in counters, name
         assert "service.queue_depth" in telemetry["metrics"]["gauges"]
+        assert "service.draining" in telemetry["metrics"]["gauges"]
         summaries = telemetry["metrics"]["histograms"]
         assert "service.request_seconds" in summaries
         # Healthz keeps the summary but drops the raw reservoir.
@@ -696,6 +1069,140 @@ class TestMetricsEndpoint:
 
 
 # ----------------------------------------------------------------------
+# Lifecycle over HTTP: cancellation, backpressure, drain
+# ----------------------------------------------------------------------
+# NOTE: placed after the module-scoped ``live_server`` tests on purpose.
+# The ``lifecycle_server`` fixture resets the global metrics registry,
+# which would otherwise erase the counters the live server registered.
+def request_raw(
+    method: str, url: str, payload: dict | None = None, timeout: float = 30.0
+) -> tuple[int, dict, dict]:
+    """Like :func:`request` but also returns the response headers."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return (
+                resp.status,
+                dict(resp.headers),
+                json.loads(resp.read().decode()),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read().decode())
+
+
+@pytest.fixture
+def lifecycle_server():
+    """A server over a controlled runner: jobs park until released."""
+    observability.reset()
+    observability.enable()
+    started, release = threading.Event(), threading.Event()
+    manager = JobManager(
+        runner=_blocking_runner(started, release),
+        job_workers=1,
+        max_queue_depth=2,
+    )
+    background = BackgroundServer(manager)
+    url = background.start()
+    yield url, manager, started, release
+    release.set()
+    background.stop()
+    observability.disable()
+    observability.reset()
+
+
+class TestLifecycleHttp:
+    def test_delete_semantics(self, lifecycle_server):
+        url, manager, started, release = lifecycle_server
+        status, body = request("DELETE", f"{url}/v1/jobs/deadbeef")
+        assert status == 404
+        assert body["error"]["code"] == "unknown-job"
+
+        status, body = request("POST", f"{url}/v1/jobs", TINY_SPEC)
+        assert status == 202
+        running_id = body["job"]["id"]
+        assert started.wait(timeout=10)
+        status, body = request(
+            "POST", f"{url}/v1/jobs", dict(TINY_SPEC, seed=31)
+        )
+        queued_id = body["job"]["id"]
+
+        # Queued: cancellation is immediate and terminal (200).
+        status, body = request("DELETE", f"{url}/v1/jobs/{queued_id}")
+        assert status == 200
+        assert body["cancelling"] is False
+        assert body["job"]["status"] == "cancelled"
+        status, body = request("GET", f"{url}/v1/jobs/{queued_id}/result")
+        assert status == 409
+        assert body["error"]["code"] == "cancelled"
+        # Terminal: a second DELETE is refused (409).
+        status, body = request("DELETE", f"{url}/v1/jobs/{queued_id}")
+        assert status == 409
+        assert body["error"]["code"] == "job-terminal"
+
+        # Running: cancellation is cooperative (202), lands at the
+        # runner's next safe point.
+        status, body = request("DELETE", f"{url}/v1/jobs/{running_id}")
+        assert status == 202
+        assert body["cancelling"] is True
+        wait_for(
+            lambda: request("GET", f"{url}/v1/jobs/{running_id}")[1][
+                "job"
+            ]["status"]
+            == "cancelled"
+        )
+
+    def test_queue_full_is_429_with_retry_after(self, lifecycle_server):
+        url, manager, started, release = lifecycle_server
+        request("POST", f"{url}/v1/jobs", TINY_SPEC)
+        assert started.wait(timeout=10)
+        request("POST", f"{url}/v1/jobs", dict(TINY_SPEC, seed=31))
+        # Depth 2/2 (one running, one queued): the next new spec sheds.
+        status, headers, body = request_raw(
+            "POST", f"{url}/v1/jobs", dict(TINY_SPEC, seed=32)
+        )
+        assert status == 429
+        assert body["error"]["code"] == "queue-full"
+        assert int(headers["Retry-After"]) >= 1
+        # Duplicates of admitted work still dedupe at full depth.
+        status, body = request("POST", f"{url}/v1/jobs", TINY_SPEC)
+        assert status == 200
+        assert body["deduped"] is True
+
+    def test_readyz_flips_on_drain(self, lifecycle_server):
+        url, manager, started, release = lifecycle_server
+        status, body = request("GET", f"{url}/v1/readyz")
+        assert status == 200
+        assert body["status"] == "ready"
+        assert body["draining"] is False
+
+        manager.begin_drain()
+        status, body = request("GET", f"{url}/v1/readyz")
+        assert status == 503
+        assert body["status"] == "draining"
+        assert body["draining"] is True
+        status, headers, body = request_raw(
+            "POST", f"{url}/v1/jobs", TINY_SPEC
+        )
+        assert status == 503
+        assert body["error"]["code"] == "draining"
+        assert int(headers["Retry-After"]) >= 1
+        # Liveness stays green while draining: the process is healthy,
+        # it just will not take new work.
+        status, _ = request("GET", f"{url}/v1/healthz")
+        assert status == 200
+
+    def test_jobs_path_allows_get_and_delete(self, lifecycle_server):
+        url, *_ = lifecycle_server
+        status, headers, body = request_raw(
+            "PUT", f"{url}/v1/jobs/deadbeef"
+        )
+        assert status == 405
+        assert body["error"]["code"] == "method-not-allowed"
+        assert set(headers["Allow"].split(", ")) == {"GET", "DELETE"}
+
+
+# ----------------------------------------------------------------------
 # Kill-and-restart: a SIGKILLed build resumes from its checkpoint
 # ----------------------------------------------------------------------
 #: Slow enough (~1 s per grid cell) to be killed mid-build reliably.
@@ -721,6 +1228,7 @@ def start_server(tmp_path: pathlib.Path) -> tuple[subprocess.Popen, str]:
             "--port", "0",
             "--cache-dir", str(tmp_path / "cache"),
             "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--state-dir", str(tmp_path / "state"),
             "--checkpoint-every", "1",
         ],
         env=env,
@@ -733,7 +1241,7 @@ def start_server(tmp_path: pathlib.Path) -> tuple[subprocess.Popen, str]:
 
 
 @pytest.mark.slow
-def test_kill_and_restart_resumes_from_checkpoint(tmp_path):
+def test_kill_and_restart_recovers_from_ledger(tmp_path):
     proc, url = start_server(tmp_path)
     try:
         status, body = request("POST", f"{url}/v1/jobs", RESUME_SPEC)
@@ -756,16 +1264,18 @@ def test_kill_and_restart_resumes_from_checkpoint(tmp_path):
         proc.send_signal(signal.SIGKILL)
         proc.wait(timeout=10)
 
-    # The checkpoint directory holds the flushed cells.
+    # The checkpoint directory holds the flushed cells and the state
+    # directory the accepted/started ledger records.
     assert any((tmp_path / "ckpt").iterdir())
+    assert (tmp_path / "state" / "jobs-ledger.jsonl").exists()
 
     proc, url = start_server(tmp_path)
     try:
-        # A fresh server has no in-memory job state; resubmitting the
-        # same spec maps to the same id and resumes from the flush.
-        status, body = request("POST", f"{url}/v1/jobs", RESUME_SPEC)
-        assert status == 202
-        assert body["job"]["id"] == job_id
+        # No resubmission: the ledger replay alone re-enqueues the
+        # killed job, and the build resumes from its checkpoints.
+        status, view = request("GET", f"{url}/v1/jobs/{job_id}")
+        assert status == 200
+        assert view["job"]["recovered"] is True
         wait_for(
             lambda: request("GET", f"{url}/v1/jobs/{job_id}")[1]["job"][
                 "status"
@@ -780,9 +1290,146 @@ def test_kill_and_restart_resumes_from_checkpoint(tmp_path):
         assert status == 200
         [surface] = result["result"]["surfaces"]
         assert len(surface["log10_probability"]["any"]) == 9
+        status, health = request("GET", f"{url}/v1/healthz")
+        health_counters = health["telemetry"]["metrics"]["counters"]
+        assert health_counters["service.jobs_recovered"] >= 1
+        assert health_counters["service.jobs_lost"] == 0
     finally:
         proc.send_signal(signal.SIGKILL)
         proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Client resilience: retry policy, Retry-After, stream fallback
+# ----------------------------------------------------------------------
+def _canned_http_server(responses: list[bytes]):
+    """Serve each canned raw response to one connection, in order.
+
+    Returns ``(base_url, thread)``; the thread exits after the last
+    response (or on accept timeout) and must be joined by the caller.
+    """
+    import socket
+
+    listener = socket.create_server(("127.0.0.1", 0))
+    listener.settimeout(30)
+    port = listener.getsockname()[1]
+
+    def serve() -> None:
+        try:
+            for response in responses:
+                conn, _ = listener.accept()
+                conn.settimeout(10)
+                conn.recv(65536)
+                conn.sendall(response)
+                conn.close()
+        except OSError:
+            pass
+        finally:
+            listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return f"http://127.0.0.1:{port}", thread
+
+
+def _json_response(status_line: str, payload: dict, extra: str = "") -> bytes:
+    body = json.dumps(payload).encode()
+    return (
+        f"{status_line}\r\nContent-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n{extra}Connection: close\r\n\r\n"
+    ).encode() + body
+
+
+class TestClientResilience:
+    def test_retry_policy_is_deterministic_and_bounded(self):
+        policy = ClientRetryPolicy()
+        first = policy.delay("http://host/v1/jobs", 0)
+        assert first == policy.delay("http://host/v1/jobs", 0)
+        # base_delay * jitter, jitter in [0.5, 1.0).
+        assert 0.1 <= first < 0.2
+        # Exponential growth stays capped at max_delay.
+        for attempt in range(12):
+            delay = policy.delay("key", attempt)
+            assert 0 < delay <= policy.max_delay
+        # Different request keys decorrelate (no lockstep burst).
+        assert policy.delay("a", 0) != policy.delay("b", 0)
+
+    def test_retry_after_parsing(self):
+        import email.message
+
+        def exc(headers: dict) -> urllib.error.HTTPError:
+            message = email.message.Message()
+            for key, value in headers.items():
+                message[key] = value
+            return urllib.error.HTTPError(
+                "http://x", 429, "too many", message, None
+            )
+
+        assert _retry_after_seconds(exc({"Retry-After": "3"})) == 3.0
+        assert _retry_after_seconds(exc({"Retry-After": "bogus"})) == 0.0
+        assert _retry_after_seconds(exc({})) == 0.0
+
+    def test_request_retries_through_429(self, metrics_on):
+        from repro.service.loadgen import _request
+
+        url, thread = _canned_http_server([
+            _json_response(
+                "HTTP/1.1 429 Too Many Requests",
+                {"error": {"code": "queue-full"}},
+                extra="Retry-After: 0\r\n",
+            ),
+            _json_response("HTTP/1.1 200 OK", {"ok": True}),
+        ])
+        policy = ClientRetryPolicy(
+            attempts=3, base_delay=0.01, max_delay=0.02
+        )
+        status, body = _request("GET", f"{url}/v1/x", retry=policy)
+        thread.join(timeout=10)
+        assert status == 200
+        assert body == {"ok": True}
+        counters = observability.registry.snapshot()["counters"]
+        assert counters["service.client_retries"] == 1
+
+    def test_request_without_policy_surfaces_the_429(self):
+        from repro.service.loadgen import _request
+
+        url, thread = _canned_http_server([
+            _json_response(
+                "HTTP/1.1 429 Too Many Requests",
+                {"error": {"code": "queue-full"}},
+                extra="Retry-After: 1\r\n",
+            ),
+        ])
+        status, body = _request("GET", f"{url}/v1/x", retry=None)
+        thread.join(timeout=10)
+        assert status == 429
+        assert body["error"]["code"] == "queue-full"
+
+    def test_follow_falls_back_on_eof_midstream(self, metrics_on):
+        # The server dies with the stream open: headers and a couple of
+        # events arrive, then EOF without a terminal event.  _follow
+        # must hand control back to the poll loop (None), not raise.
+        url, thread = _canned_http_server([
+            (
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Connection: close\r\n\r\n"
+                b"event: job.progress\r\ndata: {\"seq\": 1}\r\n\r\n"
+            ),
+        ])
+        assert _follow(url, "some-job", timeout=10) is None
+        thread.join(timeout=10)
+        counters = observability.registry.snapshot()["counters"]
+        assert counters["service.client_stream_fallbacks"] == 1
+
+    def test_follow_falls_back_on_connection_refused(self, metrics_on):
+        import socket
+
+        # Grab a port that is certainly closed.
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert _follow(f"http://127.0.0.1:{port}", "j", timeout=5) is None
 
 
 # ----------------------------------------------------------------------
@@ -1023,6 +1670,67 @@ class TestConcurrentJobs:
         assert doc["schema"] == observability.SCHEMA
         assert doc["metrics"]["counters"]["probe.cells"] == 5.0
         assert not list(tmp_path.glob("flight-*.json"))  # no failure
+
+    def test_corrupt_checkpoint_quarantined_without_perturbing_sibling(
+        self, metrics_on, tmp_path
+    ):
+        """Satellite of the crash-safety story: a corrupt checkpoint hit
+        by one of two concurrent real builds is quarantined (counted in
+        that job's own scope) while the sibling's result stays
+        bit-identical to its serial baseline."""
+        from repro.experiments.context import ExperimentContext
+        from repro.parallel.cache import fingerprint as cache_fingerprint
+
+        serial = JobManager(job_workers=1, cache_dir=str(tmp_path / "serial"))
+        try:
+            baseline = {
+                job.id: job.result
+                for job in self._run_jobs(serial, [self.SPEC_A, self.SPEC_B])
+            }
+        finally:
+            serial.shutdown()
+
+        # Plant garbage at exactly the checkpoint path SPEC_A's table
+        # build will try to resume from.
+        conc_dir = tmp_path / "conc"
+        spec_a = normalize_spec(self.SPEC_A)
+        ctx = ExperimentContext.from_spec(
+            spec_a, checkpoint_dir=str(conc_dir)
+        )
+        table = ctx.table(spec_a["vbody_levels"][0])
+        corrupt_path = ctx.checkpoint_store.path(
+            "failure-table", cache_fingerprint(table._cache_key())
+        )
+        corrupt_path.write_text("{ torn checkpoint")
+
+        observability.reset()
+        observability.enable()
+        concurrent = JobManager(
+            job_workers=2,
+            cache_dir=str(conc_dir),
+            checkpoint_dir=str(conc_dir),
+        )
+        try:
+            job_a, job_b = self._run_jobs(
+                concurrent, [self.SPEC_A, self.SPEC_B]
+            )
+            assert job_a.result == baseline[job_a.id]
+            assert job_b.result == baseline[job_b.id]
+            telem_a = concurrent.get(job_a.id).telemetry_snapshot()
+            telem_b = concurrent.get(job_b.id).telemetry_snapshot()
+        finally:
+            concurrent.shutdown()
+        # The quarantine is attributed to the job that hit it — the
+        # sibling's scope is clean.
+        counters_a = telem_a["metrics"]["counters"]
+        counters_b = telem_b["metrics"]["counters"]
+        assert counters_a["checkpoint.quarantined"] >= 1
+        assert counters_b.get("checkpoint.quarantined", 0) == 0
+        assert list(conc_dir.glob("*.ckpt.json.corrupt-*")) or list(
+            conc_dir.glob("*.corrupt-1")
+        )
+        counters = observability.registry.snapshot()["counters"]
+        assert counters.get("service.jobs_failed", 0) == 0
 
 
 class TestTelemetryEndpoint:

@@ -1,0 +1,333 @@
+#!/usr/bin/env python3
+"""End-to-end crash-recovery smoke for ``repro.service``.
+
+Drives a real server process (subprocess, ephemeral port) through the
+four lifecycle stories the durable job ledger exists for, asserting on
+wire responses, healthz counters, and on-disk artifacts:
+
+1. **Baseline** — an uninterrupted run of the reference job; its
+   result is the byte-exact oracle for the recovery scenario.
+2. **SIGKILL + recover** — the same job is killed mid-build (after at
+   least one checkpoint flush), the server restarts with the same
+   ``--state-dir``/``--checkpoint-dir``, and *without resubmission*
+   the job is re-enqueued from the ledger, resumes through its
+   checkpoints, and completes with a result identical to the
+   baseline (``service.jobs_recovered >= 1``, ``jobs_lost == 0``,
+   ``telemetry-{id}.json`` attributed to the job).
+3. **SIGTERM drain** — a running job finishes inside the drain
+   window, the process exits 0, and a reboot on the same state dir
+   recovers nothing (the ledger knows the job is terminal).
+4. **reject_burst chaos** — with a ``REPRO_FAULT_PLAN`` shedding the
+   first submissions, the stock loadgen rides out the 429s on its
+   retry policy and the burst still succeeds end to end.
+
+Stdlib only; run from the repo root (CI ``recovery-smoke`` job)::
+
+    PYTHONPATH=src python tools/recovery_smoke.py
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+#: The reference job: ~10-20 s of build across 18 grid cells, so a
+#: mid-build SIGKILL always lands after checkpoint flushes with work
+#: still outstanding.  Deterministic (fixed seed): every completed run
+#: must produce byte-identical results.
+SLOW_SPEC = {
+    "kind": "table",
+    "target": 1e-4,
+    "calibration_samples": 3000,
+    "analysis_samples": 1500,
+    "sampler": "adaptive-is",
+    "table_grid": 9,
+    "seed": 404,
+    "vbody_levels": [0.0, 0.3],
+}
+
+WAIT_S = 300.0
+
+
+class SmokeError(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeError(message)
+
+
+def request(
+    method: str, url: str, payload: dict | None = None, timeout: float = 30.0
+) -> tuple[int, dict]:
+    body = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=body, method=method)
+    if body is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        raw = exc.read().decode()
+        try:
+            return exc.code, json.loads(raw)
+        except json.JSONDecodeError:
+            return exc.code, {"raw": raw}
+
+
+class Server:
+    """One ``python -m repro.service`` process on an ephemeral port."""
+
+    def __init__(self, dirs: pathlib.Path, env: dict | None = None,
+                 extra: list[str] | None = None) -> None:
+        self.dirs = dirs
+        cmd = [
+            sys.executable, "-m", "repro.service", "--port", "0",
+            "--cache-dir", str(dirs / "cache"),
+            "--checkpoint-dir", str(dirs / "ckpt"),
+            "--state-dir", str(dirs / "state"),
+            "--checkpoint-every", "2",
+            "--drain-timeout", "120",
+        ] + (extra or [])
+        full_env = dict(os.environ)
+        full_env.setdefault("PYTHONPATH", "src")
+        full_env.update(env or {})
+        self.proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=full_env,
+        )
+        line = self.proc.stdout.readline().strip()
+        check(line.startswith("listening on "),
+              f"server did not announce its URL: {line!r}")
+        self.base_url = line.split()[-1]
+
+    def healthz(self) -> dict:
+        status, body = request("GET", f"{self.base_url}/v1/healthz")
+        check(status == 200, f"healthz: HTTP {status}")
+        return body
+
+    def counters(self) -> dict:
+        return self.healthz()["telemetry"]["metrics"]["counters"]
+
+    def submit(self, spec: dict) -> tuple[int, dict]:
+        return request("POST", f"{self.base_url}/v1/jobs", spec)
+
+    def wait_completed(self, job_id: str, timeout: float = WAIT_S) -> dict:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, body = request(
+                "GET", f"{self.base_url}/v1/jobs/{job_id}"
+            )
+            check(status == 200, f"job poll: HTTP {status} {body}")
+            job = body["job"]
+            if job["status"] == "completed":
+                return job
+            check(job["status"] in ("queued", "running"),
+                  f"job reached {job['status']}: {job.get('error')}")
+            time.sleep(0.25)
+        raise SmokeError(f"job {job_id} not completed within {timeout}s")
+
+    def result(self, job_id: str) -> str:
+        """The job result as canonical JSON (the bit-identity oracle)."""
+        status, body = request(
+            "GET", f"{self.base_url}/v1/jobs/{job_id}/result"
+        )
+        check(status == 200, f"result: HTTP {status} {body}")
+        return json.dumps(body["result"], sort_keys=True)
+
+    def sigterm_and_wait(self, timeout: float = WAIT_S) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+
+
+def scenario_baseline(root: pathlib.Path) -> str:
+    print("--- baseline: uninterrupted run")
+    server = Server(root / "baseline")
+    try:
+        status, body = server.submit(SLOW_SPEC)
+        check(status == 202, f"submit: HTTP {status} {body}")
+        job_id = body["job"]["id"]
+        server.wait_completed(job_id)
+        result = server.result(job_id)
+        counters = server.counters()
+        check(counters.get("service.jobs_failed", 0) == 0, f"{counters}")
+        check(counters.get("service.jobs_lost", 0) == 0, f"{counters}")
+        print(f"    baseline job {job_id} completed")
+        return result
+    finally:
+        server.kill()
+
+
+def scenario_crash_recover(root: pathlib.Path, oracle: str) -> None:
+    print("--- SIGKILL mid-build, restart, auto-recover")
+    dirs = root / "crash"
+    server = Server(dirs)
+    status, body = server.submit(SLOW_SPEC)
+    check(status == 202, f"submit: HTTP {status} {body}")
+    job_id = body["job"]["id"]
+
+    # Let the build make durable progress: at least one checkpoint
+    # flush on disk, then one more beat so the kill lands mid-slice.
+    deadline = time.monotonic() + WAIT_S
+    while not glob.glob(str(dirs / "ckpt" / "*.ckpt.json")):
+        check(time.monotonic() < deadline, "no checkpoint flush appeared")
+        check(server.proc.poll() is None, "server died on its own")
+        time.sleep(0.1)
+    time.sleep(0.5)
+    status, body = request("GET", f"{server.base_url}/v1/jobs/{job_id}")
+    check(body["job"]["status"] == "running",
+          f"expected a running job at kill time, got {body['job']['status']}")
+    server.proc.send_signal(signal.SIGKILL)
+    server.proc.wait(timeout=30)
+    print(f"    killed -9 mid-build (job {job_id})")
+
+    server = Server(dirs)  # same cache/ckpt/state dirs
+    try:
+        # No resubmission: the ledger replay alone must bring the job
+        # back, and it must finish from its checkpoints.
+        job = server.wait_completed(job_id)
+        check(job.get("recovered") is True, f"job not marked recovered: {job}")
+        result = server.result(job_id)
+        check(result == oracle,
+              "recovered result differs from the uninterrupted run")
+        counters = server.counters()
+        check(counters.get("service.jobs_recovered", 0) >= 1, f"{counters}")
+        check(counters.get("service.jobs_lost", 0) == 0, f"{counters}")
+        check(counters.get("service.jobs_failed", 0) == 0, f"{counters}")
+
+        # Per-job attribution survived the crash: the telemetry dump
+        # is keyed by the job's run scope (run_id == job_id).
+        telemetry_path = dirs / "ckpt" / f"telemetry-{job_id[:16]}.json"
+        check(telemetry_path.exists(), f"missing {telemetry_path}")
+        snapshot = json.loads(telemetry_path.read_text())
+        check(snapshot.get("run_id") == job_id,
+              f"telemetry run_id {snapshot.get('run_id')!r} != job id")
+        print("    recovered: result bit-identical, "
+              f"jobs_recovered={int(counters['service.jobs_recovered'])}, "
+              "jobs_lost=0, telemetry attributed")
+    finally:
+        server.kill()
+
+
+def scenario_drain(root: pathlib.Path) -> None:
+    print("--- SIGTERM drain: running job finishes, exit 0, zero lost")
+    dirs = root / "drain"
+    server = Server(dirs)
+    status, body = server.submit(SLOW_SPEC)
+    check(status == 202, f"submit: HTTP {status} {body}")
+    job_id = body["job"]["id"]
+
+    deadline = time.monotonic() + WAIT_S
+    while True:
+        status, body = request("GET", f"{server.base_url}/v1/jobs/{job_id}")
+        if body["job"]["status"] == "running":
+            break
+        check(time.monotonic() < deadline, "job never started")
+        time.sleep(0.1)
+
+    server.proc.send_signal(signal.SIGTERM)
+    # Readiness flips to 503 and new submissions shed immediately,
+    # while the running job keeps its drain window.
+    deadline = time.monotonic() + 30
+    while True:
+        status, body = request("GET", f"{server.base_url}/v1/readyz")
+        if status == 503:
+            check(body.get("draining") is True, f"{body}")
+            break
+        check(time.monotonic() < deadline, "readyz never flipped to 503")
+        time.sleep(0.05)
+    rejected_spec = dict(SLOW_SPEC, seed=999)
+    status, body = server.submit(rejected_spec)
+    check(status == 503, f"draining submit: HTTP {status} {body}")
+    check(body["error"]["code"] == "draining", f"{body}")
+
+    code = server.sigterm_and_wait()  # idempotent signal; waits for exit
+    check(code == 0, f"drain exit code {code}")
+    print("    drained: readyz 503, new submission shed, exit 0")
+
+    # The ledger knows the job finished: a reboot on the same state
+    # dir recovers nothing and loses nothing.
+    server = Server(dirs)
+    try:
+        counters = server.counters()
+        check(counters.get("service.jobs_recovered", 0) == 0, f"{counters}")
+        check(counters.get("service.jobs_lost", 0) == 0, f"{counters}")
+        # And the completed surface is served warm on resubmission.
+        status, body = server.submit(SLOW_SPEC)
+        check(status == 202, f"resubmit: HTTP {status} {body}")
+        server.wait_completed(job_id, timeout=60)
+        print("    reboot after drain: 0 recovered, 0 lost")
+    finally:
+        server.kill()
+
+
+def scenario_reject_burst(root: pathlib.Path) -> None:
+    print("--- reject_burst chaos: loadgen retries ride out the 429s")
+    dirs = root / "chaos"
+    plan = {"specs": [
+        {"kind": "reject_burst", "site": "admission", "times": 2},
+    ]}
+    server = Server(dirs, env={"REPRO_FAULT_PLAN": json.dumps(plan)})
+    telemetry_out = root / "loadgen-telemetry.json"
+    try:
+        env = dict(os.environ)
+        env.setdefault("PYTHONPATH", "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.service.loadgen",
+             "--base-url", server.base_url,
+             "--duplicates", "5", "--gets", "10",
+             "--telemetry-out", str(telemetry_out)],
+            env=env, capture_output=True, text=True, timeout=WAIT_S,
+        )
+        check(proc.returncode == 0,
+              f"loadgen failed under chaos:\n{proc.stdout}\n{proc.stderr}")
+        report = json.loads(telemetry_out.read_text())
+        retries = report["client_metrics"]["counters"].get(
+            "service.client_retries", 0
+        )
+        check(retries >= 2, f"expected >= 2 client retries, got {retries}")
+        counters = server.counters()
+        check(counters.get("service.jobs_rejected", 0) == 2, f"{counters}")
+        check(counters.get("service.jobs_completed", 0) >= 1, f"{counters}")
+        check(counters.get("service.jobs_failed", 0) == 0, f"{counters}")
+        print(f"    chaos burst ok: {int(retries)} client retries, "
+              "2 shed submissions, job completed")
+    finally:
+        server.kill()
+
+
+def main() -> int:
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-recovery-smoke-"))
+    try:
+        oracle = scenario_baseline(root)
+        scenario_crash_recover(root, oracle)
+        scenario_drain(root)
+        scenario_reject_burst(root)
+    except SmokeError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    print("recovery smoke ok: crash recovery exact, drain clean, "
+          "backpressure survivable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
